@@ -1,0 +1,215 @@
+(* Command-line driver: generate (or scale) a benchmark circuit, run one
+   of the three routing flows and report the paper's metrics.
+
+     dune exec bin/cpr_main.exe -- --circuit ecc --scale 0.25
+     dune exec bin/cpr_main.exe -- --circuit alu --router seq
+     dune exec bin/cpr_main.exe -- --nets 400 --width 120 --height 100
+     dune exec bin/cpr_main.exe -- --circuit ecc --pao ilp --verbose *)
+
+open Cmdliner
+
+type router_kind = R_cpr | R_ncr | R_seq
+
+let build_design circuit scale nets width height seed load =
+  match load with
+  | Some path -> Netlist.Design_io.load path
+  | None ->
+    (match circuit with
+    | Some id ->
+      let c = Workloads.Suite.find id in
+      Workloads.Suite.design ~scale c
+    | None ->
+      let params =
+        Workloads.Generator.with_size ~name:"custom" ~nets ~width ~height
+          ~seed:(Int64.of_int seed) ()
+      in
+      Workloads.Generator.generate params)
+
+let violation_breakdown violations =
+  let table = Hashtbl.create 4 in
+  List.iter
+    (fun (v : Drc.Check.violation) ->
+      let k = Drc.Check.kind_to_string v.Drc.Check.kind in
+      Hashtbl.replace table k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table k)))
+    violations;
+  Hashtbl.fold (fun k c acc -> Printf.sprintf "%s=%d %s" k c acc) table ""
+
+let run_flow router pao_kind design =
+  match router with
+  | R_cpr ->
+    let config =
+      {
+        Router.Cpr.default_config with
+        Router.Cpr.pao_kind =
+          (match pao_kind with
+          | `Lr -> Pinaccess.Pin_access.Lr
+          | `Ilp -> Pinaccess.Pin_access.Ilp);
+        pao =
+          {
+            Pinaccess.Pin_access.default_config with
+            Pinaccess.Pin_access.ilp_time_limit = Some 30.0;
+          };
+      }
+    in
+    Router.Cpr.run ~config design
+  | R_ncr -> Router.Baseline_ncr.run design
+  | R_seq -> Router.Sequential.run design
+
+let main circuit scale nets width height seed router pao verbose load save svg =
+  let design = build_design circuit scale nets width height seed load in
+  (match save with
+  | Some path ->
+    Netlist.Design_io.save path design;
+    Format.printf "saved design to %s@." path
+  | None -> ());
+  Format.printf "%s@." (Netlist.Design.stats design);
+  let flow = run_flow router pao design in
+  let s = Metrics.Eval.of_flow flow in
+  Format.printf "Rout.  : %.2f%% (%d/%d nets)@." s.Metrics.Eval.routability
+    s.Metrics.Eval.routed_nets s.Metrics.Eval.total_nets;
+  Format.printf "Via#   : %d@." s.Metrics.Eval.via_count;
+  Format.printf "WL     : %d@." s.Metrics.Eval.wirelength;
+  Format.printf "cpu(s) : %.2f@." s.Metrics.Eval.cpu;
+  Format.printf "initial congested grids: %d@."
+    s.Metrics.Eval.initial_congestion;
+  Format.printf "DRC violations: %d (%s)@." s.Metrics.Eval.violations
+    (violation_breakdown flow.Router.Flow.violations);
+  (match svg with
+  | Some path ->
+    Render.Layout_svg.save path (Render.Layout_svg.flow flow);
+    Format.printf "layout plot written to %s@." path
+  | None -> ());
+  if verbose then begin
+    (match flow.Router.Flow.pao with
+    | Some pao ->
+      Format.printf "@.Pin access optimization (%s): objective %.2f in %.2fs@."
+        (Pinaccess.Pin_access.solver_kind_to_string
+           pao.Pinaccess.Pin_access.kind)
+        pao.Pinaccess.Pin_access.objective pao.Pinaccess.Pin_access.elapsed;
+      List.iter
+        (fun (r : Pinaccess.Pin_access.panel_report) ->
+          Format.printf
+            "  panel %d: %d pins, %d intervals, %d cliques, obj %.1f@."
+            r.Pinaccess.Pin_access.panel r.Pinaccess.Pin_access.pins
+            r.Pinaccess.Pin_access.intervals r.Pinaccess.Pin_access.cliques
+            r.Pinaccess.Pin_access.objective)
+        pao.Pinaccess.Pin_access.reports
+    | None -> ());
+    Format.printf "@.rip-up iterations: %d, total reroutes: %d@."
+      flow.Router.Flow.ripup_iterations flow.Router.Flow.total_reroutes;
+    Format.printf "line-end extension: %d merges, %d alignments@."
+      flow.Router.Flow.extension.Drc.Line_end.merges
+      flow.Router.Flow.extension.Drc.Line_end.alignments;
+    List.iteri
+      (fun i (v : Drc.Check.violation) ->
+        if i < 20 then
+          Format.printf "  violation: %s %s (%s)@."
+            (Drc.Check.kind_to_string v.Drc.Check.kind)
+            v.Drc.Check.where
+            (String.concat "," (List.map string_of_int v.Drc.Check.nets)))
+      flow.Router.Flow.violations
+  end;
+  0
+
+let circuit =
+  let doc =
+    "Benchmark circuit id (ecc, efc, ctl, alu, div, top). When absent, a \
+     custom circuit is generated from $(b,--nets)/$(b,--width)/$(b,--height)."
+  in
+  Arg.(value & opt (some string) None & info [ "c"; "circuit" ] ~doc)
+
+let scale =
+  let doc = "Shrink a named circuit (nets and die together), in (0, 1]." in
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc)
+
+let nets =
+  Arg.(value & opt int 300 & info [ "nets" ] ~doc:"Custom circuit: net count.")
+
+let width =
+  Arg.(value & opt int 120 & info [ "width" ] ~doc:"Custom circuit: grid columns.")
+
+let height =
+  Arg.(
+    value & opt int 100
+    & info [ "height" ] ~doc:"Custom circuit: M2 tracks (multiple of 10).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Custom circuit: PRNG seed.")
+
+let router =
+  let parse = function
+    | "cpr" -> Ok R_cpr
+    | "ncr" -> Ok R_ncr
+    | "seq" -> Ok R_seq
+    | s -> Error (`Msg (Printf.sprintf "unknown router %S" s))
+  in
+  let print fmt r =
+    Format.pp_print_string fmt
+      (match r with R_cpr -> "cpr" | R_ncr -> "ncr" | R_seq -> "seq")
+  in
+  let router_conv = Arg.conv ~docv:"ROUTER" (parse, print) in
+  let doc =
+    "Routing flow: $(b,cpr) (concurrent pin access router, the paper's \
+     contribution), $(b,ncr) (negotiation-congestion baseline without pin \
+     access optimization, [21]), or $(b,seq) (sequential pin access planning \
+     baseline, [12])."
+  in
+  Arg.(value & opt router_conv R_cpr & info [ "r"; "router" ] ~doc)
+
+let pao =
+  let parse = function
+    | "lr" -> Ok `Lr
+    | "ilp" -> Ok `Ilp
+    | s -> Error (`Msg (Printf.sprintf "unknown pao solver %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (match p with `Lr -> "lr" | `Ilp -> "ilp")
+  in
+  let solver_conv = Arg.conv ~docv:"SOLVER" (parse, print) in
+  let doc =
+    "Pin access optimizer for the cpr flow: $(b,lr) (Lagrangian relaxation, \
+     scalable) or $(b,ilp) (exact branch-and-bound, optimal)."
+  in
+  Arg.(value & opt solver_conv `Lr & info [ "pao" ] ~doc)
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-panel and DRC details.")
+
+let load =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "load" ] ~doc:"Route a design saved with $(b,--save).")
+
+let save =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~doc:"Export the (generated) design to a file.")
+
+let svg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "svg" ] ~doc:"Write an SVG plot of the routed layout.")
+
+let cmd =
+  let doc = "concurrent pin access optimization for unidirectional routing" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reproduction of Xu et al., DAC 2017: concurrent pin access \
+         optimization (ILP / Lagrangian relaxation over pin access \
+         intervals) feeding a negotiation-congestion unidirectional router \
+         under SADP design rules.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "cpr" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const main $ circuit $ scale $ nets $ width $ height $ seed $ router
+      $ pao $ verbose $ load $ save $ svg)
+
+let () = exit (Cmd.eval' cmd)

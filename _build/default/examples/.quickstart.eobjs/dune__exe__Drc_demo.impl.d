@@ -1,0 +1,1 @@
+examples/drc_demo.ml: Array Bytes Char Drc Format Geometry List Netlist Rgrid String

@@ -1,0 +1,1 @@
+examples/drc_demo.mli:

@@ -1,0 +1,1 @@
+examples/pin_access_demo.ml: Array Format Geometry List Netlist Pinaccess String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Geometry List Metrics Netlist Pinaccess Render Rgrid Router

@@ -1,0 +1,1 @@
+examples/router_comparison.ml: Array Format List Metrics Netlist Router Sys Workloads

@@ -1,0 +1,1 @@
+lib/core/access_interval.ml: Format Geometry Int List Netlist String

@@ -1,0 +1,1 @@
+lib/core/access_interval.mli: Format Geometry Netlist

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Access_interval Array Geometry Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/core/ilp.ml: Array Conflict List Option Problem Solution Solver

@@ -1,0 +1,1 @@
+lib/core/ilp.mli: Problem Solution Solver

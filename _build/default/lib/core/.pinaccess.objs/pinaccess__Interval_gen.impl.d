@@ -1,0 +1,1 @@
+lib/core/interval_gen.ml: Access_interval Array Geometry Hashtbl Int List Netlist Objective

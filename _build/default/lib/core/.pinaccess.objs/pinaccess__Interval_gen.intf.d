@@ -1,0 +1,1 @@
+lib/core/interval_gen.mli: Access_interval Geometry Netlist Objective

@@ -1,0 +1,1 @@
+lib/core/lagrangian.ml: Access_interval Array Conflict Float Geometry Int List Problem Refine Solution

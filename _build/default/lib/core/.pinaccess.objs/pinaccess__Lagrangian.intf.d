@@ -1,0 +1,1 @@
+lib/core/lagrangian.mli: Problem Solution

@@ -1,0 +1,1 @@
+lib/core/objective.ml: Access_interval List

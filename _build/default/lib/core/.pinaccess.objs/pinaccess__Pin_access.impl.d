@@ -1,0 +1,1 @@
+lib/core/pin_access.ml: Access_interval Array Hashtbl Ilp Int Interval_gen Lagrangian List Netlist Option Printf Problem Solution Solver Unix_time

@@ -1,0 +1,1 @@
+lib/core/pin_access.mli: Access_interval Interval_gen Lagrangian Netlist

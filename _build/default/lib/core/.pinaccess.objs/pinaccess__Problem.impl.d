@@ -1,0 +1,1 @@
+lib/core/problem.ml: Access_interval Array Conflict Hashtbl Int Interval_gen List Netlist Objective Printf

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Access_interval Conflict Hashtbl Interval_gen Netlist

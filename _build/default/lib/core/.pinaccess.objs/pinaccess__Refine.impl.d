@@ -1,0 +1,1 @@
+lib/core/refine.ml: Access_interval Array Conflict Float Hashtbl Int List Option Problem Solution

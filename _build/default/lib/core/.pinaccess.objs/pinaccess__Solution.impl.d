@@ -1,0 +1,1 @@
+lib/core/solution.ml: Access_interval Array Conflict List Printf Problem

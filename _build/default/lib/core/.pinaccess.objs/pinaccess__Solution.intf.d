@@ -1,0 +1,1 @@
+lib/core/solution.mli: Access_interval Conflict Netlist Problem

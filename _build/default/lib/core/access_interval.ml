@@ -1,0 +1,31 @@
+type id = int
+
+type kind = Minimum | Regular
+
+type t = {
+  id : id;
+  net : Netlist.Net.id;
+  pins : Netlist.Pin.id list;
+  track : int;
+  span : Geometry.Interval.t;
+  kind : kind;
+}
+
+let make ~id ~net ~pins ~track ~span ~kind =
+  assert (pins <> []);
+  { id; net; pins; track; span; kind }
+
+let length t = Geometry.Interval.length t.span
+let is_minimum t = match t.kind with Minimum -> true | Regular -> false
+let serves t pin = List.mem pin t.pins
+let overlaps a b = a.track = b.track && Geometry.Interval.overlaps a.span b.span
+
+let compare_geometry a b =
+  let c = Int.compare a.track b.track in
+  if c <> 0 then c else Geometry.Interval.compare a.span b.span
+
+let pp fmt t =
+  Format.fprintf fmt "I#%d(net %d, track %d, %a%s, pins [%s])" t.id t.net
+    t.track Geometry.Interval.pp t.span
+    (if is_minimum t then ", min" else "")
+    (String.concat ";" (List.map string_of_int t.pins))

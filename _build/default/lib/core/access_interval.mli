@@ -1,0 +1,45 @@
+(** Pin access intervals (paper Sec. 3.1).
+
+    A pin access interval is a horizontal M2 metal strip
+    [(track, span)] that covers the column of every pin it serves.  A
+    router later treats the selected interval of a pin as a partial
+    route: any grid of the strip is a legal via landing point for that
+    pin's net. *)
+
+type id = int
+
+type kind =
+  | Minimum  (** smallest strip covering the pin; always conflict-free *)
+  | Regular
+
+type t = {
+  id : id;
+  net : Netlist.Net.id;
+  pins : Netlist.Pin.id list;
+      (** same-net pins served: every pin covers [track] and has its
+          column inside [span]; >1 pin encodes an intra-panel
+          connection (Fig. 3(b)) *)
+  track : int;
+  span : Geometry.Interval.t;
+  kind : kind;
+}
+
+val make :
+  id:id ->
+  net:Netlist.Net.id ->
+  pins:Netlist.Pin.id list ->
+  track:int ->
+  span:Geometry.Interval.t ->
+  kind:kind ->
+  t
+
+val length : t -> int
+val is_minimum : t -> bool
+val serves : t -> Netlist.Pin.id -> bool
+val overlaps : t -> t -> bool
+(** Same track and intersecting spans. *)
+
+val compare_geometry : t -> t -> int
+(** Orders by [(track, span)]; used for deduplication. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+module I = Geometry.Interval
+
+type clique = { track : int; members : int array; common : Geometry.Interval.t }
+
+(* Sweep one track's intervals (sorted by left edge).  A maximal clique
+   of an interval graph is the active set at the smallest right edge of
+   its members; emitting at each distinct "some interval ends next"
+   point after at least one new interval started yields every maximal
+   clique exactly once.  Intervals are inflated by [clearance] on the
+   right so the selection keeps line-end-cut room. *)
+let sweep_track ~clearance ~track intervals =
+  let eff_hi (iv : Access_interval.t) = I.hi iv.span + clearance in
+  let sorted =
+    List.sort
+      (fun (a : Access_interval.t) b -> I.compare a.span b.span)
+      intervals
+  in
+  let ends =
+    List.sort_uniq Int.compare
+      (List.map (fun iv -> eff_hi iv) intervals)
+  in
+  let cliques = ref [] in
+  let active = ref [] in
+  let pending = ref sorted in
+  let fresh = ref false in
+  List.iter
+    (fun x ->
+      (* admit intervals starting at or before x *)
+      let rec admit () =
+        match !pending with
+        | (iv : Access_interval.t) :: rest when I.lo iv.span <= x ->
+          pending := rest;
+          if eff_hi iv >= x then begin
+            active := iv :: !active;
+            fresh := true
+          end;
+          admit ()
+        | _ -> ()
+      in
+      admit ();
+      (* retire intervals ending before x *)
+      active := List.filter (fun iv -> eff_hi iv >= x) !active;
+      if !fresh && !active <> [] then begin
+        let members =
+          !active
+          |> List.map (fun (iv : Access_interval.t) -> iv.id)
+          |> List.sort Int.compare
+          |> Array.of_list
+        in
+        let lo =
+          List.fold_left
+            (fun acc (iv : Access_interval.t) -> max acc (I.lo iv.span))
+            min_int !active
+        in
+        cliques :=
+          { track; members; common = I.make ~lo ~hi:x } :: !cliques;
+        fresh := false
+      end)
+    ends;
+  List.rev !cliques
+
+let by_track intervals =
+  let table = Hashtbl.create 64 in
+  Array.iter
+    (fun (iv : Access_interval.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt table iv.track) in
+      Hashtbl.replace table iv.track (iv :: cur))
+    intervals;
+  table
+
+let detect ?(clearance = 0) intervals =
+  Array.iteri
+    (fun i (iv : Access_interval.t) ->
+      if iv.id <> i then invalid_arg "Conflict.detect: ids must be dense")
+    intervals;
+  let table = by_track intervals in
+  let tracks = Hashtbl.fold (fun tr _ acc -> tr :: acc) table [] in
+  List.sort Int.compare tracks
+  |> List.concat_map (fun track ->
+         sweep_track ~clearance ~track (Hashtbl.find table track)
+         |> List.filter (fun c -> Array.length c.members >= 2))
+  |> Array.of_list
+
+let cliques_of_track ?(clearance = 0) intervals ~track =
+  let on_track =
+    Array.to_list intervals
+    |> List.filter (fun (iv : Access_interval.t) -> iv.track = track)
+  in
+  Array.of_list (sweep_track ~clearance ~track on_track)
+
+let count_pairwise_conflicts intervals =
+  let count = ref 0 in
+  let n = Array.length intervals in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Access_interval.overlaps intervals.(i) intervals.(j) then incr count
+    done
+  done;
+  !count

@@ -1,0 +1,72 @@
+type result = {
+  solution : Solution.t;
+  objective : float;
+  nodes : int;
+  proven_optimal : bool;
+  root_lp_bound : float option;
+}
+
+let to_milp (problem : Problem.t) =
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun candidates -> Solver.Milp.Choose_one (Array.to_list candidates))
+         problem.Problem.pin_candidates)
+    @ Array.to_list
+        (Array.map
+           (fun (clique : Conflict.clique) ->
+             Solver.Milp.At_most_one (Array.to_list clique.Conflict.members))
+           problem.Problem.cliques)
+  in
+  {
+    Solver.Milp.num_vars = Problem.num_intervals problem;
+    profit = Array.copy problem.Problem.profits;
+    rows;
+  }
+
+let solve ?time_limit ?warm_start ?(root_lp = false) (problem : Problem.t) =
+  let milp = to_milp problem in
+  let warm_start = Option.map Solution.chosen warm_start in
+  let sol =
+    match time_limit with
+    | Some time_limit ->
+      Solver.Milp.solve ~time_limit ?warm_start ~root_lp milp
+    | None -> Solver.Milp.solve ?warm_start ~root_lp milp
+  in
+  let solution = Solution.of_chosen problem ~chosen:sol.Solver.Milp.values in
+  assert (Solution.is_conflict_free solution);
+  {
+    solution;
+    objective = sol.Solver.Milp.objective;
+    nodes = sol.Solver.Milp.stats.Solver.Milp.nodes;
+    proven_optimal = sol.Solver.Milp.stats.Solver.Milp.proven_optimal;
+    root_lp_bound = sol.Solver.Milp.stats.Solver.Milp.root_lp_bound;
+  }
+
+let lp_relaxation_bound (problem : Problem.t) =
+  let milp = to_milp problem in
+  let objective =
+    Array.to_list (Array.mapi (fun v k -> (v, k)) milp.Solver.Milp.profit)
+  in
+  let constraints =
+    List.map
+      (fun row ->
+        match row with
+        | Solver.Milp.Choose_one vars ->
+          Solver.Lp.constr (List.map (fun v -> (v, 1.0)) vars) Solver.Lp.Eq 1.0
+        | Solver.Milp.At_most_one vars ->
+          Solver.Lp.constr (List.map (fun v -> (v, 1.0)) vars) Solver.Lp.Le 1.0)
+      milp.Solver.Milp.rows
+  in
+  let lp =
+    {
+      Solver.Lp.num_vars = milp.Solver.Milp.num_vars;
+      maximize = true;
+      objective;
+      constraints;
+    }
+  in
+  match Solver.Lp.solve lp with
+  | Solver.Lp.Optimal s -> Some s.Solver.Lp.objective_value
+  | Solver.Lp.Infeasible | Solver.Lp.Unbounded | Solver.Lp.Iteration_limit ->
+    None

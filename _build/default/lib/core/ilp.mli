@@ -1,0 +1,35 @@
+(** The binary ILP formulation of concurrent pin access optimization
+    (paper Formula (1)) and its exact solution.
+
+    Objective (1a): maximize [Σ_j Σ_{i∈S_j} f(I_i) x_i] — an interval
+    serving several pins is counted once per pin.  Constraint (1b): one
+    interval per pin.  Constraint (1c): at most one interval per
+    conflict clique.  Theorem 1 (feasibility through minimum intervals)
+    guarantees the solver never raises [Solver.Milp.Infeasible] on a
+    well-formed instance. *)
+
+type result = {
+  solution : Solution.t;
+  objective : float;
+  nodes : int;  (** branch-and-bound nodes explored *)
+  proven_optimal : bool;
+  root_lp_bound : float option;
+}
+
+val to_milp : Problem.t -> Solver.Milp.problem
+(** The raw 0-1 program: one [Choose_one] row per pin, one
+    [At_most_one] row per conflict clique. *)
+
+val solve :
+  ?time_limit:float ->
+  ?warm_start:Solution.t ->
+  ?root_lp:bool ->
+  Problem.t ->
+  result
+(** Exact branch-and-bound; [warm_start] (typically the LR solution)
+    provides the initial incumbent; [root_lp] additionally solves the
+    LP relaxation at the root.  With a [time_limit] the result may
+    carry [proven_optimal = false]. *)
+
+val lp_relaxation_bound : Problem.t -> float option
+(** Optimal value of the LP relaxation via the in-repo simplex. *)

@@ -1,0 +1,172 @@
+module I = Geometry.Interval
+module Pin = Netlist.Pin
+module Design = Netlist.Design
+
+type config = {
+  weighting : Objective.weighting;
+  m2_bbox_margin : int option;
+  max_per_pin : int;
+  clearance : int;
+}
+
+let default_config =
+  {
+    weighting = Objective.default;
+    m2_bbox_margin = None;
+    max_per_pin = 64;
+    clearance = 2;
+  }
+
+exception Pin_unreachable of Netlist.Pin.id
+
+(* Horizontal extent that bounds interval generation for a pin: the net
+   bounding box (paper default), or the estimated M2 box of footnote 1. *)
+let gen_bounds config design (p : Pin.t) =
+  let die_x = Geometry.Rect.xs (Design.die design) in
+  let net_x = Geometry.Rect.xs (Design.net_bbox design p.net) in
+  match config.m2_bbox_margin with
+  | None -> net_x
+  | Some k ->
+    let est = I.make ~lo:(p.x - k) ~hi:(p.x + k) in
+    (match I.clamp est ~within:die_x with
+    | Some est ->
+      (* never smaller than the pin column itself *)
+      I.hull (I.point p.x) (match I.intersect est net_x with
+        | Some both -> both
+        | None -> I.point p.x)
+    | None -> I.point p.x)
+
+(* Maximal blockage-free column range around [p.x] on [track], clipped
+   to [bounds]; [None] when the pin column itself is blocked. *)
+let free_range design ~track ~bounds (p : Pin.t) =
+  let spans = Design.m2_blockages_on_track design track in
+  if List.exists (fun s -> I.contains s p.x) spans then None
+  else begin
+    let lo = ref (I.lo bounds) and hi = ref (I.hi bounds) in
+    List.iter
+      (fun s ->
+        if I.hi s < p.x then lo := max !lo (I.hi s + 1)
+        else if I.lo s > p.x then hi := min !hi (I.lo s - 1))
+      spans;
+    Some (I.make ~lo:(min !lo p.x) ~hi:(max !hi p.x))
+  end
+
+let dedupe_ints xs = List.sort_uniq Int.compare xs
+
+(* Same-net pins on [track] whose column lies in [span] — the pins a
+   candidate interval serves. *)
+let pins_served design ~track ~span (p : Pin.t) =
+  Design.pins_on_track design track
+  |> List.filter (fun (q : Pin.t) -> q.net = p.net && I.contains span q.x)
+  |> List.map (fun (q : Pin.t) -> q.id)
+
+let generate_pin config design (p : Pin.t) =
+  let bounds = gen_bounds config design p in
+  let primary = Pin.primary_track p in
+  let candidates_on_track track =
+    match free_range design ~track ~bounds p with
+    | None -> if track = primary then raise (Pin_unreachable p.id) else []
+    | Some range ->
+      let diff_net =
+        Design.pins_on_track design track
+        |> List.filter (fun (q : Pin.t) ->
+               q.net <> p.net && I.contains range q.x)
+      in
+      let lefts =
+        I.lo range
+        :: List.filter_map
+             (fun (q : Pin.t) -> if q.x < p.x then Some (q.x + 1) else None)
+             diff_net
+        |> dedupe_ints
+      in
+      let rights =
+        I.hi range
+        :: List.filter_map
+             (fun (q : Pin.t) -> if q.x > p.x then Some (q.x - 1) else None)
+             diff_net
+        |> dedupe_ints
+      in
+      let combos =
+        List.concat_map
+          (fun l ->
+            List.filter_map
+              (fun r -> if l <= r then Some (I.make ~lo:l ~hi:r) else None)
+              rights)
+          lefts
+      in
+      let keep =
+        if List.length combos <= config.max_per_pin then combos
+        else
+          combos
+          |> List.sort (fun a b -> Int.compare (I.length b) (I.length a))
+          |> List.filteri (fun i _ -> i < config.max_per_pin)
+      in
+      List.map
+        (fun span ->
+          (pins_served design ~track ~span p, track, span, Access_interval.Regular))
+        keep
+  in
+  let tracks = List.init (I.length p.tracks) (fun i -> I.lo p.tracks + i) in
+  let regular = List.concat_map candidates_on_track tracks in
+  (* a minimum interval on every free track of the pin (the smallest
+     strip covering it); the primary one exists or candidates_on_track
+     raised [Pin_unreachable] *)
+  let minimums =
+    List.filter_map
+      (fun track ->
+        match free_range design ~track ~bounds p with
+        | Some _ -> Some ([ p.id ], track, I.point p.x, Access_interval.Minimum)
+        | None -> None)
+      tracks
+  in
+  minimums @ regular
+
+let generate_panel config design ~panel =
+  let pins = Design.pins_of_panel design panel in
+  let table : (int * int * int * int, Netlist.Pin.id list * Access_interval.kind) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let order = ref [] in
+  List.iter
+    (fun (p : Pin.t) ->
+      List.iter
+        (fun (served, track, span, kind) ->
+          let key = (p.net, track, I.lo span, I.hi span) in
+          match Hashtbl.find_opt table key with
+          | None ->
+            Hashtbl.add table key (served, kind);
+            order := key :: !order
+          | Some (served0, kind0) ->
+            let merged =
+              List.sort_uniq Int.compare (List.rev_append served served0)
+            in
+            let kind =
+              match kind0, kind with
+              | Access_interval.Minimum, _ | _, Access_interval.Minimum ->
+                Access_interval.Minimum
+              | Access_interval.Regular, Access_interval.Regular ->
+                Access_interval.Regular
+            in
+            Hashtbl.replace table key (merged, kind))
+        (generate_pin config design p))
+    pins;
+  let keys =
+    List.sort
+      (fun (n1, t1, l1, h1) (n2, t2, l2, h2) ->
+        let c = Int.compare t1 t2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare l1 l2 in
+          if c <> 0 then c
+          else
+            let c = Int.compare h1 h2 in
+            if c <> 0 then c else Int.compare n1 n2)
+      !order
+  in
+  Array.of_list
+    (List.mapi
+       (fun id ((net, track, lo, hi) as key) ->
+         let pins, kind = Hashtbl.find table key in
+         Access_interval.make ~id ~net ~pins ~track
+           ~span:(I.make ~lo ~hi) ~kind)
+       keys)

@@ -1,0 +1,46 @@
+(** Track-based pin access interval generation (paper Sec. 3.1).
+
+    For each pin and each M2 track the pin overlaps, candidate
+    intervals are enumerated inside the net bounding box, clipped at
+    routing blockages, with left/right edges at the vertical cutting
+    lines of diff-net pins (so [O(m*n)] candidates when [m] diff-net
+    pins lie left and [n] right of the pin).  The minimum interval (the
+    pin column itself, on the pin's primary track) is always produced:
+    minimum intervals are pairwise disjoint, which is what makes
+    Formula (1) feasible (Theorem 1). *)
+
+type config = {
+  weighting : Objective.weighting;
+  m2_bbox_margin : int option;
+      (** Footnote 1: when [Some k], clip interval generation to the
+          estimated M2 box — the pin column inflated by [k] grids —
+          instead of the full net bounding box.  [None] uses the net
+          bounding box. *)
+  max_per_pin : int;
+      (** Cap on candidates per pin per track; longest candidates are
+          kept (minimum and maximum intervals always survive). *)
+  clearance : int;
+      (** Design-rule-aware conflict slack: selected intervals keep
+          [clearance + 1] grids of line-end room (see
+          {!Conflict.detect}); default 2, matching the SADP deck's
+          min line-end gap of 2 (gap >= clearance). *)
+}
+
+val default_config : config
+
+exception Pin_unreachable of Netlist.Pin.id
+(** Raised when a pin's primary-track column is covered by an M2
+    blockage: no minimum interval exists and the design is unroutable
+    as placed. *)
+
+val generate_pin :
+  config -> Netlist.Design.t -> Netlist.Pin.t -> (Netlist.Pin.id list * int * Geometry.Interval.t * Access_interval.kind) list
+(** Raw candidates for one pin as [(pins_served, track, span, kind)];
+    exposed for unit tests.  Candidates of several pins must still be
+    deduplicated by [generate_panel]. *)
+
+val generate_panel :
+  config -> Netlist.Design.t -> panel:int -> Access_interval.t array
+(** All access intervals of a panel, deduplicated ([(net, track, span)]
+    identifies an interval; the pin lists of duplicates are merged),
+    with dense ids [0..n-1]. *)

@@ -1,0 +1,164 @@
+type config = {
+  max_iterations : int;
+  alpha : float;
+  constant_step : float option;
+  full_subgradient : bool;
+  plateau_exit : int option;
+}
+
+let default_config =
+  {
+    max_iterations = 200;
+    alpha = 0.95;
+    constant_step = None;
+    full_subgradient = true;
+    plateau_exit = Some 50;
+  }
+
+type iterate = { iteration : int; violations : int; relaxed_objective : float }
+
+type result = {
+  solution : Solution.t;
+  iterations : int;
+  best_violations : int;
+  shrinks : int;
+  history : iterate list;
+}
+
+let max_gains (problem : Problem.t) ~gains =
+  let intervals = problem.Problem.intervals in
+  let n = Array.length intervals in
+  let num_pins = Problem.num_pins problem in
+  let npins id = List.length intervals.(id).Access_interval.pins in
+  let order = Array.init n (fun i -> i) in
+  (* non-increasing gain; ties broken by same-net pins served (prefer
+     intra-panel connections), then id for determinism *)
+  Array.sort
+    (fun a b ->
+      let c = Float.compare gains.(b) gains.(a) in
+      if c <> 0 then c
+      else
+        let c = Int.compare (npins b) (npins a) in
+        if c <> 0 then c else Int.compare a b)
+    order;
+  let assignment = Array.make num_pins (-1) in
+  let remaining = ref num_pins in
+  let select id =
+    let slots =
+      List.map
+        (fun pid -> Problem.slot_of_pin problem pid)
+        intervals.(id).Access_interval.pins
+    in
+    if List.for_all (fun slot -> assignment.(slot) < 0) slots then begin
+      List.iter (fun slot -> assignment.(slot) <- id) slots;
+      remaining := !remaining - List.length slots
+    end
+  in
+  (try
+     Array.iter
+       (fun id ->
+         if !remaining = 0 then raise Exit;
+         select id)
+       order
+   with Exit -> ());
+  assert (!remaining = 0);
+  assignment
+
+let solve ?(config = default_config) (problem : Problem.t) =
+  let intervals = problem.Problem.intervals in
+  let cliques = problem.Problem.cliques in
+  let n = Array.length intervals in
+  let profits = problem.Problem.profits in
+  let lambda = Array.make (Array.length cliques) 0.0 in
+  let penalties = Array.make n 0.0 in
+  let gains = Array.make n 0.0 in
+  let chosen = Array.make n false in
+  let best_assignment = ref None in
+  let best_gains = Array.make n 0.0 in
+  let min_vio = ref max_int in
+  let history = ref [] in
+  let iterations = ref 0 in
+  let step k (clique : Conflict.clique) =
+    let common_len =
+      float_of_int (Geometry.Interval.length clique.Conflict.common)
+    in
+    match config.constant_step with
+    | Some t -> t *. common_len
+    | None -> common_len /. Float.pow (float_of_int k) config.alpha
+  in
+  let k = ref 0 in
+  let since_best = ref 0 in
+  let stalled () =
+    match config.plateau_exit with
+    | Some limit -> !since_best >= limit
+    | None -> false
+  in
+  while !min_vio > 0 && !k < config.max_iterations && not (stalled ()) do
+    incr k;
+    for i = 0 to n - 1 do
+      gains.(i) <- profits.(i) -. penalties.(i)
+    done;
+    let assignment = max_gains problem ~gains in
+    Array.fill chosen 0 n false;
+    Array.iter (fun id -> chosen.(id) <- true) assignment;
+    (* penalize: walk every clique, count selections, move multipliers
+       along the subgradient (Eq. 3) *)
+    let vio = ref 0 in
+    Array.iteri
+      (fun m (clique : Conflict.clique) ->
+        let cnt =
+          Array.fold_left
+            (fun acc id -> if chosen.(id) then acc + 1 else acc)
+            0 clique.Conflict.members
+        in
+        let g = float_of_int (cnt - 1) in
+        if cnt > 1 then incr vio;
+        let update =
+          if config.full_subgradient then cnt > 1 || lambda.(m) > 0.0
+          else cnt > 1
+        in
+        if update then begin
+          let lam' = Float.max 0.0 (lambda.(m) +. (step !k clique *. g)) in
+          let delta = lam' -. lambda.(m) in
+          if delta <> 0.0 then begin
+            lambda.(m) <- lam';
+            Array.iter
+              (fun id -> penalties.(id) <- penalties.(id) +. delta)
+              clique.Conflict.members
+          end
+        end)
+      cliques;
+    let relaxed =
+      let sel = ref 0.0 in
+      Array.iteri (fun id c -> if c then sel := !sel +. gains.(id)) chosen;
+      Array.fold_left ( +. ) !sel lambda
+    in
+    history :=
+      { iteration = !k; violations = !vio; relaxed_objective = relaxed }
+      :: !history;
+    if !vio < !min_vio then begin
+      min_vio := !vio;
+      best_assignment := Some (Array.copy assignment);
+      Array.blit gains 0 best_gains 0 n;
+      since_best := 0
+    end
+    else incr since_best;
+    iterations := !k
+  done;
+  let assignment =
+    match !best_assignment with
+    | Some a -> a
+    | None ->
+      (* max_iterations = 0: fall back to pure profits *)
+      min_vio := max_int;
+      max_gains problem ~gains:profits
+  in
+  let raw = Solution.make problem ~assignment in
+  let solution, shrinks = Refine.remove_conflicts ~gains:best_gains raw in
+  {
+    solution;
+    iterations = !iterations;
+    best_violations = (if !min_vio = max_int then Solution.num_violations raw else !min_vio);
+    shrinks;
+    history = List.rev !history;
+  }

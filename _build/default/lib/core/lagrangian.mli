@@ -1,0 +1,53 @@
+(** Lagrangian relaxation for the weighted interval assignment problem
+    (paper Sec. 3.4, Algorithms 1 and 2).
+
+    The clique constraints (1c) are relaxed into the objective with
+    multipliers [λ_m]; each subproblem keeps only the one-interval-per-
+    pin constraints and is solved by the greedy [maxGains]; multipliers
+    follow the subgradient step [λ ← max(0, λ + t_k (Σx − 1))] with
+    [t_k = L_m / k^α] where [L_m] is the length of the clique's common
+    intersection.  The minimum-violation iterate is kept and finished
+    by greedy conflict removal. *)
+
+type config = {
+  max_iterations : int;  (** the paper's UB, 200 *)
+  alpha : float;  (** step-size exponent, 0.95 *)
+  constant_step : float option;
+      (** ablation: [Some t] replaces the decaying [t_k] by a constant
+          step [t * L_m]; [None] is the paper's schedule *)
+  full_subgradient : bool;
+      (** [true] (default) applies Eq. (3) to every clique with a
+          positive multiplier or a violation, letting multipliers of
+          resolved cliques decay; [false] reproduces Algorithm 1
+          literally and only increases multipliers of violated
+          cliques. *)
+  plateau_exit : int option;
+      (** engineering addition: stop after this many iterations without
+          a new best (min-violation) iterate; [None] reproduces the
+          paper exactly (run to UB) *)
+}
+
+val default_config : config
+
+type iterate = { iteration : int; violations : int; relaxed_objective : float }
+
+type result = {
+  solution : Solution.t;
+      (** conflict-free after refinement, except for unrepairable
+          all-minimum cliques introduced by a non-zero design-rule
+          clearance (physically disjoint; counted by
+          [Solution.num_violations]) *)
+  iterations : int;  (** LR iterations actually run *)
+  best_violations : int;  (** violations of the best iterate, pre-refinement *)
+  shrinks : int;  (** refinement shrink operations *)
+  history : iterate list;  (** per-iteration trace, oldest first *)
+}
+
+val solve : ?config:config -> Problem.t -> result
+
+val max_gains : Problem.t -> gains:float array -> int array
+(** One greedy subproblem solve (Algorithm 1, [maxGains]): per pin
+    slot, the selected interval id.  Intervals are scanned by
+    non-increasing gain, ties broken by the number of same-net pins
+    served; an interval is selected only if all its pins are still
+    unassigned.  Exposed for tests and benches. *)

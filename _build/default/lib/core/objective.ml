@@ -1,0 +1,17 @@
+type weighting = Sqrt_length | Linear_length
+
+let default = Sqrt_length
+
+let f w len =
+  assert (len >= 1);
+  match w with
+  | Sqrt_length -> sqrt (float_of_int len)
+  | Linear_length -> float_of_int len
+
+let profit w (interval : Access_interval.t) =
+  f w (Access_interval.length interval)
+  *. float_of_int (List.length interval.Access_interval.pins)
+
+let weighting_to_string = function
+  | Sqrt_length -> "sqrt"
+  | Linear_length -> "linear"

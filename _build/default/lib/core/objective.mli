@@ -1,0 +1,21 @@
+(** The profit function of the weighted interval assignment problem
+    (paper Sec. 3.3).
+
+    The paper uses [f(I) = sqrt(len I)]: concave, so it trades a little
+    total length for balance across pins.  The linear alternative is
+    kept for the ablation bench. *)
+
+type weighting = Sqrt_length | Linear_length
+
+val default : weighting
+(** [Sqrt_length], the paper's choice. *)
+
+val f : weighting -> int -> float
+(** [f w len] is the profit of a single-pin interval of length [len]. *)
+
+val profit : weighting -> Access_interval.t -> float
+(** Objective coefficient of an interval: [f (length I)] counted once
+    per pin served (objective (1a) counts shared intervals multiple
+    times). *)
+
+val weighting_to_string : weighting -> string

@@ -1,0 +1,179 @@
+type solver_kind = Ilp | Lr
+
+type config = {
+  gen : Interval_gen.config;
+  lr : Lagrangian.config;
+  ilp_time_limit : float option;
+  ilp_warm_start : bool;
+}
+
+let default_config =
+  {
+    gen = Interval_gen.default_config;
+    lr = Lagrangian.default_config;
+    ilp_time_limit = None;
+    ilp_warm_start = true;
+  }
+
+type panel_report = {
+  panel : int;
+  pins : int;
+  intervals : int;
+  cliques : int;
+  objective : float;
+  lr_iterations : int;
+  proven_optimal : bool;
+}
+
+type t = {
+  design : Netlist.Design.t;
+  kind : solver_kind;
+  assignments : (Netlist.Pin.id * Access_interval.t) list;
+  objective : float;
+  reports : panel_report list;
+  elapsed : float;
+}
+
+let solver_kind_to_string = function Ilp -> "ILP" | Lr -> "LR"
+
+let solve_problem config kind ~panel (problem : Problem.t) =
+  let solution, lr_iterations, proven_optimal =
+    match kind with
+    | Lr ->
+      let r = Lagrangian.solve ~config:config.lr problem in
+      (r.Lagrangian.solution, r.Lagrangian.iterations, true)
+    | Ilp ->
+      let warm_start_of p =
+        if config.ilp_warm_start then
+          let lr = Lagrangian.solve ~config:config.lr p in
+          if Solution.is_conflict_free lr.Lagrangian.solution then
+            Some lr.Lagrangian.solution
+          else None
+        else None
+      in
+      let solve p =
+        Ilp.solve ?time_limit:config.ilp_time_limit
+          ?warm_start:(warm_start_of p) p
+      in
+      (try
+         let r = solve problem in
+         (r.Ilp.solution, 0, r.Ilp.proven_optimal)
+       with Solver.Milp.Infeasible ->
+         (* the design-rule clearance can make strict feasibility
+            impossible (adjacent same-track pins); fall back to the
+            paper's original conflict relation for this instance *)
+         let relaxed =
+           {
+             problem.Problem.config with
+             Interval_gen.clearance = 0;
+           }
+         in
+         let problem0 =
+           Problem.of_intervals relaxed problem.Problem.design
+             problem.Problem.intervals
+         in
+         let r = solve problem0 in
+         (r.Ilp.solution, 0, r.Ilp.proven_optimal))
+  in
+  let objective = Solution.objective solution in
+  let report =
+    {
+      panel;
+      pins = Problem.num_pins problem;
+      intervals = Problem.num_intervals problem;
+      cliques = Problem.num_cliques problem;
+      objective;
+      lr_iterations;
+      proven_optimal;
+    }
+  in
+  let assignments =
+    Array.to_list
+      (Array.mapi
+         (fun slot id ->
+           (problem.Problem.pin_ids.(slot), problem.Problem.intervals.(id)))
+         solution.Solution.assignment)
+  in
+  (assignments, objective, report)
+
+let run ?(config = default_config) ~kind design problems =
+  let start = Unix_time.now () in
+  let assignments, objective, reports =
+    List.fold_left
+      (fun (acc_a, acc_o, acc_r) (panel, problem) ->
+        if Problem.num_pins problem = 0 then (acc_a, acc_o, acc_r)
+        else begin
+          let a, o, r = solve_problem config kind ~panel problem in
+          (List.rev_append a acc_a, acc_o +. o, r :: acc_r)
+        end)
+      ([], 0.0, []) problems
+  in
+  {
+    design;
+    kind;
+    assignments = List.rev assignments;
+    objective;
+    reports = List.rev reports;
+    elapsed = Unix_time.now () -. start;
+  }
+
+let optimize ?(config = default_config) ~kind design =
+  let problems =
+    List.init (Netlist.Design.num_panels design) (fun panel ->
+        (panel, Problem.build_panel config.gen design ~panel))
+  in
+  run ~config ~kind design problems
+
+let optimize_combined ?(config = default_config) ~kind design ~panels =
+  let problem = Problem.build_panels config.gen design ~panels in
+  run ~config ~kind design [ (-1, problem) ]
+
+let interval_of_pin t pid =
+  List.assoc_opt pid t.assignments
+
+let validate ?(complete = true) t =
+  let design = t.design in
+  let num_pins = Array.length (Netlist.Design.pins design) in
+  let seen = Array.make num_pins false in
+  List.iter
+    (fun (pid, iv) ->
+      if seen.(pid) then failwith "Pin_access.validate: pin assigned twice";
+      seen.(pid) <- true;
+      if not (Access_interval.serves iv pid) then
+        failwith "Pin_access.validate: interval does not serve its pin")
+    t.assignments;
+  if complete then
+    Array.iteri
+      (fun pid assigned ->
+        if not assigned then
+          failwith
+            (Printf.sprintf "Pin_access.validate: pin %d unassigned" pid))
+      seen;
+  (* no overlap among assigned intervals of different nets (Problem 1) *)
+  let distinct =
+    List.sort_uniq
+      (fun (a : Access_interval.t) b -> Int.compare a.id b.id)
+      (List.map snd t.assignments)
+  in
+  let by_track = Hashtbl.create 64 in
+  List.iter
+    (fun (iv : Access_interval.t) ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt by_track iv.track)
+      in
+      Hashtbl.replace by_track iv.track (iv :: cur))
+    distinct;
+  Hashtbl.iter
+    (fun _track ivs ->
+      let arr = Array.of_list ivs in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = arr.(i) and b = arr.(j) in
+          if
+            a.Access_interval.net <> b.Access_interval.net
+            && Access_interval.overlaps a b
+          then failwith "Pin_access.validate: different-net intervals overlap"
+        done
+      done)
+    by_track

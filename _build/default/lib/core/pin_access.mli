@@ -1,0 +1,55 @@
+(** Top-level concurrent pin access optimization: panel-by-panel (the
+    paper's production mode) or over a combined multi-panel instance
+    (the Fig. 6 scalability mode). *)
+
+type solver_kind = Ilp | Lr
+
+type config = {
+  gen : Interval_gen.config;
+  lr : Lagrangian.config;
+  ilp_time_limit : float option;
+  ilp_warm_start : bool;
+      (** seed the ILP incumbent with the LR solution *)
+}
+
+val default_config : config
+
+type panel_report = {
+  panel : int;
+  pins : int;
+  intervals : int;
+  cliques : int;
+  objective : float;
+  lr_iterations : int;  (** 0 for the pure-ILP path *)
+  proven_optimal : bool;  (** always true for the LR path's feasibility *)
+}
+
+type t = {
+  design : Netlist.Design.t;
+  kind : solver_kind;
+  assignments : (Netlist.Pin.id * Access_interval.t) list;
+      (** conflict-free: one interval per pin of the design *)
+  objective : float;  (** summed over panels *)
+  reports : panel_report list;
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+val optimize : ?config:config -> kind:solver_kind -> Netlist.Design.t -> t
+(** Solve every panel of the design independently. *)
+
+val optimize_combined :
+  ?config:config -> kind:solver_kind -> Netlist.Design.t -> panels:int list -> t
+(** Solve the given panels as a single instance (used by the Fig. 6
+    sweep, where instance size is the experiment variable). *)
+
+val interval_of_pin : t -> Netlist.Pin.id -> Access_interval.t option
+
+val validate : ?complete:bool -> t -> unit
+(** Re-checks the global invariants: the interval of each assignment
+    serves its pin, no pin is assigned twice, and no two assigned
+    intervals of different nets overlap.  With [complete] (default)
+    additionally every pin of the design must be assigned — pass
+    [~complete:false] for [optimize_combined] over a panel subset.
+    @raise Failure on violation. *)
+
+val solver_kind_to_string : solver_kind -> string

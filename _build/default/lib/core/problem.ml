@@ -1,0 +1,125 @@
+module Design = Netlist.Design
+
+type t = {
+  design : Netlist.Design.t;
+  config : Interval_gen.config;
+  intervals : Access_interval.t array;
+  pin_ids : Netlist.Pin.id array;
+  pin_slot : (Netlist.Pin.id, int) Hashtbl.t;
+  pin_candidates : int array array;
+  cliques : Conflict.clique array;
+  profits : float array;
+  mutable clique_index : int list array option;
+}
+
+let of_intervals config design intervals =
+  let pin_set = Hashtbl.create 256 in
+  Array.iter
+    (fun (iv : Access_interval.t) ->
+      List.iter (fun pid -> Hashtbl.replace pin_set pid ()) iv.pins)
+    intervals;
+  let pin_ids =
+    Hashtbl.fold (fun pid () acc -> pid :: acc) pin_set []
+    |> List.sort Int.compare |> Array.of_list
+  in
+  let pin_slot = Hashtbl.create (Array.length pin_ids) in
+  Array.iteri (fun slot pid -> Hashtbl.add pin_slot pid slot) pin_ids;
+  let candidates = Array.make (Array.length pin_ids) [] in
+  Array.iter
+    (fun (iv : Access_interval.t) ->
+      List.iter
+        (fun pid ->
+          let slot = Hashtbl.find pin_slot pid in
+          candidates.(slot) <- iv.id :: candidates.(slot))
+        iv.pins)
+    intervals;
+  let pin_candidates =
+    Array.map (fun ids -> Array.of_list (List.sort Int.compare ids)) candidates
+  in
+  let cliques =
+    Conflict.detect ~clearance:config.Interval_gen.clearance intervals
+  in
+  let profits =
+    Array.map (Objective.profit config.Interval_gen.weighting) intervals
+  in
+  {
+    design;
+    config;
+    intervals;
+    pin_ids;
+    pin_slot;
+    pin_candidates;
+    cliques;
+    profits;
+    clique_index = None;
+  }
+
+let build_panel config design ~panel =
+  of_intervals config design (Interval_gen.generate_panel config design ~panel)
+
+let build_panels config design ~panels =
+  let chunks =
+    List.map (fun panel -> Interval_gen.generate_panel config design ~panel) panels
+  in
+  let total = List.fold_left (fun n a -> n + Array.length a) 0 chunks in
+  let intervals = ref [] in
+  let offset = ref 0 in
+  List.iter
+    (fun chunk ->
+      Array.iter
+        (fun (iv : Access_interval.t) ->
+          intervals :=
+            { iv with Access_interval.id = iv.Access_interval.id + !offset }
+            :: !intervals)
+        chunk;
+      offset := !offset + Array.length chunk)
+    chunks;
+  assert (!offset = total);
+  of_intervals config design (Array.of_list (List.rev !intervals))
+
+let num_pins t = Array.length t.pin_ids
+let num_intervals t = Array.length t.intervals
+let num_cliques t = Array.length t.cliques
+let slot_of_pin t pid = Hashtbl.find t.pin_slot pid
+
+let minimum_intervals t ~slot =
+  let pid = t.pin_ids.(slot) in
+  let primary = Netlist.Pin.primary_track (Netlist.Design.pin t.design pid) in
+  let mins =
+    Array.to_list t.pin_candidates.(slot)
+    |> List.filter (fun id ->
+           let iv = t.intervals.(id) in
+           Access_interval.is_minimum iv
+           && iv.Access_interval.pins = [ pid ])
+  in
+  let is_primary id = t.intervals.(id).Access_interval.track = primary in
+  List.filter is_primary mins @ List.filter (fun id -> not (is_primary id)) mins
+
+let minimum_interval t ~slot =
+  match minimum_intervals t ~slot with
+  | id :: _ -> id
+  | [] ->
+    invalid_arg
+      (Printf.sprintf "Problem.minimum_interval: pin %d has no minimum"
+         t.pin_ids.(slot))
+
+let cliques_of_interval t id =
+  let index =
+    match t.clique_index with
+    | Some index -> index
+    | None ->
+      let index = Array.make (Array.length t.intervals) [] in
+      Array.iteri
+        (fun m (clique : Conflict.clique) ->
+          Array.iter
+            (fun member -> index.(member) <- m :: index.(member))
+            clique.Conflict.members)
+        t.cliques;
+      t.clique_index <- Some index;
+      index
+  in
+  index.(id)
+
+let summary t =
+  Printf.sprintf "%d pins, %d intervals, %d conflict sets" (num_pins t)
+    (num_intervals t) (num_cliques t)

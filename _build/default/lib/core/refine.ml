@@ -1,0 +1,150 @@
+let remove_conflicts ?gains (sol : Solution.t) =
+  let problem = sol.Solution.problem in
+  let gains = Option.value ~default:problem.Problem.profits gains in
+  let assignment = Array.copy sol.Solution.assignment in
+  let shrinks = ref 0 in
+  (* count how many currently-selected intervals a candidate would
+     conflict with (through any shared clique) *)
+  let conflict_count candidate ~slot =
+    let selected = Hashtbl.create 8 in
+    Array.iteri
+      (fun s id -> if s <> slot then Hashtbl.replace selected id ())
+      assignment;
+    List.fold_left
+      (fun acc m ->
+        let clique = problem.Problem.cliques.(m) in
+        Array.fold_left
+          (fun acc member ->
+            if member <> candidate && Hashtbl.mem selected member then acc + 1
+            else acc)
+          acc clique.Conflict.members)
+      0
+      (Problem.cliques_of_interval problem candidate)
+  in
+  (* shrink to the pin's least-conflicting minimum (the primary-track
+     minimum on ties), so repairs spread across the pin's tracks rather
+     than pile onto one *)
+  let shrink_pin slot =
+    let candidates = Problem.minimum_intervals problem ~slot in
+    let best =
+      List.fold_left
+        (fun best id ->
+          let c = conflict_count id ~slot in
+          match best with
+          | Some (_, bc) when bc <= c -> best
+          | Some _ | None -> Some (id, c))
+        None candidates
+    in
+    match best with
+    | Some (min_id, _) when assignment.(slot) <> min_id ->
+      assignment.(slot) <- min_id;
+      incr shrinks;
+      true
+    | Some _ | None -> false
+  in
+  (* Each sweep shrinks the non-minimum members of every violated
+     clique; a clique whose selected members are all minimums cannot be
+     repaired by shrinking (a design-rule-clearance residual) and is
+     left for the router's DRC accounting.  Every sweep with progress
+     strictly reduces the number of non-minimum selections, so at most
+     [num_pins] sweeps run. *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let current = Solution.make problem ~assignment in
+    let violated = Solution.violated_cliques current in
+    List.iter
+      (fun (clique : Conflict.clique) ->
+        (* recompute against the evolving assignment *)
+        let live = Hashtbl.create 8 in
+        Array.iter (fun id -> Hashtbl.replace live id ()) clique.Conflict.members;
+        let selected =
+          Array.to_list assignment
+          |> List.filter (fun id -> Hashtbl.mem live id)
+          |> List.sort_uniq Int.compare
+        in
+        if List.length selected > 1 then begin
+          let is_min id =
+            Access_interval.is_minimum problem.Problem.intervals.(id)
+          in
+          let minimums = List.filter is_min selected in
+          (* minimum intervals cannot shrink, so one of them is the
+             member kept when present; otherwise keep the highest-gain
+             member *)
+          let keep =
+            match minimums with
+            | id :: _ -> id
+            | [] ->
+              List.fold_left
+                (fun best id -> if gains.(id) > gains.(best) then id else best)
+                (List.hd selected) selected
+          in
+          List.iter
+            (fun id ->
+              if id <> keep && not (is_min id) then
+                List.iter
+                  (fun pid ->
+                    let slot = Problem.slot_of_pin problem pid in
+                    if assignment.(slot) = id && shrink_pin slot then
+                      progress := true)
+                  problem.Problem.intervals.(id).Access_interval.pins)
+            selected
+        end)
+      violated
+  done;
+  (* Residual repair: cliques that shrinking could not fix (their
+     members are all minimums) sometimes dissolve by moving one of the
+     involved pins to a *different* candidate with no conflict at all
+     against the current selection. *)
+  let conflict_free candidate ~slot = conflict_count candidate ~slot = 0 in
+  let repair_pass () =
+    let current = Solution.make problem ~assignment in
+    let repaired = ref false in
+    List.iter
+      (fun (clique : Conflict.clique) ->
+        let selected_members =
+          Array.to_list clique.Conflict.members
+          |> List.filter (fun id -> Array.exists (fun a -> a = id) assignment)
+        in
+        if List.length selected_members > 1 then
+          List.iter
+            (fun id ->
+              List.iter
+                (fun pid ->
+                  let slot = Problem.slot_of_pin problem pid in
+                  if
+                    assignment.(slot) = id
+                    && problem.Problem.intervals.(id).Access_interval.pins
+                       = [ pid ]
+                    && not (conflict_free id ~slot)
+                  then begin
+                    let candidates =
+                      Array.to_list problem.Problem.pin_candidates.(slot)
+                      |> List.filter (fun c ->
+                             c <> id
+                             && List.length
+                                  problem.Problem.intervals.(c)
+                                    .Access_interval.pins
+                                = 1)
+                      |> List.sort (fun a b ->
+                             Float.compare problem.Problem.profits.(b)
+                               problem.Problem.profits.(a))
+                    in
+                    match
+                      List.find_opt (fun c -> conflict_free c ~slot) candidates
+                    with
+                    | Some c ->
+                      assignment.(slot) <- c;
+                      repaired := true
+                    | None -> ()
+                  end)
+                problem.Problem.intervals.(id).Access_interval.pins)
+            selected_members)
+      (Solution.violated_cliques current);
+    !repaired
+  in
+  let rounds = ref 0 in
+  while repair_pass () && !rounds < 4 do
+    incr rounds
+  done;
+  (Solution.make problem ~assignment, !shrinks)

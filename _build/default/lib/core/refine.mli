@@ -1,0 +1,14 @@
+(** Greedy conflict removal (Algorithm 2, line 11).
+
+    For each still-violated conflict set, the highest-gain selected
+    interval is kept and every other selected interval is shrunk to the
+    minimum interval of each pin it serves.  Minimum intervals are
+    pairwise disjoint, and every shrink strictly reduces the number of
+    non-minimum selections, so the loop terminates with a conflict-free
+    assignment. *)
+
+val remove_conflicts : ?gains:float array -> Solution.t -> Solution.t * int
+(** [remove_conflicts s] returns the repaired solution and the number
+    of shrink operations performed.  [gains] (per interval id; defaults
+    to the problem profits) decides which interval a violated clique
+    keeps. *)

@@ -1,0 +1,89 @@
+type t = { problem : Problem.t; assignment : int array }
+
+let make (problem : Problem.t) ~assignment =
+  if Array.length assignment <> Problem.num_pins problem then
+    invalid_arg "Solution.make: assignment size mismatch";
+  Array.iteri
+    (fun slot id ->
+      let iv = problem.Problem.intervals.(id) in
+      let pid = problem.Problem.pin_ids.(slot) in
+      if not (Access_interval.serves iv pid) then
+        invalid_arg
+          (Printf.sprintf
+             "Solution.make: interval %d does not serve pin %d" id pid))
+    assignment;
+  { problem; assignment }
+
+let of_chosen (problem : Problem.t) ~chosen =
+  if Array.length chosen <> Problem.num_intervals problem then
+    invalid_arg "Solution.of_chosen: indicator size mismatch";
+  let assignment =
+    Array.mapi
+      (fun slot candidates ->
+        let picks = Array.to_list candidates |> List.filter (fun id -> chosen.(id)) in
+        match picks with
+        | [ id ] -> id
+        | [] ->
+          invalid_arg
+            (Printf.sprintf "Solution.of_chosen: pin slot %d unassigned" slot)
+        | _ :: _ :: _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Solution.of_chosen: pin slot %d multiply assigned" slot))
+      problem.Problem.pin_candidates
+  in
+  { problem; assignment }
+
+let chosen t =
+  let c = Array.make (Problem.num_intervals t.problem) false in
+  Array.iter (fun id -> c.(id) <- true) t.assignment;
+  c
+
+let objective t =
+  let c = chosen t in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun id sel -> if sel then total := !total +. t.problem.Problem.profits.(id))
+    c;
+  !total
+
+let violated_cliques t =
+  let c = chosen t in
+  Array.to_list t.problem.Problem.cliques
+  |> List.filter (fun (clique : Conflict.clique) ->
+         let k =
+           Array.fold_left
+             (fun acc id -> if c.(id) then acc + 1 else acc)
+             0 clique.Conflict.members
+         in
+         k > 1)
+
+let num_violations t = List.length (violated_cliques t)
+let is_conflict_free t = num_violations t = 0
+
+let distinct_chosen t =
+  let c = chosen t in
+  let out = ref [] in
+  Array.iteri
+    (fun id sel -> if sel then out := t.problem.Problem.intervals.(id) :: !out)
+    c;
+  !out
+
+let balance t =
+  let lengths =
+    List.map (fun iv -> float_of_int (Access_interval.length iv)) (distinct_chosen t)
+  in
+  match lengths with
+  | [] -> 1.0
+  | _ ->
+    let n = float_of_int (List.length lengths) in
+    let mean = List.fold_left ( +. ) 0.0 lengths /. n in
+    let mn = List.fold_left min infinity lengths in
+    if mean = 0.0 then 1.0 else mn /. mean
+
+let total_length t =
+  List.fold_left (fun acc iv -> acc + Access_interval.length iv) 0 (distinct_chosen t)
+
+let interval_of_pin t pid =
+  let slot = Problem.slot_of_pin t.problem pid in
+  t.problem.Problem.intervals.(t.assignment.(slot))

@@ -1,0 +1,38 @@
+(** A (possibly infeasible) assignment of one interval per pin, shared
+    by the ILP and Lagrangian solvers. *)
+
+type t = {
+  problem : Problem.t;
+  assignment : int array;  (** per pin slot: selected interval id *)
+}
+
+val make : Problem.t -> assignment:int array -> t
+(** Checks that every slot's interval actually serves the pin.
+    @raise Invalid_argument otherwise. *)
+
+val of_chosen : Problem.t -> chosen:bool array -> t
+(** Reconstruct the per-pin assignment from a chosen-interval
+    indicator (the ILP solution vector).  Each pin must be served by
+    exactly one chosen interval. @raise Invalid_argument otherwise. *)
+
+val chosen : t -> bool array
+(** Indicator over intervals: selected by at least one pin. *)
+
+val objective : t -> float
+(** Formula (1a): profit of every *distinct* chosen interval, already
+    weighted by the number of pins it serves. *)
+
+val violated_cliques : t -> Conflict.clique list
+(** Cliques with more than one distinct chosen interval. *)
+
+val num_violations : t -> int
+val is_conflict_free : t -> bool
+
+val balance : t -> float
+(** Min/mean selected-interval length ratio in [0,1]; 1 is perfectly
+    balanced.  Used to compare the sqrt and linear objectives. *)
+
+val total_length : t -> int
+(** Total length of distinct chosen intervals. *)
+
+val interval_of_pin : t -> Netlist.Pin.id -> Access_interval.t

@@ -1,0 +1,9 @@
+(** Monotonic-enough process timing without a [unix] dependency.
+
+    The paper reports "cpu(s)"; [Sys.time] gives processor seconds,
+    which is what the benches print. *)
+
+val now : unit -> float
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed cpu
+    seconds. *)

@@ -1,0 +1,1 @@
+lib/drc/check.ml: Array Extract Geometry Int List Printf Rgrid Rules

@@ -1,0 +1,1 @@
+lib/drc/check.mli: Extract Rgrid Rules

@@ -1,0 +1,1 @@
+lib/drc/coloring.ml: Array Extract Geometry List Rules

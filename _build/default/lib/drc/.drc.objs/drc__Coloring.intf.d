@@ -1,0 +1,1 @@
+lib/drc/coloring.mli: Extract Geometry Rules

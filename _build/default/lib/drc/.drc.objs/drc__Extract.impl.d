@@ -1,0 +1,1 @@
+lib/drc/extract.ml: Array Geometry Int List Netlist Printf Rgrid

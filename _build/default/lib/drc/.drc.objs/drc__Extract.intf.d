@@ -1,0 +1,1 @@
+lib/drc/extract.mli: Netlist Rgrid

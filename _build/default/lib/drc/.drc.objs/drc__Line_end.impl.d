@@ -1,0 +1,1 @@
+lib/drc/line_end.ml: Array Extract Geometry List Rgrid Rules

@@ -1,0 +1,1 @@
+lib/drc/line_end.mli: Extract Geometry Rgrid Rules

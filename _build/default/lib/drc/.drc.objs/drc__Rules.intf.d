@@ -1,0 +1,1 @@
+lib/drc/rules.mli:

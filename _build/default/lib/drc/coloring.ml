@@ -1,0 +1,68 @@
+module I = Geometry.Interval
+
+type mask = Mandrel | Spacer
+
+let mask_of_track track = if track mod 2 = 0 then Mandrel else Spacer
+let mask_to_string = function Mandrel -> "mandrel" | Spacer -> "spacer"
+
+type cut = { track : int; span : Geometry.Interval.t; mask : mask }
+
+let cuts_of_layout rules (layout : Extract.layout) =
+  let cut_max = (2 * rules.Rules.min_line_end_gap) - 1 in
+  let out = ref [] in
+  Array.iteri
+    (fun track segs ->
+      let rec walk = function
+        | (a : Extract.segment) :: (b :: _ as rest) ->
+          let lo = a.Extract.hi + 1 and hi = b.Extract.lo - 1 in
+          if hi >= lo && hi - lo + 1 <= cut_max then
+            out :=
+              {
+                track;
+                span = I.make ~lo ~hi;
+                mask = mask_of_track track;
+              }
+              :: !out;
+          walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk segs)
+    layout.Extract.m2;
+  List.rev !out
+
+type stats = {
+  mandrel_cuts : int;
+  spacer_cuts : int;
+  same_mask_conflicts : (cut * cut) list;
+}
+
+let audit rules layout =
+  let cuts = cuts_of_layout rules layout in
+  let mandrel_cuts =
+    List.length (List.filter (fun c -> c.mask = Mandrel) cuts)
+  in
+  let spacer_cuts = List.length cuts - mandrel_cuts in
+  (* same-mask cuts sit 2 tracks apart at the closest; they must be
+     aligned or keep the cut mask's own spacing in x *)
+  let conflicts = ref [] in
+  let arr = Array.of_list cuts in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if
+        a.mask = b.mask
+        && a.track <> b.track
+        && abs (a.track - b.track) <= 2
+      then begin
+        let aligned = I.equal a.span b.span in
+        let x_gap =
+          max 0
+            (max (I.lo b.span - I.hi a.span - 1) (I.lo a.span - I.hi b.span - 1))
+        in
+        if (not aligned) && x_gap < rules.Rules.min_line_end_gap then
+          conflicts := (a, b) :: !conflicts
+      end
+    done
+  done;
+  { mandrel_cuts; spacer_cuts; same_mask_conflicts = List.rev !conflicts }

@@ -1,0 +1,41 @@
+(** SADP mask decomposition of the unidirectional layout.
+
+    Under self-aligned double patterning, alternate routing tracks come
+    from the mandrel mask and from the spacer-defined gaps; line ends
+    are produced by a separate cut mask (paper Sec. 1, [4,5]).  With a
+    gridded unidirectional layout the track coloring is fixed by
+    parity — what remains to check is the *cut mask*: cut shapes on
+    same-color (same-mask) tracks are printed together and must keep
+    the single-patterning spacing among themselves.
+
+    This module derives the decomposition and audits the cut masks; it
+    complements {!Check} (whose R2 handles adjacent-track interactions
+    regardless of color). *)
+
+type mask = Mandrel | Spacer
+
+val mask_of_track : int -> mask
+(** Even tracks print on the mandrel mask, odd on the spacer side. *)
+
+type cut = {
+  track : int;
+  span : Geometry.Interval.t;  (** the empty grids the cut occupies *)
+  mask : mask;
+}
+
+val cuts_of_layout : Rules.t -> Extract.layout -> cut list
+(** Every line-end cut of the M2 layer (gaps no wider than
+    {!Check.cut_width_max}), tagged with its mask. *)
+
+type stats = {
+  mandrel_cuts : int;
+  spacer_cuts : int;
+  same_mask_conflicts : (cut * cut) list;
+      (** same-mask cuts on tracks within 2 of each other whose x-spans
+          come closer than the cut mask's own spacing
+          ([min_line_end_gap]) without being aligned *)
+}
+
+val audit : Rules.t -> Extract.layout -> stats
+
+val mask_to_string : mask -> string

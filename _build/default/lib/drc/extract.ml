@@ -1,0 +1,94 @@
+module I = Geometry.Interval
+module Node = Rgrid.Node
+module Route = Rgrid.Route
+module Design = Netlist.Design
+
+let blockage_net = -2
+
+type segment = { net : int; mutable lo : int; mutable hi : int }
+
+type via_kind = V1 | V2
+
+type layout = {
+  space : Rgrid.Node.space;
+  m2 : segment list array;
+  m3 : segment list array;
+  vias : (int * int * via_kind * int) list;
+}
+
+let insert_sorted tracks idx seg =
+  tracks.(idx) <- seg :: tracks.(idx)
+
+let finalize_track ~tolerate_shorts segs =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.lo b.lo in
+        if c <> 0 then c else Int.compare a.hi b.hi)
+      segs
+  in
+  (* merge same-net touching/overlapping runs; different-net overlaps
+     are shorts: rejected, or dropped when the caller knows rip-up is
+     still running *)
+  let rec merge = function
+    | a :: b :: rest ->
+      if b.lo <= a.hi then
+        if a.net = b.net || a.net = blockage_net || b.net = blockage_net then begin
+          a.hi <- max a.hi b.hi;
+          merge (a :: rest)
+        end
+        else if tolerate_shorts then merge (a :: rest)
+        else
+          invalid_arg
+            (Printf.sprintf "Extract.of_routes: short between nets %d and %d"
+               a.net b.net)
+      else a :: merge (b :: rest)
+    | ([ _ ] | []) as done_ -> done_
+  in
+  merge sorted
+
+let of_routes ?(tolerate_shorts = false) design routes =
+  let space = Node.space_of_design design in
+  let m2 = Array.make space.Node.height [] in
+  let m3 = Array.make space.Node.width [] in
+  let vias = ref [] in
+  List.iter
+    (fun (b : Netlist.Blockage.t) ->
+      let seg = { net = blockage_net; lo = I.lo b.span; hi = I.hi b.span } in
+      match b.layer with
+      | Netlist.Blockage.M2 ->
+        if b.track >= 0 && b.track < space.Node.height then
+          insert_sorted m2 b.track seg
+      | Netlist.Blockage.M3 ->
+        if b.track >= 0 && b.track < space.Node.width then
+          insert_sorted m3 b.track seg)
+    (Design.blockages design);
+  Array.iter
+    (fun route ->
+      match route with
+      | None -> ()
+      | Some (r : Route.t) ->
+        List.iter
+          (fun (seg : Route.seg) ->
+            let s =
+              {
+                net = r.Route.net;
+                lo = I.lo seg.Route.span;
+                hi = I.hi seg.Route.span;
+              }
+            in
+            match seg.Route.layer with
+            | Rgrid.Layer.M2 -> insert_sorted m2 seg.Route.track s
+            | Rgrid.Layer.M3 -> insert_sorted m3 seg.Route.track s
+            | Rgrid.Layer.M1 -> assert false)
+          (Route.segments ~space r);
+        List.iter
+          (fun (_pin, x, y) -> vias := (x, y, V1, r.Route.net) :: !vias)
+          r.Route.pin_vias;
+        List.iter
+          (fun (x, y) -> vias := (x, y, V2, r.Route.net) :: !vias)
+          (Route.v2_vias ~space r))
+    routes;
+  Array.iteri (fun i segs -> m2.(i) <- finalize_track ~tolerate_shorts segs) m2;
+  Array.iteri (fun i segs -> m3.(i) <- finalize_track ~tolerate_shorts segs) m3;
+  { space; m2; m3; vias = !vias }

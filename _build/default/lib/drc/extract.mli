@@ -1,0 +1,29 @@
+(** Flattened metal view of a routed design: per-track segment lists
+    (all nets plus blockages) and via cut positions, the input to both
+    the DRC checker and the line-end extension pass. *)
+
+val blockage_net : int
+(** Pseudo net id ([-2]) for blockage metal: rules apply against it but
+    it can never be blamed, extended or merged. *)
+
+type segment = { net : int; mutable lo : int; mutable hi : int }
+
+type via_kind = V1 | V2
+
+type layout = {
+  space : Rgrid.Node.space;
+  m2 : segment list array;  (** per y track, sorted by [lo], disjoint *)
+  m3 : segment list array;  (** per x column, sorted by [lo], disjoint *)
+  vias : (int * int * via_kind * int) list;  (** (x, y, kind, net) *)
+}
+
+val of_routes :
+  ?tolerate_shorts:bool ->
+  Netlist.Design.t ->
+  Rgrid.Route.t option array ->
+  layout
+(** Blockages become [blockage_net] segments.  Routes must be short-
+    free (no two nets on one node): overlapping same-track segments of
+    different nets raise [Invalid_argument] — unless [tolerate_shorts]
+    (used for in-negotiation DRC probes while rip-up is still
+    resolving overuse), which drops the later segment. *)

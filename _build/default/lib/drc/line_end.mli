@@ -1,0 +1,33 @@
+(** Line-end extension (paper Sec. 4: "we further perform line-end
+    extensions ... to accommodate the manufacturing constraints and
+    enable SADP-friendly cut masks").
+
+    Two legalizing moves, both of which only ever *grow* metal into
+    empty gap space:
+
+    - {b merge}: a same-net gap no wider than [max_extension] is filled,
+      deleting the cut entirely;
+    - {b align}: two partially-overlapping cuts on adjacent tracks are
+      narrowed to their common intersection (when each end's growth is
+      within [max_extension] and the result is still a legal cut),
+      turning an R2 violation into an aligned cut pair.
+
+    The layout is mutated in place; the returned fills let the caller
+    push the added metal back into routes and grid occupancy. *)
+
+type fill = {
+  layer : Rgrid.Layer.t;
+  track : int;
+  span : Geometry.Interval.t;
+  net : int;
+}
+
+type stats = { merges : int; alignments : int; sweeps : int }
+
+val extend :
+  ?can_fill:(Rgrid.Layer.t -> track:int -> x:int -> net:int -> bool) ->
+  Rules.t ->
+  Extract.layout ->
+  fill list * stats
+(** [can_fill] vetoes growing over grids the caller knows are taken
+    (e.g. owned by an unrouted net's pin); defaults to always-true. *)

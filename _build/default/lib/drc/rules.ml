@@ -1,0 +1,3 @@
+type t = { min_line_end_gap : int; min_via_spacing : int; max_extension : int }
+
+let default = { min_line_end_gap = 2; min_via_spacing = 2; max_extension = 3 }

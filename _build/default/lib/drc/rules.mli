@@ -1,0 +1,24 @@
+(** The simplified SADP-with-cut-mask rule deck used by every router in
+    this repo (the subset of [12]'s constraints that unidirectional
+    grid routing interacts with):
+
+    - {b R1, minimum line-end gap}: two segments of different nets on
+      the same track must leave at least [min_line_end_gap] empty grids
+      between them — the cut printed between the two line ends needs
+      that much room.
+    - {b R2, cut alignment}: the cuts (line-end gaps) of different net
+      pairs on *adjacent* tracks must be either exactly aligned or
+      disjoint in x; partially overlapping cuts cannot be merged nor
+      separated on the cut mask.  Line-end extension exists to fix
+      exactly this.
+    - {b R3, via-cut spacing}: vias of different nets closer than
+      [min_via_spacing] (Manhattan) conflict on the via cut mask. *)
+
+type t = {
+  min_line_end_gap : int;
+  min_via_spacing : int;
+  max_extension : int;
+      (** how far the line-end extension pass may grow a segment *)
+}
+
+val default : t

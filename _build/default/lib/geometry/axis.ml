@@ -1,0 +1,46 @@
+type t = Horizontal | Vertical
+
+let equal a b =
+  match a, b with
+  | Horizontal, Horizontal | Vertical, Vertical -> true
+  | Horizontal, Vertical | Vertical, Horizontal -> false
+
+let flip = function Horizontal -> Vertical | Vertical -> Horizontal
+let to_string = function Horizontal -> "horizontal" | Vertical -> "vertical"
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+module Dir = struct
+  type t = East | West | North | South | Up | Down
+
+  let all = [ East; West; North; South; Up; Down ]
+
+  let axis = function
+    | East | West -> Some Horizontal
+    | North | South -> Some Vertical
+    | Up | Down -> None
+
+  let delta = function
+    | East -> (1, 0)
+    | West -> (-1, 0)
+    | North -> (0, 1)
+    | South -> (0, -1)
+    | Up | Down -> (0, 0)
+
+  let opposite = function
+    | East -> West
+    | West -> East
+    | North -> South
+    | South -> North
+    | Up -> Down
+    | Down -> Up
+
+  let to_string = function
+    | East -> "east"
+    | West -> "west"
+    | North -> "north"
+    | South -> "south"
+    | Up -> "up"
+    | Down -> "down"
+
+  let pp fmt d = Format.pp_print_string fmt (to_string d)
+end

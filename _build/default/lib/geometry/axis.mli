@@ -1,0 +1,32 @@
+(** Routing axes and step directions on a Manhattan grid.
+
+    Unidirectional routing assigns exactly one axis to each metal layer:
+    wires on a [Horizontal] layer may only extend along x, wires on a
+    [Vertical] layer only along y. *)
+
+type t = Horizontal | Vertical
+
+val equal : t -> t -> bool
+val flip : t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** The four Manhattan step directions plus layer switches. *)
+module Dir : sig
+  type axis := t
+
+  type t = East | West | North | South | Up | Down
+
+  val all : t list
+
+  val axis : t -> axis option
+  (** [axis d] is the routing axis a planar step [d] moves along;
+      [None] for the via directions [Up]/[Down]. *)
+
+  val delta : t -> int * int
+  (** [delta d] is the [(dx, dy)] of one grid step; [(0, 0)] for vias. *)
+
+  val opposite : t -> t
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,34 @@
+type t = { lo : int; hi : int }
+
+let make ~lo ~hi =
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo %d > hi %d" lo hi);
+  { lo; hi }
+
+let point x = { lo = x; hi = x }
+let lo t = t.lo
+let hi t = t.hi
+let length t = t.hi - t.lo + 1
+let contains t x = t.lo <= x && x <= t.hi
+let contains_interval outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let intersection_length a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then hi - lo + 1 else 0
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let shift t d = { lo = t.lo + d; hi = t.hi + d }
+let clamp t ~within = intersect t within
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+let to_string t = Printf.sprintf "[%d,%d]" t.lo t.hi
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,44 @@
+(** Closed integer intervals [\[lo, hi\]] on a grid axis.
+
+    The length of an interval is the number of grid points it covers
+    ([hi - lo + 1]); the paper's pin access intervals are metal strips
+    measured the same way. *)
+
+type t = private { lo : int; hi : int }
+
+val make : lo:int -> hi:int -> t
+(** [make ~lo ~hi] requires [lo <= hi]. @raise Invalid_argument otherwise. *)
+
+val point : int -> t
+(** [point x] is the one-grid interval [\[x, x\]]. *)
+
+val lo : t -> int
+val hi : t -> int
+
+val length : t -> int
+(** Number of grid points covered, [hi - lo + 1 >= 1]. *)
+
+val contains : t -> int -> bool
+val contains_interval : t -> t -> bool
+(** [contains_interval outer inner] *)
+
+val overlaps : t -> t -> bool
+(** Closed-interval intersection test: [\[0,3\]] and [\[3,5\]] overlap. *)
+
+val intersect : t -> t -> t option
+val intersection_length : t -> t -> int
+(** 0 when disjoint. *)
+
+val hull : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val shift : t -> int -> t
+val clamp : t -> within:t -> t option
+(** [clamp i ~within] is the part of [i] inside [within], if any. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Orders by [lo], then [hi]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = { x : int; y : int }
+
+let make ~x ~y = { x; y }
+let zero = { x = 0; y = 0 }
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+
+let step p d =
+  let dx, dy = Axis.Dir.delta d in
+  { x = p.x + dx; y = p.y + dy }
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c else Int.compare a.y b.y
+
+let to_string p = Printf.sprintf "(%d,%d)" p.x p.y
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,17 @@
+(** Integer grid points [(x, y)]: [x] indexes columns, [y] indexes
+    tracks. *)
+
+type t = { x : int; y : int }
+
+val make : x:int -> y:int -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val step : t -> Axis.Dir.t -> t
+(** [step p d] moves one grid unit along [d]; via directions return [p]. *)
+
+val manhattan : t -> t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = { xs : Interval.t; ys : Interval.t }
+
+let make ~xs ~ys = { xs; ys }
+
+let of_corners (a : Point.t) (b : Point.t) =
+  {
+    xs = Interval.make ~lo:(min a.x b.x) ~hi:(max a.x b.x);
+    ys = Interval.make ~lo:(min a.y b.y) ~hi:(max a.y b.y);
+  }
+
+let of_points = function
+  | [] -> invalid_arg "Rect.of_points: empty list"
+  | (p : Point.t) :: ps ->
+    let fold f init = List.fold_left f init ps in
+    let xlo = fold (fun acc (q : Point.t) -> min acc q.x) p.x in
+    let xhi = fold (fun acc (q : Point.t) -> max acc q.x) p.x in
+    let ylo = fold (fun acc (q : Point.t) -> min acc q.y) p.y in
+    let yhi = fold (fun acc (q : Point.t) -> max acc q.y) p.y in
+    { xs = Interval.make ~lo:xlo ~hi:xhi; ys = Interval.make ~lo:ylo ~hi:yhi }
+
+let xs t = t.xs
+let ys t = t.ys
+let width t = Interval.length t.xs
+let height t = Interval.length t.ys
+let area t = width t * height t
+let contains t (p : Point.t) = Interval.contains t.xs p.x && Interval.contains t.ys p.y
+let overlaps a b = Interval.overlaps a.xs b.xs && Interval.overlaps a.ys b.ys
+
+let intersect a b =
+  match Interval.intersect a.xs b.xs, Interval.intersect a.ys b.ys with
+  | Some xs, Some ys -> Some { xs; ys }
+  | None, _ | _, None -> None
+
+let hull a b = { xs = Interval.hull a.xs b.xs; ys = Interval.hull a.ys b.ys }
+
+let inflate t ~by ~within =
+  let grow i bound =
+    let lo = max (Interval.lo i - by) (Interval.lo bound) in
+    let hi = min (Interval.hi i + by) (Interval.hi bound) in
+    Interval.make ~lo ~hi
+  in
+  { xs = grow t.xs within.xs; ys = grow t.ys within.ys }
+
+let half_perimeter t = (width t - 1) + (height t - 1)
+let equal a b = Interval.equal a.xs b.xs && Interval.equal a.ys b.ys
+
+let to_string t =
+  Printf.sprintf "%sx%s" (Interval.to_string t.xs) (Interval.to_string t.ys)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,31 @@
+(** Axis-aligned rectangles over closed integer ranges, used for net
+    bounding boxes, routing blockages and cell outlines. *)
+
+type t = { xs : Interval.t; ys : Interval.t }
+
+val make : xs:Interval.t -> ys:Interval.t -> t
+val of_corners : Point.t -> Point.t -> t
+(** Bounding rectangle of two (unordered) corner points. *)
+
+val of_points : Point.t list -> t
+(** Bounding rectangle of a non-empty point list.
+    @raise Invalid_argument on the empty list. *)
+
+val xs : t -> Interval.t
+val ys : t -> Interval.t
+val width : t -> int
+val height : t -> int
+val area : t -> int
+val contains : t -> Point.t -> bool
+val overlaps : t -> t -> bool
+val intersect : t -> t -> t option
+val hull : t -> t -> t
+val inflate : t -> by:int -> within:t -> t
+(** Grow by [by] grids on every side, clipped to [within]. *)
+
+val half_perimeter : t -> int
+(** HPWL contribution: [width - 1 + height - 1]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

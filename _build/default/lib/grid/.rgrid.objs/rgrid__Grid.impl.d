@@ -1,0 +1,1 @@
+lib/grid/grid.ml: Array Bytes Geometry Layer List Netlist Node Printf

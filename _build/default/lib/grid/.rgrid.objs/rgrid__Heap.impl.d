@@ -1,0 +1,1 @@
+lib/grid/heap.ml: Array

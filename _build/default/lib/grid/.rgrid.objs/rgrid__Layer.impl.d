@@ -1,0 +1,1 @@
+lib/grid/layer.ml: Format Geometry

@@ -1,0 +1,1 @@
+lib/grid/maze.ml: Array Cost Geometry Grid Heap Layer List Node

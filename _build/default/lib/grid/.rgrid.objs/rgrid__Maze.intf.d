@@ -1,0 +1,1 @@
+lib/grid/maze.mli: Cost Geometry Grid Node

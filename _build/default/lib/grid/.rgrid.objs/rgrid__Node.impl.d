@@ -1,0 +1,1 @@
+lib/grid/node.ml: Layer Netlist Printf

@@ -1,0 +1,1 @@
+lib/grid/node.mli: Layer Netlist

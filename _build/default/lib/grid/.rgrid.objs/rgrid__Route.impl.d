@@ -1,0 +1,1 @@
+lib/grid/route.ml: Geometry Hashtbl Int Layer List Netlist Node Option

@@ -1,0 +1,34 @@
+(** The negotiation-congestion cost model (paper Sec. 5 settings plus
+    PathFinder history/present terms). *)
+
+type t = {
+  base_cost : float;  (** metal and via grids; paper: 1 *)
+  via_cost : float;
+      (** extra cost of switching layers: a via consumes the cut
+          landing plus adjacent-grid slack, so hopping to M3 must not
+          be free (via minimization, paper Sec. 1/[23]) *)
+  forbidden_via_cost : float;
+      (** extra cost of a via grid flagged forbidden (near another
+          net's via or a blockage edge); paper: 10 *)
+  spacing_penalty : float;
+      (** soft cost of a grid whose along-track neighbour carries
+          another net's metal — discourages sub-minimum line-end gaps
+          (the grid-cost design-rule mitigation of [21]) *)
+  hard_spacing : bool;
+      (** treat sub-minimum clearance and forbidden via grids as
+          impassable instead of merely expensive: the conservative
+          legalize-as-you-go behaviour of the sequential baseline
+          [12] *)
+  history_increment : float;
+      (** added to every overused node after each rip-up iteration *)
+  pfac_initial : float;
+  pfac_growth : float;
+      (** present-sharing factor: [pfac_initial * pfac_growth^i] at
+          rip-up iteration [i]; 0 during the independent stage *)
+  max_ripup_iterations : int;
+  bbox_margin : int;  (** search-window inflation around the net bbox *)
+  retry_margins : int list;
+      (** additional inflations tried when a search fails *)
+}
+
+val default : t

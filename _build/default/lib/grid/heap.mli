@@ -1,0 +1,12 @@
+(** Array-based binary min-heap of [(priority, payload)] pairs used by
+    the maze router's Dijkstra loop.  Stale entries are tolerated
+    (decrease-key by reinsertion). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val clear : t -> unit
+val is_empty : t -> bool
+val size : t -> int
+val push : t -> float -> int -> unit
+val pop : t -> (float * int) option

@@ -1,0 +1,16 @@
+type t = M1 | M2 | M3
+
+let axis = function
+  | M1 -> None
+  | M2 -> Some Geometry.Axis.Horizontal
+  | M3 -> Some Geometry.Axis.Vertical
+
+let routing_layers = [ M2; M3 ]
+let to_string = function M1 -> "M1" | M2 -> "M2" | M3 -> "M3"
+
+let equal a b =
+  match a, b with
+  | M1, M1 | M2, M2 | M3, M3 -> true
+  | (M1 | M2 | M3), _ -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

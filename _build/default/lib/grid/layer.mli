@@ -1,0 +1,12 @@
+(** Metal layers of the unidirectional stack used by the paper:
+    M1 carries pins only, M2 routes horizontally, M3 vertically. *)
+
+type t = M1 | M2 | M3
+
+val axis : t -> Geometry.Axis.t option
+(** Routing axis; [None] for M1 (no routing). *)
+
+val routing_layers : t list
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

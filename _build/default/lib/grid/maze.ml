@@ -1,0 +1,181 @@
+module I = Geometry.Interval
+
+type t = {
+  grid : Grid.t;
+  space : Node.space;
+  dist : float array;
+  parent : int array;
+  gen : int array; (* generation stamps avoid clearing arrays per search *)
+  target_gen : int array;
+  mutable cur : int;
+  heap : Heap.t;
+  mutable expansions : int;
+}
+
+let create grid =
+  let n = Node.count (Grid.space grid) in
+  {
+    grid;
+    space = Grid.space grid;
+    dist = Array.make n infinity;
+    parent = Array.make n (-1);
+    gen = Array.make n 0;
+    target_gen = Array.make n 0;
+    cur = 0;
+    heap = Heap.create ~capacity:1024 ();
+    expansions = 0;
+  }
+
+type outcome = Found of { path : Node.t list; cost : float } | Unreachable
+
+let grid t = t.grid
+let expansions t = t.expansions
+
+(* Another net's metal (or a blockage) sits on [node].  During the
+   independent stage ([pfac = 0]) only static metal counts — pins,
+   intervals, blockages — so nets route blind to each other's wires,
+   as PathFinder's first iteration requires. *)
+let foreign t ~net ~pfac node =
+  Grid.blocked t.grid node
+  || (Grid.solid t.grid node
+     &&
+     let o = Grid.owner t.grid node in
+     o >= 0 && o <> net)
+  || (pfac > 0.0
+     && List.exists (fun k -> k <> net) (Grid.nets_using t.grid node))
+
+(* Soft clearance: grids whose along-track neighbour carries foreign
+   metal would create a sub-minimum line-end gap if a wire ended there,
+   so they carry an extra cost (the [21]-style rule mitigation). *)
+let spacing_cost t ~(cost : Cost.t) ~net ~pfac node =
+  let x = Node.x t.space node and y = Node.y t.space node in
+  let nb dx dy =
+    Node.in_bounds t.space ~x:(x + dx) ~y:(y + dy)
+    &&
+    let layer = Node.layer t.space node in
+    foreign t ~net ~pfac (Node.pack t.space ~layer ~x:(x + dx) ~y:(y + dy))
+  in
+  let adjacent, near =
+    match Node.layer t.space node with
+    | Layer.M2 -> (nb 1 0 || nb (-1) 0, nb 2 0 || nb (-2) 0)
+    | Layer.M3 -> (nb 0 1 || nb 0 (-1), nb 0 2 || nb 0 (-2))
+    | Layer.M1 -> (false, false)
+  in
+  if adjacent then cost.Cost.spacing_penalty
+  else if near then cost.Cost.spacing_penalty /. 2.0
+  else 0.0
+
+(* Cost of stepping onto [node]: base + history, inflated by present
+   sharing, plus the soft clearance term.  [via] adds the via-grid cost
+   (and the forbidden-grid penalty) of landing the cut at (x, y). *)
+let entry_cost t ~(cost : Cost.t) ~net ~pfac ~via node =
+  let congestion = float_of_int (Grid.occ t.grid node) in
+  let negotiated =
+    (cost.Cost.base_cost +. Grid.history t.grid node)
+    *. (1.0 +. (pfac *. congestion))
+  in
+  let clearance = spacing_cost t ~cost ~net ~pfac node in
+  if cost.Cost.hard_spacing && clearance > 0.0 then infinity
+  else begin
+    let negotiated = negotiated +. clearance in
+    if via then begin
+      let x = Node.x t.space node and y = Node.y t.space node in
+      let penalty =
+        if Grid.via_forbidden t.grid ~x ~y then
+          if cost.Cost.hard_spacing then infinity
+          else cost.Cost.forbidden_via_cost
+        else 0.0
+      in
+      negotiated +. cost.Cost.via_cost +. penalty
+    end
+    else negotiated
+  end
+
+let search t ~cost ~net ~pfac ~sources ~targets ~window =
+  t.cur <- t.cur + 1;
+  t.expansions <- 0;
+  Heap.clear t.heap;
+  let xs = Geometry.Rect.xs window and ys = Geometry.Rect.ys window in
+  let in_window node =
+    I.contains xs (Node.x t.space node) && I.contains ys (Node.y t.space node)
+  in
+  let any_target = ref false in
+  List.iter
+    (fun node ->
+      if Grid.passable t.grid ~net node then begin
+        t.target_gen.(node) <- t.cur;
+        any_target := true
+      end)
+    targets;
+  if not !any_target then Unreachable
+  else begin
+    List.iter
+      (fun node ->
+        if Grid.passable t.grid ~net node && in_window node then begin
+          (* a landing next to foreign metal pays the clearance cost up
+             front, steering the connection towards clean grids *)
+          let d0 = spacing_cost t ~cost ~net ~pfac node in
+          if t.gen.(node) <> t.cur || d0 < t.dist.(node) then begin
+            t.dist.(node) <- d0;
+            t.parent.(node) <- -1;
+            t.gen.(node) <- t.cur;
+            Heap.push t.heap d0 node
+          end
+        end)
+      sources;
+    let relax ~from ~via node =
+      if
+        Node.in_bounds t.space ~x:(Node.x t.space node) ~y:(Node.y t.space node)
+        && in_window node
+        && Grid.passable t.grid ~net node
+      then begin
+        let d = t.dist.(from) +. entry_cost t ~cost ~net ~pfac ~via node in
+        if
+          d < infinity
+          && (t.gen.(node) <> t.cur || d < t.dist.(node) -. 1e-12)
+        then begin
+          t.gen.(node) <- t.cur;
+          t.dist.(node) <- d;
+          t.parent.(node) <- from;
+          Heap.push t.heap d node
+        end
+      end
+    in
+    let rec loop () =
+      match Heap.pop t.heap with
+      | None -> Unreachable
+      | Some (d, node) ->
+        if t.gen.(node) = t.cur && d > t.dist.(node) +. 1e-12 then loop ()
+        else begin
+          t.expansions <- t.expansions + 1;
+          if t.target_gen.(node) = t.cur then begin
+            let rec walk acc n =
+              if n < 0 then acc else walk (n :: acc) t.parent.(n)
+            in
+            Found { path = walk [] node; cost = d }
+          end
+          else begin
+            let x = Node.x t.space node and y = Node.y t.space node in
+            (match Node.layer t.space node with
+            | Layer.M2 ->
+              if x + 1 < t.space.Node.width then
+                relax ~from:node ~via:false
+                  (Node.pack t.space ~layer:Layer.M2 ~x:(x + 1) ~y);
+              if x - 1 >= 0 then
+                relax ~from:node ~via:false
+                  (Node.pack t.space ~layer:Layer.M2 ~x:(x - 1) ~y)
+            | Layer.M3 ->
+              if y + 1 < t.space.Node.height then
+                relax ~from:node ~via:false
+                  (Node.pack t.space ~layer:Layer.M3 ~x ~y:(y + 1));
+              if y - 1 >= 0 then
+                relax ~from:node ~via:false
+                  (Node.pack t.space ~layer:Layer.M3 ~x ~y:(y - 1))
+            | Layer.M1 -> assert false);
+            relax ~from:node ~via:true (Node.other_layer t.space node);
+            loop ()
+          end
+        end
+    in
+    loop ()
+  end

@@ -1,0 +1,37 @@
+(** Dijkstra maze search over the unidirectional M2/M3 grid graph.
+
+    Neighbour expansion honours the layer axes (M2 steps are
+    horizontal, M3 vertical, vias switch layers in place), the search
+    window, static blockages and exclusive owners (other nets' pins and
+    pin access intervals, paper Sec. 4).  Node entry cost is the
+    PathFinder term [(base + history) * (1 + pfac * sharing)]; via
+    hops additionally pay the forbidden-via-grid cost where flagged. *)
+
+type t
+(** Reusable scratch (distance/parent/visited arrays and heap) bound to
+    one grid; create once per routing session. *)
+
+val create : Grid.t -> t
+val grid : t -> Grid.t
+
+type outcome =
+  | Found of { path : Node.t list; cost : float }
+      (** [path] runs source→target inclusive; the source element is
+          one of the given sources *)
+  | Unreachable
+
+val search :
+  t ->
+  cost:Cost.t ->
+  net:int ->
+  pfac:float ->
+  sources:Node.t list ->
+  targets:Node.t list ->
+  window:Geometry.Rect.t ->
+  outcome
+(** Multi-source multi-target shortest path.  Sources start at cost 0
+    (they are the net's existing metal).  Unpassable sources/targets are
+    ignored; if no passable target exists the search is [Unreachable]. *)
+
+val expansions : t -> int
+(** Nodes popped during the last search (benchmark instrumentation). *)

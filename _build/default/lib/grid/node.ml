@@ -1,0 +1,32 @@
+type space = { width : int; height : int }
+type t = int
+
+let space_of_design design =
+  { width = Netlist.Design.width design; height = Netlist.Design.height design }
+
+let count s = 2 * s.width * s.height
+let plane s = s.width * s.height
+let in_bounds s ~x ~y = x >= 0 && x < s.width && y >= 0 && y < s.height
+
+let pack s ~layer ~x ~y =
+  if not (in_bounds s ~x ~y) then
+    invalid_arg (Printf.sprintf "Node.pack: (%d,%d) off-grid" x y);
+  let base =
+    match layer with
+    | Layer.M2 -> 0
+    | Layer.M3 -> plane s
+    | Layer.M1 -> invalid_arg "Node.pack: M1 has no routing nodes"
+  in
+  base + (y * s.width) + x
+
+let layer s t = if t < plane s then Layer.M2 else Layer.M3
+let x s t = t mod plane s mod s.width
+let y s t = t mod plane s / s.width
+
+let unpack s t = (layer s t, x s t, y s t)
+
+let other_layer s t = if t < plane s then t + plane s else t - plane s
+
+let to_string s t =
+  let l, px, py = unpack s t in
+  Printf.sprintf "%s(%d,%d)" (Layer.to_string l) px py

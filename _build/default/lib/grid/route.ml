@@ -1,0 +1,80 @@
+module I = Geometry.Interval
+
+type seg = { layer : Layer.t; track : int; span : Geometry.Interval.t }
+
+type t = {
+  net : Netlist.Net.id;
+  nodes : Node.t list;
+  pin_vias : (Netlist.Pin.id * int * int) list;
+}
+
+let make ~space:_ ~net ~nodes ~pin_vias =
+  { net; nodes = List.sort_uniq Int.compare nodes; pin_vias }
+
+let add_nodes ~space:_ t nodes =
+  { t with nodes = List.sort_uniq Int.compare (List.rev_append nodes t.nodes) }
+
+(* Group nodes of one layer into maximal runs along the layer's axis.
+   For M2 the run key is the y track and the position is x; for M3 the
+   key is the x column and the position is y. *)
+let runs ~space t layer =
+  let positions = Hashtbl.create 32 in
+  List.iter
+    (fun node ->
+      if Layer.equal (Node.layer space node) layer then begin
+        let key, pos =
+          match layer with
+          | Layer.M2 -> (Node.y space node, Node.x space node)
+          | Layer.M3 -> (Node.x space node, Node.y space node)
+          | Layer.M1 -> assert false
+        in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt positions key) in
+        Hashtbl.replace positions key (pos :: cur)
+      end)
+    t.nodes;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) positions [] in
+  List.sort Int.compare keys
+  |> List.concat_map (fun key ->
+         let ps = List.sort Int.compare (Hashtbl.find positions key) in
+         let rec collect acc start prev = function
+           | [] -> List.rev ((start, prev) :: acc)
+           | p :: rest ->
+             if p = prev + 1 then collect acc start p rest
+             else collect ((start, prev) :: acc) p p rest
+         in
+         match ps with
+         | [] -> []
+         | p :: rest ->
+           collect [] p p rest
+           |> List.map (fun (lo, hi) ->
+                  { layer; track = key; span = I.make ~lo ~hi }))
+
+let segments ~space t = runs ~space t Layer.M2 @ runs ~space t Layer.M3
+
+let v2_vias ~space t =
+  let m2 = Hashtbl.create 32 in
+  List.iter
+    (fun node ->
+      if Layer.equal (Node.layer space node) Layer.M2 then
+        Hashtbl.replace m2 (Node.x space node, Node.y space node) ())
+    t.nodes;
+  List.filter_map
+    (fun node ->
+      if Layer.equal (Node.layer space node) Layer.M3 then begin
+        let pos = (Node.x space node, Node.y space node) in
+        if Hashtbl.mem m2 pos then Some pos else None
+      end
+      else None)
+    t.nodes
+  |> List.sort compare
+
+let via_positions ~space t =
+  List.map (fun (_pin, x, y) -> (x, y)) t.pin_vias @ v2_vias ~space t
+
+let wirelength ~space t =
+  List.fold_left
+    (fun acc seg -> acc + (I.length seg.span - 1))
+    0 (segments ~space t)
+
+let via_count ~space t =
+  List.length t.pin_vias + List.length (v2_vias ~space t)

@@ -1,0 +1,1 @@
+lib/metrics/eval.ml: Array Float Geometry List Netlist Option Rgrid Router

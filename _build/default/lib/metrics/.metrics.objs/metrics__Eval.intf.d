@@ -1,0 +1,1 @@
+lib/metrics/eval.mli: Netlist Router

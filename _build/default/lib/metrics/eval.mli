@@ -1,0 +1,27 @@
+(** The paper's evaluation metrics (Sec. 5):
+
+    - "Rout." — routed (clean) nets over total nets;
+    - "Via#"  — total vias of routed nets (V1 + V2);
+    - "WL"    — grid wirelength of routed nets plus half-perimeter
+      wirelength of unrouted nets;
+    - "cpu(s)" — flow runtime. *)
+
+type summary = {
+  name : string;
+  total_nets : int;
+  routed_nets : int;
+  routability : float;  (** in percent *)
+  via_count : int;
+  wirelength : int;
+  cpu : float;
+  initial_congestion : int;
+  violations : int;
+}
+
+val hpwl : Netlist.Design.t -> Netlist.Net.id -> int
+
+val of_flow : ?name:string -> Router.Flow.t -> summary
+
+val ratio : summary -> reference:summary -> float * float * float * float
+(** [(rout, via, wl, cpu)] of [summary] over [reference] (the paper's
+    "Ratio" row; routability as a plain quotient of percentages). *)

@@ -1,0 +1,39 @@
+let fixed d x = Printf.sprintf "%.*f" d x
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row i with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let rtrim line =
+    let len = ref (String.length line) in
+    while !len > 0 && line.[!len - 1] = ' ' do
+      decr len
+    done;
+    String.sub line 0 !len
+  in
+  let render row =
+    List.mapi
+      (fun i w ->
+        let cell = Option.value ~default:"" (List.nth_opt row i) in
+        cell ^ String.make (w - String.length cell) ' ')
+      widths
+    |> String.concat "  " |> rtrim
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render header :: sep :: List.map render rows)
+
+let summary_cells (s : Eval.summary) =
+  [
+    fixed 2 s.Eval.routability;
+    string_of_int s.Eval.via_count;
+    string_of_int s.Eval.wirelength;
+    fixed 2 s.Eval.cpu;
+  ]

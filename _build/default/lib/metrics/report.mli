@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the bench harness (the Table 2 /
+    Fig. 6 / Fig. 7 printouts). *)
+
+val table : header:string list -> string list list -> string
+(** Column-aligned table with a separator under the header. *)
+
+val fixed : int -> float -> string
+(** [fixed d x] formats with [d] decimals. *)
+
+val summary_cells : Eval.summary -> string list
+(** [Rout.(%); Via#; WL; cpu(s)] cells for one router on one circuit. *)

@@ -1,0 +1,1 @@
+lib/netlist/blockage.ml: Format Geometry

@@ -1,0 +1,1 @@
+lib/netlist/blockage.mli: Format Geometry

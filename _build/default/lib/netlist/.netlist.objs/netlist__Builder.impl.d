@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Design Geometry List Net Pin Printf

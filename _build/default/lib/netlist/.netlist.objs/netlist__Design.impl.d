@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Blockage Geometry Hashtbl Int List Net Pin Printf

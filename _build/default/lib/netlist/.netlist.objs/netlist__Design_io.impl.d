@@ -1,0 +1,1 @@
+lib/netlist/design_io.ml: Array Blockage Buffer Builder Design Fun Geometry List Net Pin Printf String

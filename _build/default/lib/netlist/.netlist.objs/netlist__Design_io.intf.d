@@ -1,0 +1,1 @@
+lib/netlist/design_io.mli: Design

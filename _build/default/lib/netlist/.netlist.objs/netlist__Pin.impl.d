@@ -1,0 +1,1 @@
+lib/netlist/pin.ml: Format Geometry Int

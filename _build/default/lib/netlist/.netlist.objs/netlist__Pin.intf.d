@@ -1,0 +1,1 @@
+lib/netlist/pin.mli: Format Geometry

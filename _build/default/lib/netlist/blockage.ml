@@ -1,0 +1,11 @@
+type layer = M2 | M3
+
+type t = { layer : layer; track : int; span : Geometry.Interval.t }
+
+let make ~layer ~track ~span = { layer; track; span }
+let layer_to_string = function M2 -> "M2" | M3 -> "M3"
+
+let pp fmt t =
+  Format.fprintf fmt "%s blockage on %d span %a"
+    (layer_to_string t.layer)
+    t.track Geometry.Interval.pp t.span

@@ -1,0 +1,12 @@
+(** Routing blockages: pre-existing metal (power rails, macro obstructions,
+    fixed cell-internal routing) that detailed routing must avoid. *)
+
+type layer = M2 | M3
+
+type t = { layer : layer; track : int; span : Geometry.Interval.t }
+(** On M2 a blockage occupies columns [span] of a horizontal [track];
+    on M3 it occupies rows [span] of a vertical column [track]. *)
+
+val make : layer:layer -> track:int -> span:Geometry.Interval.t -> t
+val layer_to_string : layer -> string
+val pp : Format.formatter -> t -> unit

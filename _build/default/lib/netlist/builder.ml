@@ -1,0 +1,26 @@
+type pin_spec = { x : int; tracks : Geometry.Interval.t }
+
+let pin_at x track = { x; tracks = Geometry.Interval.point track }
+let pin_span x ~lo ~hi = { x; tracks = Geometry.Interval.make ~lo ~hi }
+
+let design ?name ~width ~height ?row_height ~nets ?blockages () =
+  let pins = ref [] and net_list = ref [] in
+  let next_pin = ref 0 in
+  List.iteri
+    (fun net_id (net_name, specs) ->
+      if specs = [] then
+        invalid_arg
+          (Printf.sprintf "Builder.design: net %s has no pins" net_name);
+      let pin_ids =
+        List.map
+          (fun spec ->
+            let id = !next_pin in
+            incr next_pin;
+            pins := Pin.make ~id ~net:net_id ~x:spec.x ~tracks:spec.tracks :: !pins;
+            id)
+          specs
+      in
+      net_list := Net.make ~id:net_id ~name:net_name ~pins:pin_ids :: !net_list)
+    nets;
+  Design.create ?name ~width ~height ?row_height ~pins:(List.rev !pins)
+    ~nets:(List.rev !net_list) ?blockages ()

@@ -1,0 +1,21 @@
+(** Convenience constructor for designs: declare nets as lists of pin
+    shapes and get dense ids, cross-references and validation for
+    free. *)
+
+type pin_spec = { x : int; tracks : Geometry.Interval.t }
+
+val pin_at : int -> int -> pin_spec
+(** [pin_at x track] is a one-track pin shape. *)
+
+val pin_span : int -> lo:int -> hi:int -> pin_spec
+(** [pin_span x ~lo ~hi] is a pin shape covering tracks [lo..hi]. *)
+
+val design :
+  ?name:string ->
+  width:int ->
+  height:int ->
+  ?row_height:int ->
+  nets:(string * pin_spec list) list ->
+  ?blockages:Blockage.t list ->
+  unit ->
+  Design.t

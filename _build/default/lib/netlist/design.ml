@@ -1,0 +1,144 @@
+module I = Geometry.Interval
+
+type t = {
+  name : string;
+  width : int;
+  height : int;
+  row_height : int;
+  pins : Pin.t array;
+  nets : Net.t array;
+  blockages : Blockage.t list;
+  pins_by_track : Pin.t list array; (* track -> pins covering it, by column *)
+  pins_by_panel : Pin.t list array; (* panel -> pins, by column *)
+  blockages_by_track : I.t list array; (* M2 track -> blocked spans, sorted *)
+  net_bboxes : Geometry.Rect.t array;
+}
+
+let validate ~width ~height ~row_height pins nets =
+  if width <= 0 || height <= 0 then invalid_arg "Design.create: empty die";
+  if row_height <= 0 then invalid_arg "Design.create: row_height <= 0";
+  if height mod row_height <> 0 then
+    invalid_arg "Design.create: die height must be a whole number of rows";
+  Array.iteri
+    (fun i (p : Pin.t) ->
+      if p.id <> i then invalid_arg "Design.create: pin ids must be dense";
+      if p.x < 0 || p.x >= width then
+        invalid_arg (Printf.sprintf "Design.create: pin %d off-die (x=%d)" i p.x);
+      let tlo = I.lo p.tracks and thi = I.hi p.tracks in
+      if tlo < 0 || thi >= height then
+        invalid_arg (Printf.sprintf "Design.create: pin %d off-die tracks" i);
+      if tlo / row_height <> thi / row_height then
+        invalid_arg (Printf.sprintf "Design.create: pin %d crosses panels" i);
+      if p.net < 0 || p.net >= Array.length nets then
+        invalid_arg (Printf.sprintf "Design.create: pin %d has bad net" i))
+    pins;
+  Array.iteri
+    (fun i (n : Net.t) ->
+      if n.id <> i then invalid_arg "Design.create: net ids must be dense";
+      if n.pins = [] then
+        invalid_arg (Printf.sprintf "Design.create: net %d has no pins" i);
+      List.iter
+        (fun pid ->
+          if pid < 0 || pid >= Array.length pins then
+            invalid_arg (Printf.sprintf "Design.create: net %d bad pin ref" i);
+          if pins.(pid).Pin.net <> i then
+            invalid_arg
+              (Printf.sprintf "Design.create: pin %d not owned by net %d" pid i))
+        n.pins)
+    nets;
+  (* No two pins may occupy the same (column, track) grid. *)
+  let seen = Hashtbl.create (Array.length pins * 2) in
+  Array.iter
+    (fun (p : Pin.t) ->
+      for tr = I.lo p.tracks to I.hi p.tracks do
+        let key = (p.Pin.x * height) + tr in
+        if Hashtbl.mem seen key then
+          invalid_arg
+            (Printf.sprintf "Design.create: overlapping pins at (%d,%d)" p.Pin.x
+               tr);
+        Hashtbl.add seen key ()
+      done)
+    pins
+
+let by_column ps = List.sort (fun (a : Pin.t) b -> Int.compare a.x b.x) ps
+
+let create ?(name = "design") ~width ~height ?(row_height = 10) ~pins ~nets
+    ?(blockages = []) () =
+  let pins = Array.of_list pins and nets = Array.of_list nets in
+  validate ~width ~height ~row_height pins nets;
+  let pins_by_track = Array.make height [] in
+  let pins_by_panel = Array.make (height / row_height) [] in
+  Array.iter
+    (fun (p : Pin.t) ->
+      for tr = I.lo p.tracks to I.hi p.tracks do
+        pins_by_track.(tr) <- p :: pins_by_track.(tr)
+      done;
+      let panel = I.lo p.tracks / row_height in
+      pins_by_panel.(panel) <- p :: pins_by_panel.(panel))
+    pins;
+  Array.iteri (fun i ps -> pins_by_track.(i) <- by_column ps) pins_by_track;
+  Array.iteri (fun i ps -> pins_by_panel.(i) <- by_column ps) pins_by_panel;
+  let blockages_by_track = Array.make height [] in
+  List.iter
+    (fun (b : Blockage.t) ->
+      match b.layer with
+      | Blockage.M2 ->
+        if b.track >= 0 && b.track < height then
+          blockages_by_track.(b.track) <- b.span :: blockages_by_track.(b.track)
+      | Blockage.M3 -> ())
+    blockages;
+  Array.iteri
+    (fun i spans -> blockages_by_track.(i) <- List.sort I.compare spans)
+    blockages_by_track;
+  let net_bboxes =
+    Array.map
+      (fun (n : Net.t) ->
+        let pts = List.map (fun pid -> Pin.location pins.(pid)) n.pins in
+        Geometry.Rect.of_points pts)
+      nets
+  in
+  {
+    name;
+    width;
+    height;
+    row_height;
+    pins;
+    nets;
+    blockages;
+    pins_by_track;
+    pins_by_panel;
+    blockages_by_track;
+    net_bboxes;
+  }
+
+let name t = t.name
+let width t = t.width
+let height t = t.height
+let row_height t = t.row_height
+let num_panels t = t.height / t.row_height
+
+let die t =
+  Geometry.Rect.make
+    ~xs:(I.make ~lo:0 ~hi:(t.width - 1))
+    ~ys:(I.make ~lo:0 ~hi:(t.height - 1))
+
+let pins t = t.pins
+let nets t = t.nets
+let blockages t = t.blockages
+let pin t id = t.pins.(id)
+let net t id = t.nets.(id)
+let net_pins t id = List.map (fun pid -> t.pins.(pid)) t.nets.(id).Net.pins
+let net_bbox t id = t.net_bboxes.(id)
+let panel_of_track t track = track / t.row_height
+
+let panel_tracks t panel =
+  I.make ~lo:(panel * t.row_height) ~hi:(((panel + 1) * t.row_height) - 1)
+
+let pins_of_panel t panel = t.pins_by_panel.(panel)
+let pins_on_track t track = t.pins_by_track.(track)
+let m2_blockages_on_track t track = t.blockages_by_track.(track)
+
+let stats t =
+  Printf.sprintf "%s: %dx%d grid, %d rows, %d nets, %d pins, %d blockages"
+    t.name t.width t.height (num_panels t) (Array.length t.nets)
+    (Array.length t.pins) (List.length t.blockages)

@@ -1,0 +1,59 @@
+(** A placed design ready for detailed routing: die extent, standard
+    cell rows (panels), pins, nets and blockages.
+
+    Conventions (paper Sec. 5): the die is a [width] x [height] grid of
+    routing pitches; M2 tracks are horizontal lines [y = 0 .. height-1];
+    one standard cell row is [row_height] (10) M2 tracks and forms one
+    routing panel. *)
+
+type t
+
+val create :
+  ?name:string ->
+  width:int ->
+  height:int ->
+  ?row_height:int ->
+  pins:Pin.t list ->
+  nets:Net.t list ->
+  ?blockages:Blockage.t list ->
+  unit ->
+  t
+(** Validates the input: pin/net cross-references must resolve, each
+    net must have >= 1 pin, every pin must belong to its net, pin
+    coordinates must be on the die, and each pin's track span must stay
+    inside one panel. @raise Invalid_argument on violations. *)
+
+val name : t -> string
+val width : t -> int
+val height : t -> int
+val row_height : t -> int
+val num_panels : t -> int
+val die : t -> Geometry.Rect.t
+
+val pins : t -> Pin.t array
+val nets : t -> Net.t array
+val blockages : t -> Blockage.t list
+
+val pin : t -> Pin.id -> Pin.t
+val net : t -> Net.id -> Net.t
+val net_pins : t -> Net.id -> Pin.t list
+
+val net_bbox : t -> Net.id -> Geometry.Rect.t
+(** Bounding box of the net's pin locations (the paper's net bounding
+    box used to bound interval generation). *)
+
+val panel_of_track : t -> int -> int
+val panel_tracks : t -> int -> Geometry.Interval.t
+(** Track range [\[p*row_height, (p+1)*row_height - 1\]] of panel [p]. *)
+
+val pins_of_panel : t -> int -> Pin.t list
+(** Pins whose track span lies in the given panel, sorted by column. *)
+
+val pins_on_track : t -> int -> Pin.t list
+(** Pins covering the given track, sorted by column. *)
+
+val m2_blockages_on_track : t -> int -> Geometry.Interval.t list
+(** Blocked column spans of an M2 track, sorted. *)
+
+val stats : t -> string
+(** One-line human-readable summary. *)

@@ -1,0 +1,116 @@
+module I = Geometry.Interval
+
+let to_string design =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "design %s %d %d %d\n" (Design.name design)
+       (Design.width design) (Design.height design)
+       (Design.row_height design));
+  Array.iter
+    (fun (net : Net.t) ->
+      Buffer.add_string buf (Printf.sprintf "net %s\n" net.Net.name);
+      List.iter
+        (fun pid ->
+          let p = Design.pin design pid in
+          Buffer.add_string buf
+            (Printf.sprintf "pin %d %d %d\n" p.Pin.x (I.lo p.Pin.tracks)
+               (I.hi p.Pin.tracks)))
+        net.Net.pins)
+    (Design.nets design);
+  List.iter
+    (fun (b : Blockage.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "blockage %s %d %d %d\n"
+           (Blockage.layer_to_string b.Blockage.layer)
+           b.Blockage.track (I.lo b.Blockage.span) (I.hi b.Blockage.span)))
+    (Design.blockages design);
+  Buffer.contents buf
+
+type header = {
+  name : string;
+  width : int;
+  height : int;
+  row_height : int;
+}
+
+let of_string text =
+  let header = ref None in
+  let nets = ref [] in (* (name, pin spec list) in reverse *)
+  let blockages = ref [] in
+  let fail lineno msg =
+    invalid_arg (Printf.sprintf "Design_io.of_string: line %d: %s" lineno msg)
+  in
+  let int lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "expected an integer, got %S" s)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> ()
+      | [ "design"; name; w; h; rh ] ->
+        if !header <> None then fail lineno "duplicate design header";
+        header :=
+          Some
+            {
+              name;
+              width = int lineno w;
+              height = int lineno h;
+              row_height = int lineno rh;
+            }
+      | [ "net"; name ] -> nets := (name, []) :: !nets
+      | [ "pin"; x; lo; hi ] ->
+        (match !nets with
+        | [] -> fail lineno "pin before any net"
+        | (name, pins) :: rest ->
+          let spec =
+            {
+              Builder.x = int lineno x;
+              tracks = I.make ~lo:(int lineno lo) ~hi:(int lineno hi);
+            }
+          in
+          nets := (name, spec :: pins) :: rest)
+      | [ "blockage"; layer; track; lo; hi ] ->
+        let layer =
+          match layer with
+          | "M2" -> Blockage.M2
+          | "M3" -> Blockage.M3
+          | other -> fail lineno (Printf.sprintf "unknown layer %S" other)
+        in
+        blockages :=
+          Blockage.make ~layer ~track:(int lineno track)
+            ~span:(I.make ~lo:(int lineno lo) ~hi:(int lineno hi))
+          :: !blockages
+      | word :: _ -> fail lineno (Printf.sprintf "unknown record %S" word))
+    (String.split_on_char '\n' text);
+  match !header with
+  | None -> invalid_arg "Design_io.of_string: missing design header"
+  | Some h ->
+    Builder.design ~name:h.name ~width:h.width ~height:h.height
+      ~row_height:h.row_height
+      ~nets:(List.rev_map (fun (name, pins) -> (name, List.rev pins)) !nets)
+      ~blockages:(List.rev !blockages) ()
+
+let save path design =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string design))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

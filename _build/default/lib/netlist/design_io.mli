@@ -1,0 +1,22 @@
+(** Plain-text serialization of placed designs — a minimal DEF-like
+    interchange format so instances can be saved, diffed and reloaded
+    (the synthetic generator is deterministic, but exported instances
+    make failures reproducible outside this repo).
+
+    Format (one record per line, [#] comments ignored):
+    {v
+    design <name> <width> <height> <row_height>
+    net <name>
+    pin <x> <track_lo> <track_hi>       # belongs to the last net
+    blockage <M2|M3> <track> <lo> <hi>
+    v} *)
+
+val to_string : Design.t -> string
+
+val of_string : string -> Design.t
+(** @raise Invalid_argument on malformed input (with a line number). *)
+
+val save : string -> Design.t -> unit
+(** [save path design] *)
+
+val load : string -> Design.t

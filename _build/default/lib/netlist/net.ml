@@ -1,0 +1,10 @@
+type id = int
+
+type t = { id : id; name : string; pins : Pin.id list }
+
+let make ~id ~name ~pins = { id; name; pins }
+let degree t = List.length t.pins
+let equal a b = a.id = b.id
+
+let pp fmt t =
+  Format.fprintf fmt "net#%d(%s, %d pins)" t.id t.name (degree t)

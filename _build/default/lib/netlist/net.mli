@@ -1,0 +1,10 @@
+(** Nets: named groups of pins that must be electrically connected. *)
+
+type id = int
+
+type t = { id : id; name : string; pins : Pin.id list }
+
+val make : id:id -> name:string -> pins:Pin.id list -> t
+val degree : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

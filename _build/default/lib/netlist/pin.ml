@@ -1,0 +1,17 @@
+type id = int
+
+type t = { id : id; net : int; x : int; tracks : Geometry.Interval.t }
+
+let make ~id ~net ~x ~tracks = { id; net; x; tracks }
+
+let primary_track t =
+  (Geometry.Interval.lo t.tracks + Geometry.Interval.hi t.tracks) / 2
+
+let covers_track t track = Geometry.Interval.contains t.tracks track
+let location t = Geometry.Point.make ~x:t.x ~y:(primary_track t)
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp fmt t =
+  Format.fprintf fmt "pin#%d(net %d, x=%d, tracks %a)" t.id t.net t.x
+    Geometry.Interval.pp t.tracks

@@ -1,0 +1,26 @@
+(** Standard cell I/O pins.
+
+    A pin is an M1 shape sitting at one grid column [x], spanning a
+    contiguous range of M2 tracks [tracks] (1–3 tracks in practice —
+    M1 pin shapes in unidirectional libraries are short vertical
+    strips).  All tracks of one pin lie inside a single routing panel.
+    A pin is reached from M2 by a V1 via at [(x, t)] for any [t] in
+    [tracks]. *)
+
+type id = int
+
+type t = { id : id; net : int; x : int; tracks : Geometry.Interval.t }
+
+val make : id:id -> net:int -> x:int -> tracks:Geometry.Interval.t -> t
+
+val primary_track : t -> int
+(** The middle track of the pin's span; the minimum pin access interval
+    is generated there. *)
+
+val covers_track : t -> int -> bool
+val location : t -> Geometry.Point.t
+(** [(x, primary_track)], the canonical grid location of the pin. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/render/layout_svg.ml: Array Fun Geometry List Netlist Pinaccess Rgrid Router Svg

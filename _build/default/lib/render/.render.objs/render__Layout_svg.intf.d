@@ -1,0 +1,1 @@
+lib/render/layout_svg.mli: Netlist Pinaccess Router

@@ -1,0 +1,17 @@
+(** SVG plots of placed designs and routing results: rows, pins,
+    blockages, per-net colored M2/M3 metal and via cuts — the pictures
+    of Figures 1/2/5, generated from live data. *)
+
+val design : Netlist.Design.t -> string
+(** Placement plot: rows, pin shapes, blockages. *)
+
+val flow : Router.Flow.t -> string
+(** Routing plot: the placement plus every routed net's metal and vias;
+    DRC-dirty nets are drawn translucent. *)
+
+val pin_access : Netlist.Design.t -> (Netlist.Pin.id * Pinaccess.Access_interval.t) list -> string
+(** Placement plus the selected pin access intervals (the optimizer's
+    output before routing, as in Fig. 2(b)). *)
+
+val save : string -> string -> unit
+(** [save path svg] writes the document. *)

@@ -1,0 +1,51 @@
+type t = { width : float; height : float; buf : Buffer.t }
+
+let create ~width ~height = { width; height; buf = Buffer.create 4096 }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let addf t fmt = Printf.ksprintf (Buffer.add_string t.buf) fmt
+
+let rect t ~x ~y ~w ~h ?rx ?stroke ?(stroke_width = 0.0) ?(opacity = 1.0)
+    ~fill () =
+  addf t {|<rect x="%g" y="%g" width="%g" height="%g" fill="%s"|} x y w h
+    (escape fill);
+  (match rx with Some r -> addf t {| rx="%g"|} r | None -> ());
+  (match stroke with
+  | Some s -> addf t {| stroke="%s" stroke-width="%g"|} (escape s) stroke_width
+  | None -> ());
+  if opacity < 1.0 then addf t {| fill-opacity="%g"|} opacity;
+  addf t "/>\n"
+
+let line t ~x1 ~y1 ~x2 ~y2 ~stroke ?(stroke_width = 1.0) ?dash () =
+  addf t {|<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="%g"|}
+    x1 y1 x2 y2 (escape stroke) stroke_width;
+  (match dash with Some d -> addf t {| stroke-dasharray="%s"|} (escape d) | None -> ());
+  addf t "/>\n"
+
+let text t ~x ~y ?(size = 4.0) ?(fill = "#333") s =
+  addf t
+    {|<text x="%g" y="%g" font-size="%g" fill="%s" font-family="monospace">%s</text>|}
+    x y size (escape fill) (escape s);
+  addf t "\n"
+
+let comment t s = addf t "<!-- %s -->\n" (escape s)
+
+let to_string t =
+  Printf.sprintf
+    {|<?xml version="1.0" encoding="UTF-8"?>
+<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %g %g" width="%g" height="%g">
+%s</svg>
+|}
+    t.width t.height t.width t.height (Buffer.contents t.buf)

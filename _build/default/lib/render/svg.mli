@@ -1,0 +1,41 @@
+(** A minimal SVG writer — just enough shapes for layout plots, with
+    escaping and a fluent buffer interface. *)
+
+type t
+
+val create : width:float -> height:float -> t
+(** Document with a user-space viewBox of [width] x [height]. *)
+
+val rect :
+  t ->
+  x:float ->
+  y:float ->
+  w:float ->
+  h:float ->
+  ?rx:float ->
+  ?stroke:string ->
+  ?stroke_width:float ->
+  ?opacity:float ->
+  fill:string ->
+  unit ->
+  unit
+
+val line :
+  t ->
+  x1:float ->
+  y1:float ->
+  x2:float ->
+  y2:float ->
+  stroke:string ->
+  ?stroke_width:float ->
+  ?dash:string ->
+  unit ->
+  unit
+
+val text :
+  t -> x:float -> y:float -> ?size:float -> ?fill:string -> string -> unit
+
+val comment : t -> string -> unit
+
+val to_string : t -> string
+(** The complete [<svg>…</svg>] document. *)

@@ -1,0 +1,1 @@
+lib/router/baseline_ncr.ml: Array Drc Flow Negotiation Pinaccess Rgrid Spec_builder

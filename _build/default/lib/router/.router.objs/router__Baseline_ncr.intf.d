@@ -1,0 +1,1 @@
+lib/router/baseline_ncr.mli: Drc Flow Netlist Rgrid

@@ -1,0 +1,1 @@
+lib/router/cpr.ml: Array Drc Flow Negotiation Pinaccess Rgrid Spec_builder

@@ -1,0 +1,1 @@
+lib/router/cpr.mli: Drc Flow Netlist Pinaccess Rgrid

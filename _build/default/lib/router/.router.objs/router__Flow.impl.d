@@ -1,0 +1,1 @@
+lib/router/flow.ml: Array Drc Geometry List Netlist Option Pinaccess Rgrid

@@ -1,0 +1,1 @@
+lib/router/flow.mli: Drc Netlist Pinaccess Rgrid

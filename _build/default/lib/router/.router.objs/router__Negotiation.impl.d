@@ -1,0 +1,1 @@
+lib/router/negotiation.ml: Array Drc Float Geometry Int List Net_router Netlist Option Rgrid

@@ -1,0 +1,1 @@
+lib/router/negotiation.mli: Drc Net_router Rgrid

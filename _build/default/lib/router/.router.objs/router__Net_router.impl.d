@@ -1,0 +1,1 @@
+lib/router/net_router.ml: Array Geometry Hashtbl Int List Netlist Option Rgrid

@@ -1,0 +1,1 @@
+lib/router/net_router.mli: Geometry Netlist Rgrid

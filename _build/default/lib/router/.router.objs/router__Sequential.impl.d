@@ -1,0 +1,1 @@
+lib/router/sequential.ml: Array Drc Flow Fun Geometry List Negotiation Net_router Netlist Option Pinaccess Rgrid

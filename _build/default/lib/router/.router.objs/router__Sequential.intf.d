@@ -1,0 +1,1 @@
+lib/router/sequential.mli: Drc Flow Netlist Rgrid

@@ -1,0 +1,1 @@
+lib/router/spec_builder.ml: Array Geometry Hashtbl List Net_router Netlist Option Pinaccess Printf Rgrid

@@ -1,0 +1,1 @@
+lib/router/spec_builder.mli: Net_router Pinaccess Rgrid

@@ -1,0 +1,1 @@
+lib/router/verify.ml: Array Flow Hashtbl Int List Netlist Printf Rgrid

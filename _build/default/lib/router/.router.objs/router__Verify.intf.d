@@ -1,0 +1,1 @@
+lib/router/verify.mli: Flow Netlist Rgrid

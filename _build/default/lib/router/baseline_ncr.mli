@@ -1,0 +1,10 @@
+(** The [21]-style baseline: the same negotiation-congestion engine as
+    CPR but *without* pin access optimization — each pin is accessed
+    directly over its shape, and other nets' pins are blockages.  This
+    isolates the contribution of the PAO stage (Table 2, Fig. 7(b)). *)
+
+type config = { cost : Rgrid.Cost.t; rules : Drc.Rules.t }
+
+val default_config : config
+
+val run : ?config:config -> Netlist.Design.t -> Flow.t

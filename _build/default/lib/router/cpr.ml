@@ -1,0 +1,37 @@
+type config = {
+  pao_kind : Pinaccess.Pin_access.solver_kind;
+  pao : Pinaccess.Pin_access.config;
+  cost : Rgrid.Cost.t;
+  rules : Drc.Rules.t;
+}
+
+let default_config =
+  {
+    pao_kind = Pinaccess.Pin_access.Lr;
+    pao = Pinaccess.Pin_access.default_config;
+    cost = Rgrid.Cost.default;
+    rules = Drc.Rules.default;
+  }
+
+let run_with_pao ?(config = default_config) design pao =
+  let started = Pinaccess.Unix_time.now () -. pao.Pinaccess.Pin_access.elapsed in
+  let grid = Rgrid.Grid.create design in
+  let specs = Spec_builder.build grid ~pao:(Some pao) in
+  let result = Negotiation.run ~cost:config.cost ~rules:config.rules grid specs in
+  let drc_reroutes =
+    Negotiation.drc_ripup ~cost:config.cost ~rules:config.rules grid
+      ~spec_of:(fun net -> Some specs.(net))
+      ~routes:result.Negotiation.routes ~rounds:2
+  in
+  Flow.finish ~rules:config.rules ~grid ~pao:(Some pao)
+    ~initial_congestion:result.Negotiation.initial_congestion
+    ~ripup_iterations:result.Negotiation.ripup_iterations
+    ~total_reroutes:(result.Negotiation.total_reroutes + drc_reroutes)
+    ~started result.Negotiation.routes
+
+let run ?(config = default_config) design =
+  let pao =
+    Pinaccess.Pin_access.optimize ~config:config.pao ~kind:config.pao_kind
+      design
+  in
+  run_with_pao ~config design pao

@@ -1,0 +1,22 @@
+(** CPR — the concurrent pin access router (paper Sec. 4).
+
+    Flow: concurrent pin access optimization on M2 (LR by default, ILP
+    optionally) → selected intervals become partial routes and
+    exclusive blockages → negotiation-congestion routing → line-end
+    extension → DRC accounting. *)
+
+type config = {
+  pao_kind : Pinaccess.Pin_access.solver_kind;
+  pao : Pinaccess.Pin_access.config;
+  cost : Rgrid.Cost.t;
+  rules : Drc.Rules.t;
+}
+
+val default_config : config
+
+val run : ?config:config -> Netlist.Design.t -> Flow.t
+
+val run_with_pao : ?config:config -> Netlist.Design.t -> Pinaccess.Pin_access.t -> Flow.t
+(** Route with an externally computed pin access result (used by the
+    Fig. 7(a) bench to compare LR-based and ILP-based PAO under one
+    routing engine). *)

@@ -1,0 +1,38 @@
+(** Shared routing-flow result and the common post-routing pipeline:
+    line-end extension, DRC, and the paper's fair-comparison accounting
+    (nets blamed for remaining violations count as unrouted). *)
+
+type t = {
+  design : Netlist.Design.t;
+  routes : Rgrid.Route.t option array;
+      (** per net, after line-end extension; [None] = not connected *)
+  clean : bool array;
+      (** per net: connected and free of blamed DRC violations — the
+          nets the paper counts as routed *)
+  initial_congestion : int;
+  ripup_iterations : int;
+  total_reroutes : int;
+  violations : Drc.Check.violation list;
+  extension : Drc.Line_end.stats;
+  pao : Pinaccess.Pin_access.t option;
+  elapsed : float;  (** cpu seconds for the whole flow *)
+}
+
+val finish :
+  ?rules:Drc.Rules.t ->
+  grid:Rgrid.Grid.t ->
+  pao:Pinaccess.Pin_access.t option ->
+  initial_congestion:int ->
+  ripup_iterations:int ->
+  total_reroutes:int ->
+  started:float ->
+  Rgrid.Route.t option array ->
+  t
+(** Runs extension + DRC over the routes, pushes extension fills back
+    into the routes and the grid, and computes [clean]. *)
+
+val routed_count : t -> int
+(** Number of clean nets. *)
+
+val routability : t -> float
+(** [routed_count / total nets]. *)

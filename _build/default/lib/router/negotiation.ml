@@ -1,0 +1,227 @@
+module Grid = Rgrid.Grid
+module Maze = Rgrid.Maze
+module Cost = Rgrid.Cost
+module Node = Rgrid.Node
+
+type result = {
+  routes : Rgrid.Route.t option array;
+  initial_congestion : int;
+  ripup_iterations : int;
+  total_reroutes : int;
+}
+
+let apply_route grid (route : Rgrid.Route.t) =
+  let space = Grid.space grid in
+  List.iter (fun node -> Grid.add_usage grid ~net:route.Rgrid.Route.net node) route.Rgrid.Route.nodes;
+  List.iter (fun (x, y) -> Grid.add_via grid ~x ~y) (Rgrid.Route.via_positions ~space route)
+
+let retract_route grid (route : Rgrid.Route.t) =
+  let space = Grid.space grid in
+  List.iter
+    (fun node -> Grid.remove_usage grid ~net:route.Rgrid.Route.net node)
+    route.Rgrid.Route.nodes;
+  List.iter (fun (x, y) -> Grid.remove_via grid ~x ~y) (Rgrid.Route.via_positions ~space route)
+
+let drc_ripup ?(cost = Cost.default) ?(own = false) ~rules grid ~spec_of
+    ~routes ~rounds =
+  let design = Grid.design grid in
+  let space = Grid.space grid in
+  let maze = Maze.create grid in
+  let reroutes = ref 0 in
+  (* a soft (pfac-based) reroute may introduce sharing; resolve it by
+     dropping the later net before metal extraction *)
+  let drop_overused () =
+    if (not own) && Grid.congested_nodes grid > 0 then
+      Array.iteri
+        (fun net route ->
+          match route with
+          | Some (r : Rgrid.Route.t) ->
+            if
+              List.exists
+                (fun node -> Grid.overused grid node)
+                r.Rgrid.Route.nodes
+            then begin
+              retract_route grid r;
+              routes.(net) <- None
+            end
+          | None -> ())
+        routes
+  in
+  let round = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !round < rounds do
+    incr round;
+    drop_overused ();
+    let layout = Drc.Extract.of_routes design routes in
+    let violations = Drc.Check.run rules layout in
+    match Drc.Check.blamed_nets violations with
+    | [] -> continue_ := false
+    | blamed ->
+      List.iter
+        (fun (v : Drc.Check.violation) ->
+          List.iter
+            (fun (x, y) ->
+              if Node.in_bounds space ~x ~y then begin
+                let bump layer =
+                  Grid.add_history_at grid (Node.pack space ~layer ~x ~y) 4.0
+                in
+                bump Rgrid.Layer.M2;
+                bump Rgrid.Layer.M3
+              end)
+            v.Drc.Check.sites)
+        violations;
+      List.iter
+        (fun net ->
+          let old = routes.(net) in
+          (match old with
+          | Some r ->
+            retract_route grid r;
+            if own then
+              List.iter
+                (fun node -> Grid.clear_owner grid node ~net)
+                r.Rgrid.Route.nodes;
+            routes.(net) <- None
+          | None -> ());
+          incr reroutes;
+          let reown (r : Rgrid.Route.t) =
+            if own then
+              List.iter
+                (fun node ->
+                  if Grid.owner grid node = -1 then
+                    Grid.set_owner grid node ~net)
+                r.Rgrid.Route.nodes
+          in
+          match
+            Option.bind (spec_of net) (Net_router.route maze ~cost ~pfac:4.0)
+          with
+          | Some r ->
+            apply_route grid r;
+            reown r;
+            routes.(net) <- Some r
+          | None -> ignore old)
+        blamed
+  done;
+  if own then
+    (* failed reroutes must not leave their pins grabbable *)
+    Array.iter
+      (fun (p : Netlist.Pin.t) ->
+        for tr = Geometry.Interval.lo p.Netlist.Pin.tracks
+            to Geometry.Interval.hi p.Netlist.Pin.tracks do
+          let node =
+            Node.pack space ~layer:Rgrid.Layer.M2 ~x:p.Netlist.Pin.x ~y:tr
+          in
+          if Grid.owner grid node = -1 && not (Grid.blocked grid node) then
+            Grid.set_owner grid node ~net:p.Netlist.Pin.net
+        done)
+      (Netlist.Design.pins design)
+  else drop_overused ();
+  !reroutes
+
+(* Short nets first: they have the least routing freedom. *)
+let routing_order specs =
+  let order = Array.init (Array.length specs) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let k i = Geometry.Rect.half_perimeter specs.(i).Net_router.bbox in
+      let c = Int.compare (k a) (k b) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  order
+
+let overused_nets grid routes =
+  let result = ref [] in
+  Array.iteri
+    (fun net route ->
+      match route with
+      | Some (r : Rgrid.Route.t) ->
+        if List.exists (fun node -> Grid.overused grid node) r.Rgrid.Route.nodes then
+          result := net :: !result
+      | None -> result := net :: !result)
+    routes;
+  List.rev !result
+
+let run ?(cost = Cost.default) ?rules grid specs =
+  let maze = Maze.create grid in
+  let design = Grid.design grid in
+  let space = Grid.space grid in
+  let n = Array.length specs in
+  let routes : Rgrid.Route.t option array = Array.make n None in
+  let total_reroutes = ref 0 in
+  let route_net ~pfac net =
+    (match routes.(net) with
+    | Some r ->
+      retract_route grid r;
+      routes.(net) <- None
+    | None -> ());
+    incr total_reroutes;
+    match Net_router.route maze ~cost ~pfac specs.(net) with
+    | Some r ->
+      apply_route grid r;
+      routes.(net) <- Some r
+    | None -> ()
+  in
+  (* Probe the current metal for DRC violations mid-negotiation: bump
+     history on the offending grids and return the blamed nets so they
+     join the rip-up victims (paper Sec. 4: rip-up and reroute also
+     serves the manufacturing constraints). *)
+  let drc_victims () =
+    match rules with
+    | None -> []
+    | Some rules ->
+      let layout = Drc.Extract.of_routes ~tolerate_shorts:true design routes in
+      let violations = Drc.Check.run rules layout in
+      List.iter
+        (fun (v : Drc.Check.violation) ->
+          List.iter
+            (fun (x, y) ->
+              if Node.in_bounds space ~x ~y then begin
+                let bump layer =
+                  Grid.add_history_at grid (Node.pack space ~layer ~x ~y) 2.0
+                in
+                bump Rgrid.Layer.M2;
+                bump Rgrid.Layer.M3
+              end)
+            v.Drc.Check.sites)
+        violations;
+      Drc.Check.blamed_nets violations
+  in
+  (* Stage 1: independent routing (no present-sharing term) *)
+  Array.iter (fun net -> route_net ~pfac:0.0 net) (routing_order specs);
+  let initial_congestion = Grid.congested_nodes grid in
+  (* Stage 2: rip-up and reroute with negotiation *)
+  let iterations = ref 0 in
+  let continue_ = ref (initial_congestion > 0 || Array.exists Option.is_none routes)
+  in
+  let blamed = ref (if initial_congestion = 0 then drc_victims () else []) in
+  if !blamed <> [] then continue_ := true;
+  while !continue_ && !iterations < cost.Cost.max_ripup_iterations do
+    incr iterations;
+    let pfac =
+      cost.Cost.pfac_initial
+      *. Float.pow cost.Cost.pfac_growth (float_of_int (!iterations - 1))
+    in
+    Grid.add_history grid ~increment:cost.Cost.history_increment;
+    let victims =
+      List.sort_uniq Int.compare (overused_nets grid routes @ !blamed)
+    in
+    List.iter (fun net -> route_net ~pfac net) victims;
+    blamed := drc_victims ();
+    continue_ :=
+      Grid.congested_nodes grid > 0
+      || Array.exists Option.is_none routes
+      || !blamed <> []
+  done;
+  (* Drop still-conflicting nets: keep earlier ids, fail later ones. *)
+  if Grid.congested_nodes grid > 0 then
+    Array.iteri
+      (fun net route ->
+        match route with
+        | Some (r : Rgrid.Route.t) ->
+          if List.exists (fun node -> Grid.overused grid node) r.Rgrid.Route.nodes
+          then begin
+            retract_route grid r;
+            routes.(net) <- None
+          end
+        | None -> ())
+      routes;
+  { routes; initial_congestion; ripup_iterations = !iterations; total_reroutes = !total_reroutes }

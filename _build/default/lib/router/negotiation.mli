@@ -1,0 +1,51 @@
+(** Negotiation-congestion routing (the engine shared by CPR and the
+    [21]-style baseline).
+
+    Stage 1 ("independent routing") routes every net with no present-
+    sharing penalty; the number of overused grids after this stage is
+    the paper's initial-congestion metric (Fig. 7(b)).  Stage 2 rips up
+    and reroutes only the nets crossing overused grids, with growing
+    present-sharing factor and accumulating history costs, until the
+    overuse disappears or the iteration budget ends.  Nets still
+    sharing grids at the end are dropped deterministically (latest net
+    id loses) so the surviving routing is short-free. *)
+
+type result = {
+  routes : Rgrid.Route.t option array;  (** per net id; [None] = unrouted *)
+  initial_congestion : int;
+  ripup_iterations : int;
+  total_reroutes : int;
+}
+
+val run :
+  ?cost:Rgrid.Cost.t ->
+  ?rules:Drc.Rules.t ->
+  Rgrid.Grid.t ->
+  Net_router.spec array ->
+  result
+(** With [rules], every rip-up iteration also probes the current metal
+    for DRC violations, bumps history on the offending grids and adds
+    the blamed nets to the victims — the paper's combined congestion +
+    manufacturing-constraint rip-up. *)
+
+val apply_route : Rgrid.Grid.t -> Rgrid.Route.t -> unit
+(** Record a route's node usage and via pressure. *)
+
+val retract_route : Rgrid.Grid.t -> Rgrid.Route.t -> unit
+
+val drc_ripup :
+  ?cost:Rgrid.Cost.t ->
+  ?own:bool ->
+  rules:Drc.Rules.t ->
+  Rgrid.Grid.t ->
+  spec_of:(int -> Net_router.spec option) ->
+  routes:Rgrid.Route.t option array ->
+  rounds:int ->
+  int
+(** The paper's manufacturing-constraint rip-up: check the current
+    routes, bump history on every violation grid, and reroute the
+    blamed nets (at a high present-sharing factor) up to [rounds]
+    times.  [own] re-claims exclusive ownership of committed metal
+    (the sequential baseline's hard-blocking mode).  Returns the number
+    of reroute attempts.  [routes] is updated in place; a net whose
+    reroute fails becomes unrouted. *)

@@ -1,0 +1,45 @@
+(** Multi-component net routing: connect a net's components — bare pin
+    landings, or pin access intervals acting as partial routes — into
+    one tree with repeated maze searches, then trim the metal the
+    connection did not use.
+
+    Trimming is what keeps the paper's WL comparable across flows: a
+    maximum-length interval gives the router freedom (any of its grids
+    is a legal via spot), but only the strip between its pins' V1
+    landings and the points where paths attach becomes final metal
+    (Fig. 5(a) shows the residual detour cost). *)
+
+type anchor = {
+  pin : Netlist.Pin.id;
+  landing : Rgrid.Node.t option;
+      (** [Some n]: the V1 must land at [n] (an interval covers the pin
+          column there).  [None]: the V1 lands wherever a path touches
+          the component (a bare pin reachable on any of its tracks). *)
+}
+
+type component = {
+  nodes : Rgrid.Node.t list;  (** M2 nodes; non-empty *)
+  anchors : anchor list;  (** pins connecting through this component *)
+}
+
+type spec = {
+  net : Netlist.Net.id;
+  components : component list;
+  bbox : Geometry.Rect.t;  (** hull of component coordinates *)
+}
+
+val spec_of_components :
+  space:Rgrid.Node.space -> net:Netlist.Net.id -> component list -> spec
+(** Computes the bbox. @raise Invalid_argument on an empty net. *)
+
+val route :
+  Rgrid.Maze.t ->
+  cost:Rgrid.Cost.t ->
+  pfac:float ->
+  spec ->
+  Rgrid.Route.t option
+(** Components are connected in left-to-right order; each connection
+    searches inside the spec bbox inflated by [cost.bbox_margin],
+    retrying with [cost.retry_margins].  The result contains the path
+    nodes, the trimmed component metal and the realized V1 landings;
+    [None] when some component stays unreachable. *)

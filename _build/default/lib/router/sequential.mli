@@ -1,0 +1,20 @@
+(** The [12]-style baseline (PARR): sequential routing with per-net
+    greedy pin access planning and net deferring.
+
+    Each net, in order, greedily grabs the longest currently-free M2
+    strip over each of its pins (its planned pin access), then routes
+    against *hard* blockages — everything already committed is
+    untouchable.  Failing nets are deferred and retried once at the end
+    with wider search windows.  There is no negotiation: resource
+    competition is resolved first-come-first-served, which is exactly
+    the behaviour the paper's concurrent formulation improves on. *)
+
+type config = {
+  cost : Rgrid.Cost.t;
+  rules : Drc.Rules.t;
+  strip_cap : int;  (** max grids a planned pin strip extends per side *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Netlist.Design.t -> Flow.t

@@ -1,0 +1,106 @@
+module Node = Rgrid.Node
+module Layer = Rgrid.Layer
+module Route = Rgrid.Route
+module Design = Netlist.Design
+
+type issue =
+  | Unrouted of Netlist.Net.id
+  | Pin_not_connected of Netlist.Net.id * Netlist.Pin.id
+  | Disconnected of Netlist.Net.id * int
+
+let issue_to_string = function
+  | Unrouted net -> Printf.sprintf "net %d unrouted" net
+  | Pin_not_connected (net, pin) ->
+    Printf.sprintf "net %d: pin %d has no V1 into the metal" net pin
+  | Disconnected (net, k) ->
+    Printf.sprintf "net %d: metal splits into %d components" net k
+
+(* Tiny union-find over dense element ids. *)
+module Uf = struct
+
+  let create n = Array.init n (fun i -> i)
+
+  let rec find t i = if t.(i) = i then i else find t t.(i)
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then t.(ra) <- rb
+
+  let components t used =
+    List.sort_uniq Int.compare (List.map (find t) used) |> List.length
+end
+
+let net_connected design (route : Route.t) =
+  let space = Node.space_of_design design in
+  let net = route.Route.net in
+  let pins = Design.net_pins design net in
+  let nodes = route.Route.nodes in
+  (* element ids: 0..n-1 for metal nodes, n.. for the net's pins *)
+  let index = Hashtbl.create (List.length nodes * 2) in
+  List.iteri (fun i node -> Hashtbl.replace index node i) nodes;
+  let n = List.length nodes in
+  let pin_elt = Hashtbl.create 8 in
+  List.iteri
+    (fun i (p : Netlist.Pin.t) -> Hashtbl.replace pin_elt p.Netlist.Pin.id (n + i))
+    pins;
+  let uf = Uf.create (n + List.length pins) in
+  (* lateral / vertical / via adjacency between metal grids *)
+  List.iter
+    (fun node ->
+      let i = Hashtbl.find index node in
+      let x = Node.x space node and y = Node.y space node in
+      let neighbour nx ny layer =
+        if Node.in_bounds space ~x:nx ~y:ny then
+          match Hashtbl.find_opt index (Node.pack space ~layer ~x:nx ~y:ny) with
+          | Some j -> Uf.union uf i j
+          | None -> ()
+      in
+      (match Node.layer space node with
+      | Layer.M2 -> neighbour (x + 1) y Layer.M2
+      | Layer.M3 -> neighbour x (y + 1) Layer.M3
+      | Layer.M1 -> ());
+      (* a V2 joins stacked grids *)
+      match Hashtbl.find_opt index (Node.other_layer space node) with
+      | Some j -> Uf.union uf i j
+      | None -> ())
+    nodes;
+  (* V1 landings join the pin's M1 shape to the metal *)
+  let missing = ref None in
+  List.iter
+    (fun (pid, x, y) ->
+      match
+        ( Hashtbl.find_opt pin_elt pid,
+          Hashtbl.find_opt index (Node.pack space ~layer:Layer.M2 ~x ~y) )
+      with
+      | Some pe, Some me -> Uf.union uf pe me
+      | Some _, None | None, _ -> ())
+    route.Route.pin_vias;
+  List.iter
+    (fun (p : Netlist.Pin.t) ->
+      let landed =
+        List.exists (fun (pid, _, _) -> pid = p.Netlist.Pin.id) route.Route.pin_vias
+      in
+      if (not landed) && !missing = None then
+        missing := Some p.Netlist.Pin.id)
+    pins;
+  match !missing with
+  | Some pid -> Error (Pin_not_connected (net, pid))
+  | None ->
+    let used = List.init (n + List.length pins) (fun i -> i) in
+    let k = Uf.components uf used in
+    if k = 1 then Ok () else Error (Disconnected (net, k))
+
+let check_flow (flow : Flow.t) =
+  let design = flow.Flow.design in
+  let issues = ref [] in
+  Array.iteri
+    (fun net clean ->
+      if clean then
+        match flow.Flow.routes.(net) with
+        | None -> issues := Unrouted net :: !issues
+        | Some route ->
+          (match net_connected design route with
+          | Ok () -> ()
+          | Error issue -> issues := issue :: !issues))
+    flow.Flow.clean;
+  List.rev !issues

@@ -1,0 +1,23 @@
+(** Post-routing electrical verification, independent of the router's
+    own bookkeeping: reconstructs each net's conductive graph — M2 runs
+    join laterally, M3 runs vertically, stacked M2/M3 grids join
+    through V2 cuts, V1 landings join through the M1 pin shape they
+    contact — and checks that every pin of the net is on one connected
+    component. *)
+
+type issue =
+  | Unrouted of Netlist.Net.id
+  | Pin_not_connected of Netlist.Net.id * Netlist.Pin.id
+      (** the pin has no V1 landing into the net's metal *)
+  | Disconnected of Netlist.Net.id * int
+      (** the net's metal splits into this many components *)
+
+val net_connected :
+  Netlist.Design.t -> Rgrid.Route.t -> (unit, issue) result
+(** Verify one route against its net's pins. *)
+
+val check_flow : Flow.t -> issue list
+(** Verify every *clean* net of a finished flow; the paper counts only
+    those as routed, so only those must be electrically sound. *)
+
+val issue_to_string : issue -> string

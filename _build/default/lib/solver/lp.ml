@@ -1,0 +1,287 @@
+type relation = Le | Ge | Eq
+
+type linexpr = (int * float) list
+
+type constr = { terms : linexpr; rel : relation; rhs : float }
+
+type problem = {
+  num_vars : int;
+  maximize : bool;
+  objective : linexpr;
+  constraints : constr list;
+}
+
+type solution = { objective_value : float; values : float array }
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+let eps = 1e-9
+
+let constr terms rel rhs = { terms; rel; rhs }
+
+let eval terms x =
+  List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0.0 terms
+
+let feasible ?(eps = 1e-6) p x =
+  Array.for_all (fun v -> v >= -.eps) x
+  && List.for_all
+       (fun c ->
+         let lhs = eval c.terms x in
+         match c.rel with
+         | Le -> lhs <= c.rhs +. eps
+         | Ge -> lhs >= c.rhs -. eps
+         | Eq -> Float.abs (lhs -. c.rhs) <= eps)
+       p.constraints
+
+(* Dense tableau state.  Rows may be marked dead (redundant equalities
+   discovered at the end of phase 1). *)
+type tableau = {
+  nstruct : int;
+  ncols : int; (* structural + slack + artificial *)
+  nart : int;
+  a : float array array; (* m rows of ncols+1 floats; rhs at index ncols *)
+  basis : int array;
+  live : bool array;
+  mutable red : float array; (* reduced cost row, length ncols *)
+  mutable objval : float; (* current phase objective (minimization) *)
+}
+
+let pivot t r c =
+  let arow = t.a.(r) in
+  let piv = arow.(c) in
+  for j = 0 to t.ncols do
+    arow.(j) <- arow.(j) /. piv
+  done;
+  arow.(c) <- 1.0;
+  let eliminate row =
+    let f = row.(c) in
+    if Float.abs f > eps then begin
+      for j = 0 to t.ncols do
+        row.(j) <- row.(j) -. (f *. arow.(j))
+      done;
+      row.(c) <- 0.0
+    end
+  in
+  Array.iteri (fun i row -> if i <> r && t.live.(i) then eliminate row) t.a;
+  (* reduced-cost row update *)
+  let f = t.red.(c) in
+  if Float.abs f > eps then begin
+    for j = 0 to t.ncols - 1 do
+      t.red.(j) <- t.red.(j) -. (f *. arow.(j))
+    done;
+    t.red.(c) <- 0.0;
+    (* z moves by r_c * θ, where θ is the (already normalized) rhs *)
+    t.objval <- t.objval +. (f *. arow.(t.ncols))
+  end;
+  t.basis.(r) <- c
+
+(* Recompute reduced costs and objective from a (minimization) cost
+   vector and the current basis. *)
+let install_costs t cost =
+  let red = Array.make t.ncols 0.0 in
+  Array.blit cost 0 red 0 t.ncols;
+  let objval = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      if t.live.(i) then begin
+        let cb = cost.(t.basis.(i)) in
+        if Float.abs cb > eps then begin
+          for j = 0 to t.ncols - 1 do
+            red.(j) <- red.(j) -. (cb *. row.(j))
+          done;
+          objval := !objval +. (cb *. row.(t.ncols))
+        end
+      end)
+    t.a;
+  t.red <- red;
+  t.objval <- !objval
+
+(* One simplex phase: minimize until no negative reduced cost among
+   allowed columns.  Uses Dantzig's rule, falling back to Bland's rule
+   after a stretch of degenerate pivots to guarantee termination. *)
+type phase_result = Phase_optimal | Phase_unbounded | Phase_limit
+
+let run_phase t ~allowed ~max_pivots =
+  let m = Array.length t.a in
+  let stall = ref 0 in
+  let pivots = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !pivots > max_pivots then result := Some Phase_limit
+    else begin
+      let bland = !stall > 2 * (m + t.ncols) in
+      (* entering column *)
+      let enter = ref (-1) in
+      let best = ref (-.eps) in
+      (try
+         for j = 0 to t.ncols - 1 do
+           if allowed j && t.red.(j) < -.eps then
+             if bland then begin
+               enter := j;
+               raise Exit
+             end
+             else if t.red.(j) < !best then begin
+               best := t.red.(j);
+               enter := j
+             end
+         done
+       with Exit -> ());
+      if !enter < 0 then result := Some Phase_optimal
+      else begin
+        let c = !enter in
+        (* leaving row: min ratio, Bland tie-break on basis index *)
+        let leave = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to m - 1 do
+          if t.live.(i) && t.a.(i).(c) > eps then begin
+            let ratio = t.a.(i).(t.ncols) /. t.a.(i).(c) in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps
+                  && (!leave < 0 || t.basis.(i) < t.basis.(!leave)))
+            then begin
+              best_ratio := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then result := Some Phase_unbounded
+        else begin
+          let prev = t.objval in
+          pivot t !leave c;
+          incr pivots;
+          if t.objval > prev -. eps then incr stall else stall := 0
+        end
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve ?max_pivots p =
+  let n = p.num_vars in
+  (* Normalize rows to non-negative rhs; count slack and artificial
+     columns. *)
+  let rows =
+    List.map
+      (fun c ->
+        if c.rhs < 0.0 then
+          let terms = List.map (fun (v, k) -> (v, -.k)) c.terms in
+          let rel = match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq in
+          { terms; rel; rhs = -.c.rhs }
+        else c)
+      p.constraints
+  in
+  let m = List.length rows in
+  let nslack =
+    List.fold_left
+      (fun acc c -> match c.rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let nart =
+    List.fold_left
+      (fun acc c -> match c.rel with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let ncols = n + nslack + nart in
+  let a = Array.init m (fun _ -> Array.make (ncols + 1) 0.0) in
+  let basis = Array.make m 0 in
+  let next_slack = ref n in
+  let next_art = ref (n + nslack) in
+  List.iteri
+    (fun i c ->
+      List.iter
+        (fun (v, k) ->
+          if v < 0 || v >= n then invalid_arg "Lp.solve: variable out of range";
+          a.(i).(v) <- a.(i).(v) +. k)
+        c.terms;
+      a.(i).(ncols) <- c.rhs;
+      (match c.rel with
+      | Le ->
+        a.(i).(!next_slack) <- 1.0;
+        basis.(i) <- !next_slack;
+        incr next_slack
+      | Ge ->
+        a.(i).(!next_slack) <- -1.0;
+        incr next_slack;
+        a.(i).(!next_art) <- 1.0;
+        basis.(i) <- !next_art;
+        incr next_art
+      | Eq ->
+        a.(i).(!next_art) <- 1.0;
+        basis.(i) <- !next_art;
+        incr next_art))
+    rows;
+  let t =
+    {
+      nstruct = n;
+      ncols;
+      nart;
+      a;
+      basis;
+      live = Array.make m true;
+      red = Array.make ncols 0.0;
+      objval = 0.0;
+    }
+  in
+  let max_pivots =
+    match max_pivots with Some k -> k | None -> 200 * (m + ncols + 16)
+  in
+  let is_art j = j >= n + nslack in
+  let finish_phase2 () =
+    match run_phase t ~allowed:(fun j -> not (is_art j)) ~max_pivots with
+    | Phase_limit -> Iteration_limit
+    | Phase_unbounded -> Unbounded
+    | Phase_optimal ->
+      let values = Array.make n 0.0 in
+      Array.iteri
+        (fun i b ->
+          if t.live.(i) && b < n then values.(b) <- t.a.(i).(t.ncols))
+        t.basis;
+      let objective_value = eval p.objective values in
+      Optimal { objective_value; values }
+  in
+  let phase2 () =
+    let cost = Array.make ncols 0.0 in
+    List.iter
+      (fun (v, k) -> cost.(v) <- cost.(v) +. (if p.maximize then -.k else k))
+      p.objective;
+    install_costs t cost;
+    finish_phase2 ()
+  in
+  if nart = 0 then phase2 ()
+  else begin
+    (* Phase 1: minimize the sum of artificials. *)
+    let cost = Array.make ncols 0.0 in
+    for j = n + nslack to ncols - 1 do
+      cost.(j) <- 1.0
+    done;
+    install_costs t cost;
+    match run_phase t ~allowed:(fun _ -> true) ~max_pivots with
+    | Phase_limit -> Iteration_limit
+    | Phase_unbounded -> Infeasible (* phase 1 is bounded below by 0 *)
+    | Phase_optimal ->
+      if t.objval > 1e-6 then Infeasible
+      else begin
+        (* Drive artificials out of the basis; drop redundant rows. *)
+        Array.iteri
+          (fun i b ->
+            if t.live.(i) && is_art b then begin
+              let col = ref (-1) in
+              (try
+                 for j = 0 to (n + nslack) - 1 do
+                   if Float.abs t.a.(i).(j) > 1e-7 then begin
+                     col := j;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !col >= 0 then pivot t i !col else t.live.(i) <- false
+            end)
+          t.basis;
+        phase2 ()
+      end
+  end

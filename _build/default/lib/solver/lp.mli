@@ -1,0 +1,43 @@
+(** Dense two-phase primal simplex for linear programs.
+
+    Variables are continuous and non-negative; upper bounds are
+    expressed as ordinary constraints.  This is the LP engine behind
+    the exact ILP solver used for the paper's Formula (1): commercial
+    ILP bindings are unavailable in this environment, so the relaxation
+    and the branch-and-bound around it are implemented from scratch. *)
+
+type relation = Le | Ge | Eq
+
+type linexpr = (int * float) list
+(** Sparse [(variable, coefficient)] terms; variables are [0..n-1]. *)
+
+type constr = { terms : linexpr; rel : relation; rhs : float }
+
+type problem = {
+  num_vars : int;
+  maximize : bool;
+  objective : linexpr;
+  constraints : constr list;
+}
+
+type solution = { objective_value : float; values : float array }
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+val solve : ?max_pivots:int -> problem -> outcome
+(** [solve p] runs phase-1 (artificial variables) when needed, then
+    phase-2 primal simplex with Bland's rule as the anti-cycling
+    fallback.  [max_pivots] defaults to a generous bound proportional
+    to the tableau size. *)
+
+val constr : linexpr -> relation -> float -> constr
+
+val eval : linexpr -> float array -> float
+(** Evaluate a linear expression at a point. *)
+
+val feasible : ?eps:float -> problem -> float array -> bool
+(** Check a point against all constraints and non-negativity. *)

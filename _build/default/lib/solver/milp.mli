@@ -1,0 +1,48 @@
+(** Exact 0-1 integer programming by branch-and-bound, specialised for
+    the structure of the paper's Formula (1):
+
+    - maximize a linear profit over binary variables,
+    - [Choose_one] rows: exactly one variable of the set is 1
+      (constraint (1b), one interval per pin),
+    - [At_most_one] rows: at most one variable of the set is 1
+      (constraint (1c), one interval per conflict clique).
+
+    Every variable must appear in at least one [Choose_one] row (true
+    for pin access intervals, each of which serves at least one pin).
+
+    The search is exact: depth-first branch-and-bound over the choose
+    rows with unit propagation (selecting a variable knocks out its
+    whole conflict cliques; a pin reduced to a single candidate is
+    forced), pruned by a decomposable profit bound and optionally
+    tightened by the LP relaxation at the root.  A time limit turns the
+    solver into an anytime method that reports whether optimality was
+    proven. *)
+
+type row = Choose_one of int list | At_most_one of int list
+
+type problem = { num_vars : int; profit : float array; rows : row list }
+
+type stats = {
+  nodes : int;
+  proven_optimal : bool;
+  root_lp_bound : float option;
+}
+
+type solution = { objective : float; values : bool array; stats : stats }
+
+exception Infeasible
+
+val solve :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?warm_start:bool array ->
+  ?root_lp:bool ->
+  problem ->
+  solution
+(** @raise Infeasible when some [Choose_one] row cannot be satisfied.
+    @raise Invalid_argument on malformed input (variable out of range,
+    variable in no [Choose_one] row, duplicate variable in a row). *)
+
+val objective_of : problem -> bool array -> float
+val check : problem -> bool array -> bool
+(** [check p v] verifies all rows are satisfied by assignment [v]. *)

@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Array Float Geometry Int List Netlist Printf Rng

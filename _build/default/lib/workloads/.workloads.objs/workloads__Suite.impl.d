@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Float Generator Int64 List Printf

@@ -1,0 +1,37 @@
+(** Synthetic placed-circuit generator.
+
+    The paper evaluates on the PARR benchmarks (six placed blocks with
+    known net counts and die sizes); those placements are not
+    available, so this generator reproduces their observable structure:
+    standard cell rows of 10 M2 tracks, cells of 4–10 grid columns
+    carrying 1–4 M1 pins each (short vertical shapes on the middle
+    tracks), nets formed by partitioning pins with strong locality
+    (mostly 2-pin, row-local nets — lower-layer routing is for short
+    nets), and a sprinkle of pre-existing M2 blockages. *)
+
+type params = {
+  name : string;
+  width : int;  (** grid columns *)
+  height : int;  (** M2 tracks; multiple of [row_height] *)
+  row_height : int;
+  num_nets : int;
+  degree_weights : (int * float) list;
+      (** net degree distribution, e.g. [(2, 0.6); (3, 0.25); (4, 0.15)] *)
+  locality_rows : int;  (** max row distance between a net's pins *)
+  locality_cols : int;  (** max column distance *)
+  blockage_per_row : float;  (** expected blockage segments per row *)
+  span_mean : int option;
+      (** mean horizontal net span in grids; [None] (default) derives
+          it from die capacity and net count, so dense blocks get
+          proportionally local nets *)
+  seed : int64;
+}
+
+val default_params : params
+
+val with_size :
+  ?params:params -> name:string -> nets:int -> width:int -> height:int -> seed:int64 -> unit -> params
+
+val generate : params -> Netlist.Design.t
+(** @raise Invalid_argument when the die cannot host the requested
+    pin count. *)

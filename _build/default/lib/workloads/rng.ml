@@ -1,0 +1,41 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0
+
+let choose_weighted t weighted =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  let target = float t *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.choose_weighted: empty"
+    | [ (k, _) ] -> k
+    | (k, w) :: rest -> if acc +. w >= target then k else pick (acc +. w) rest
+  in
+  pick 0.0 weighted
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,21 @@
+(** Deterministic splitmix64 PRNG so every benchmark instance is
+    reproducible bit-for-bit across runs and machines (the repo has no
+    access to the paper's original PARR benchmarks; see DESIGN.md). *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+
+val in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the closed range. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val choose_weighted : t -> (int * float) list -> int
+(** Pick a key with probability proportional to its weight. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Array Geometry Int List Pinaccess Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_drc.ml: Alcotest Array Drc Geometry List Netlist Rgrid

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Dir Geometry List QCheck QCheck_alcotest

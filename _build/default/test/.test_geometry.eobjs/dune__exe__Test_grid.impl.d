@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Float Geometry List Netlist QCheck QCheck_alcotest Rgrid

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Geometry List Netlist Pinaccess Solver Workloads

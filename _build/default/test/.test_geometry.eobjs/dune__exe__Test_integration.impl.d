@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Drc Float Hashtbl List Metrics Netlist Option Pinaccess Rgrid Router String Workloads

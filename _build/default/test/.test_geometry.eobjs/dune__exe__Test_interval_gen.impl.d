@@ -1,0 +1,1 @@
+test/test_interval_gen.ml: Alcotest Array Geometry Int List Netlist Pinaccess Printf

@@ -1,0 +1,1 @@
+test/test_lagrangian.ml: Alcotest Array Geometry List Netlist Pinaccess Workloads

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Hashtbl List Metrics Netlist Pinaccess Printf QCheck QCheck_alcotest Rgrid Router Solver

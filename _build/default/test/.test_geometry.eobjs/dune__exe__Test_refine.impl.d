@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Geometry List Netlist Pinaccess

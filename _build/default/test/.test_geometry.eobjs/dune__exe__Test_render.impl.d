@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Geometry Netlist Pinaccess Render Router String

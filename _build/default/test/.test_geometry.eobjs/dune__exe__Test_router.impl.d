@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Array Geometry List Netlist Option Pinaccess Rgrid Router

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Float List QCheck QCheck_alcotest Solver

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Geometry Hashtbl Int List Netlist Option Workloads

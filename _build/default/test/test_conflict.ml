@@ -1,0 +1,196 @@
+module I = Geometry.Interval
+module AI = Pinaccess.Access_interval
+module Conflict = Pinaccess.Conflict
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_intervals specs =
+  Array.of_list
+    (List.mapi
+       (fun id (net, track, lo, hi, kind) ->
+         AI.make ~id ~net ~pins:[ id ] ~track ~span:(I.make ~lo ~hi) ~kind)
+       specs)
+
+(* Figure 4 of the paper: intervals on one track; six conflict sets. *)
+let test_figure4_shape () =
+  (* a stack of staggered intervals: the sweep must emit maximal
+     cliques only, left to right *)
+  let intervals =
+    mk_intervals
+      [
+        (0, 0, 0, 4, AI.Regular);
+        (1, 0, 2, 6, AI.Regular);
+        (2, 0, 5, 9, AI.Regular);
+        (3, 0, 8, 12, AI.Regular);
+      ]
+  in
+  let cliques = Conflict.detect intervals in
+  check_int "three pairwise cliques" 3 (Array.length cliques);
+  Array.iter
+    (fun (c : Conflict.clique) ->
+      check_int "each clique has 2 members" 2 (Array.length c.Conflict.members))
+    cliques
+
+let test_nested_cliques () =
+  (* one big interval covering two disjoint small ones: two cliques *)
+  let intervals =
+    mk_intervals
+      [
+        (0, 0, 0, 10, AI.Regular);
+        (1, 0, 1, 2, AI.Regular);
+        (2, 0, 7, 8, AI.Regular);
+      ]
+  in
+  let cliques = Conflict.detect intervals in
+  check_int "two cliques" 2 (Array.length cliques);
+  Array.iter
+    (fun (c : Conflict.clique) ->
+      check "big interval in every clique" true
+        (Array.exists (fun id -> id = 0) c.Conflict.members))
+    cliques
+
+let test_tracks_independent () =
+  let intervals =
+    mk_intervals
+      [ (0, 0, 0, 5, AI.Regular); (1, 1, 0, 5, AI.Regular) ]
+  in
+  check_int "different tracks never conflict" 0
+    (Array.length (Conflict.detect intervals))
+
+let test_common_intersection () =
+  let intervals =
+    mk_intervals
+      [ (0, 3, 0, 6, AI.Regular); (1, 3, 4, 10, AI.Regular) ]
+  in
+  let cliques = Conflict.detect intervals in
+  check_int "one clique" 1 (Array.length cliques);
+  let c = cliques.(0) in
+  check_int "L_m = overlap length" 3 (I.length c.Conflict.common);
+  check_int "track recorded" 3 c.Conflict.track
+
+let test_clearance_inflation () =
+  (* gap of 1 between regular intervals conflicts at clearance 2 *)
+  let intervals =
+    mk_intervals
+      [ (0, 0, 0, 3, AI.Regular); (1, 0, 5, 8, AI.Regular) ]
+  in
+  check_int "no conflict at clearance 0" 0
+    (Array.length (Conflict.detect ~clearance:0 intervals));
+  check_int "conflict at clearance 2" 1
+    (Array.length (Conflict.detect ~clearance:2 intervals));
+  (* gap of 2 is legal even at clearance 2 *)
+  let spaced =
+    mk_intervals
+      [ (0, 0, 0, 3, AI.Regular); (1, 0, 6, 8, AI.Regular) ]
+  in
+  check_int "gap 2 clean at clearance 2" 0
+    (Array.length (Conflict.detect ~clearance:2 spaced))
+
+let test_dense_ids_required () =
+  let bad =
+    [|
+      AI.make ~id:5 ~net:0 ~pins:[ 0 ] ~track:0 ~span:(I.point 0)
+        ~kind:AI.Regular;
+    |]
+  in
+  match Conflict.detect bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for non-dense ids"
+
+(* brute force: maximal cliques of the (clearance-inflated) interval
+   graph via point-stabbing *)
+let brute_force_cliques ~clearance intervals =
+  let eff_hi (iv : AI.t) = I.hi iv.AI.span + clearance in
+  let stab x =
+    Array.to_list intervals
+    |> List.filter (fun (iv : AI.t) -> I.lo iv.AI.span <= x && eff_hi iv >= x)
+    |> List.map (fun (iv : AI.t) -> iv.AI.id)
+    |> List.sort_uniq Int.compare
+  in
+  let candidates =
+    Array.to_list intervals
+    |> List.concat_map (fun (iv : AI.t) -> [ I.lo iv.AI.span; eff_hi iv ])
+    |> List.sort_uniq Int.compare
+    |> List.map stab
+    |> List.filter (fun c -> List.length c >= 2)
+    |> List.sort_uniq compare
+  in
+  (* keep only maximal sets *)
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' ->
+             c <> c' && List.for_all (fun x -> List.mem x c') c)
+           candidates))
+    candidates
+  |> List.sort_uniq compare
+
+let random_track_intervals =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 10 in
+      list_repeat n
+        (let* lo = int_range 0 20 in
+         let* len = int_range 0 8 in
+         return (lo, lo + len)))
+  in
+  QCheck.make gen
+
+let prop_sweep_matches_brute_force clearance =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "sweep = brute force (clearance %d)" clearance)
+    ~count:500 random_track_intervals (fun spans ->
+      let intervals =
+        mk_intervals
+          (List.map (fun (lo, hi) -> (0, 0, lo, hi, AI.Regular)) spans)
+      in
+      let sweep =
+        Conflict.detect ~clearance intervals
+        |> Array.to_list
+        |> List.map (fun (c : Conflict.clique) ->
+               Array.to_list c.Conflict.members)
+        |> List.sort_uniq compare
+      in
+      let brute = brute_force_cliques ~clearance intervals in
+      sweep = brute)
+
+let prop_linear_clique_count =
+  QCheck.Test.make ~name:"clique count <= interval count" ~count:300
+    random_track_intervals (fun spans ->
+      let intervals =
+        mk_intervals
+          (List.map (fun (lo, hi) -> (0, 0, lo, hi, AI.Regular)) spans)
+      in
+      Array.length (Conflict.detect intervals) <= Array.length intervals)
+
+let test_pairwise_count () =
+  let intervals =
+    mk_intervals
+      [
+        (0, 0, 0, 5, AI.Regular);
+        (1, 0, 3, 8, AI.Regular);
+        (2, 0, 7, 9, AI.Regular);
+      ]
+  in
+  check_int "two overlapping pairs" 2
+    (Conflict.count_pairwise_conflicts intervals)
+
+let () =
+  Alcotest.run "conflict"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "figure 4 shape" `Quick test_figure4_shape;
+          Alcotest.test_case "nested" `Quick test_nested_cliques;
+          Alcotest.test_case "tracks independent" `Quick test_tracks_independent;
+          Alcotest.test_case "common intersection" `Quick test_common_intersection;
+          Alcotest.test_case "clearance inflation" `Quick test_clearance_inflation;
+          Alcotest.test_case "dense ids" `Quick test_dense_ids_required;
+          Alcotest.test_case "pairwise count" `Quick test_pairwise_count;
+          QCheck_alcotest.to_alcotest (prop_sweep_matches_brute_force 0);
+          QCheck_alcotest.to_alcotest (prop_sweep_matches_brute_force 2);
+          QCheck_alcotest.to_alcotest prop_linear_clique_count;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+module I = Geometry.Interval
+module P = Geometry.Point
+module R = Geometry.Rect
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- Interval ----- *)
+
+let test_interval_basics () =
+  let i = I.make ~lo:2 ~hi:5 in
+  check_int "length" 4 (I.length i);
+  check "contains lo" true (I.contains i 2);
+  check "contains hi" true (I.contains i 5);
+  check "not contains" false (I.contains i 6);
+  check_int "point length" 1 (I.length (I.point 7));
+  Alcotest.check_raises "lo > hi rejected"
+    (Invalid_argument "Interval.make: lo 3 > hi 2") (fun () ->
+      ignore (I.make ~lo:3 ~hi:2))
+
+let test_interval_overlap () =
+  let a = I.make ~lo:0 ~hi:3 and b = I.make ~lo:3 ~hi:5 in
+  check "closed endpoints overlap" true (I.overlaps a b);
+  check "disjoint" false (I.overlaps a (I.make ~lo:4 ~hi:5));
+  check_int "intersection length" 1 (I.intersection_length a b);
+  check_int "disjoint intersection" 0
+    (I.intersection_length a (I.make ~lo:10 ~hi:12))
+
+let test_interval_ops () =
+  let a = I.make ~lo:1 ~hi:4 and b = I.make ~lo:6 ~hi:9 in
+  check "hull" true (I.equal (I.hull a b) (I.make ~lo:1 ~hi:9));
+  check "shift" true (I.equal (I.shift a 2) (I.make ~lo:3 ~hi:6));
+  (match I.clamp (I.make ~lo:0 ~hi:100) ~within:a with
+  | Some c -> check "clamp" true (I.equal c a)
+  | None -> Alcotest.fail "clamp should intersect");
+  check "clamp disjoint" true (I.clamp a ~within:(I.make ~lo:20 ~hi:30) = None);
+  check "contains_interval" true
+    (I.contains_interval (I.make ~lo:0 ~hi:10) a);
+  check "not contains_interval" false (I.contains_interval a b)
+
+let small_interval =
+  QCheck.map
+    (fun (a, b) -> I.make ~lo:(min a b) ~hi:(max a b))
+    QCheck.(pair (int_range (-50) 50) (int_range (-50) 50))
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap symmetric" ~count:500
+    (QCheck.pair small_interval small_interval) (fun (a, b) ->
+      I.overlaps a b = I.overlaps b a)
+
+let prop_overlap_iff_intersection =
+  QCheck.Test.make ~name:"overlap iff intersection non-empty" ~count:500
+    (QCheck.pair small_interval small_interval) (fun (a, b) ->
+      I.overlaps a b = (I.intersect a b <> None))
+
+let prop_hull_contains =
+  QCheck.Test.make ~name:"hull contains both" ~count:500
+    (QCheck.pair small_interval small_interval) (fun (a, b) ->
+      let h = I.hull a b in
+      I.contains_interval h a && I.contains_interval h b)
+
+let prop_intersection_length =
+  QCheck.Test.make ~name:"intersection length matches intersect" ~count:500
+    (QCheck.pair small_interval small_interval) (fun (a, b) ->
+      match I.intersect a b with
+      | Some c -> I.intersection_length a b = I.length c
+      | None -> I.intersection_length a b = 0)
+
+(* ----- Point ----- *)
+
+let test_point () =
+  let p = P.make ~x:3 ~y:4 in
+  check_int "manhattan" 7 (P.manhattan p P.zero);
+  check "step east" true
+    (P.equal (P.step p Geometry.Axis.Dir.East) (P.make ~x:4 ~y:4));
+  check "step up is identity" true (P.equal (P.step p Geometry.Axis.Dir.Up) p);
+  check "add/sub" true (P.equal (P.sub (P.add p p) p) p)
+
+let test_axis () =
+  let open Geometry.Axis in
+  check "flip" true (equal (flip Horizontal) Vertical);
+  check "dir axis" true (Dir.axis Dir.East = Some Horizontal);
+  check "via axis" true (Dir.axis Dir.Up = None);
+  List.iter
+    (fun d -> check "opposite involutive" true (Dir.opposite (Dir.opposite d) = d))
+    Dir.all
+
+(* ----- Rect ----- *)
+
+let test_rect () =
+  let r = R.of_corners (P.make ~x:5 ~y:1) (P.make ~x:2 ~y:3) in
+  check_int "width" 4 (R.width r);
+  check_int "height" 3 (R.height r);
+  check_int "area" 12 (R.area r);
+  check_int "half perimeter" 5 (R.half_perimeter r);
+  check "contains" true (R.contains r (P.make ~x:3 ~y:2));
+  check "not contains" false (R.contains r (P.make ~x:6 ~y:2))
+
+let test_rect_of_points () =
+  let pts = [ P.make ~x:1 ~y:5; P.make ~x:4 ~y:2; P.make ~x:0 ~y:3 ] in
+  let r = R.of_points pts in
+  List.iter (fun p -> check "covers each point" true (R.contains r p)) pts;
+  check_int "tight width" 5 (R.width r);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Rect.of_points: empty list") (fun () ->
+      ignore (R.of_points []))
+
+let test_rect_inflate () =
+  let die =
+    R.make ~xs:(I.make ~lo:0 ~hi:20) ~ys:(I.make ~lo:0 ~hi:20)
+  in
+  let r = R.make ~xs:(I.make ~lo:1 ~hi:3) ~ys:(I.make ~lo:18 ~hi:19) in
+  let g = R.inflate r ~by:5 ~within:die in
+  check_int "clipped at left edge" 0 (I.lo (R.xs g));
+  check_int "grown right" 8 (I.hi (R.xs g));
+  check_int "clipped at top" 20 (I.hi (R.ys g))
+
+let prop_rect_hull =
+  let point =
+    QCheck.map
+      (fun (x, y) -> P.make ~x ~y)
+      QCheck.(pair (int_range 0 50) (int_range 0 50))
+  in
+  QCheck.Test.make ~name:"rect hull contains both" ~count:300
+    QCheck.(pair (pair point point) (pair point point))
+    (fun ((a, b), (c, d)) ->
+      let r1 = R.of_corners a b and r2 = R.of_corners c d in
+      let h = R.hull r1 r2 in
+      R.contains h a && R.contains h b && R.contains h c && R.contains h d)
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "overlap" `Quick test_interval_overlap;
+          Alcotest.test_case "ops" `Quick test_interval_ops;
+          QCheck_alcotest.to_alcotest prop_overlap_symmetric;
+          QCheck_alcotest.to_alcotest prop_overlap_iff_intersection;
+          QCheck_alcotest.to_alcotest prop_hull_contains;
+          QCheck_alcotest.to_alcotest prop_intersection_length;
+        ] );
+      ( "point-axis",
+        [
+          Alcotest.test_case "point" `Quick test_point;
+          Alcotest.test_case "axis" `Quick test_axis;
+        ] );
+      ( "rect",
+        [
+          Alcotest.test_case "basics" `Quick test_rect;
+          Alcotest.test_case "of_points" `Quick test_rect_of_points;
+          Alcotest.test_case "inflate" `Quick test_rect_inflate;
+          QCheck_alcotest.to_alcotest prop_rect_hull;
+        ] );
+    ]

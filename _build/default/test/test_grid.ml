@@ -1,0 +1,321 @@
+module B = Netlist.Builder
+module Node = Rgrid.Node
+module Grid = Rgrid.Grid
+module Heap = Rgrid.Heap
+module Maze = Rgrid.Maze
+module Layer = Rgrid.Layer
+module I = Geometry.Interval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let design ?blockages () =
+  B.design ~width:20 ~height:10
+    ~nets:[ ("a", [ B.pin_at 2 3; B.pin_at 17 6 ]) ]
+    ?blockages ()
+
+(* ----- Node packing ----- *)
+
+let test_node_roundtrip () =
+  let d = design () in
+  let space = Node.space_of_design d in
+  check_int "count" (2 * 20 * 10) (Node.count space);
+  List.iter
+    (fun layer ->
+      for x = 0 to 19 do
+        for y = 0 to 9 do
+          let n = Node.pack space ~layer ~x ~y in
+          let l', x', y' = Node.unpack space n in
+          if not (Layer.equal l' layer && x' = x && y' = y) then
+            Alcotest.failf "roundtrip failed at %s (%d,%d)"
+              (Layer.to_string layer) x y
+        done
+      done)
+    [ Layer.M2; Layer.M3 ]
+
+let test_node_other_layer () =
+  let d = design () in
+  let space = Node.space_of_design d in
+  let n = Node.pack space ~layer:Layer.M2 ~x:5 ~y:5 in
+  let m = Node.other_layer space n in
+  check "other layer is M3" true (Layer.equal (Node.layer space m) Layer.M3);
+  check_int "same x" 5 (Node.x space m);
+  check "involutive" true (Node.other_layer space m = n);
+  (match Node.pack space ~layer:Layer.M1 ~x:0 ~y:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "M1 pack must be rejected")
+
+(* ----- Heap ----- *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~capacity:4 () in
+  let input = [ 5.0; 1.0; 3.0; 2.0; 4.0; 0.5; 9.0 ] in
+  List.iteri (fun i p -> Heap.push h p i) input;
+  check_int "size" (List.length input) (Heap.size h);
+  let rec drain acc =
+    match Heap.pop h with
+    | Some (p, _) -> drain (p :: acc)
+    | None -> List.rev acc
+  in
+  let sorted = drain [] in
+  check "non-decreasing" true
+    (List.sort compare sorted = sorted);
+  check "empty after drain" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:200
+    QCheck.(list (float_range 0.0 100.0))
+    (fun floats ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h p i) floats;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare out && List.length out = List.length floats)
+
+(* ----- Grid state ----- *)
+
+let test_grid_occupancy () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let n = Node.pack space ~layer:Layer.M2 ~x:5 ~y:5 in
+  check_int "initially free" 0 (Grid.occ g n);
+  Grid.add_usage g ~net:0 n;
+  Grid.add_usage g ~net:1 n;
+  check_int "two users" 2 (Grid.occ g n);
+  check "overused" true (Grid.overused g n);
+  check_int "congested count" 1 (Grid.congested_nodes g);
+  check "users listed" true
+    (List.sort compare (Grid.nets_using g n) = [ 0; 1 ]);
+  Grid.remove_usage g ~net:0 n;
+  check "no longer overused" false (Grid.overused g n);
+  (match Grid.add_usage g ~net:1 n with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double add by one net must be rejected")
+
+let test_grid_ownership () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let n = Node.pack space ~layer:Layer.M2 ~x:3 ~y:3 in
+  check "passable when free" true (Grid.passable g ~net:7 n);
+  Grid.set_owner g n ~net:7;
+  check "owner passable" true (Grid.passable g ~net:7 n);
+  check "foreign blocked" false (Grid.passable g ~net:8 n);
+  Grid.set_owner g n ~net:7 (* idempotent *);
+  (match Grid.set_owner g n ~net:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stealing ownership must be rejected");
+  Grid.clear_owner g n ~net:8 (* wrong net: no-op *);
+  check "still owned" true (Grid.owner g n = 7);
+  Grid.clear_owner g n ~net:7;
+  check "released" true (Grid.owner g n = -1)
+
+let test_grid_blockages_applied () =
+  let blockages =
+    [
+      Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track:5
+        ~span:(I.make ~lo:4 ~hi:6);
+    ]
+  in
+  let d = design ~blockages () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  check "blocked node" true
+    (Grid.blocked g (Node.pack space ~layer:Layer.M2 ~x:5 ~y:5));
+  check "M3 unaffected" false
+    (Grid.blocked g (Node.pack space ~layer:Layer.M3 ~x:5 ~y:5))
+
+let test_via_pressure () =
+  let d = design () in
+  let g = Grid.create d in
+  Grid.add_via g ~x:5 ~y:5;
+  check_int "pressure" 1 (Grid.via_pressure g ~x:5 ~y:5);
+  check "neighbour forbidden" true (Grid.via_forbidden g ~x:6 ~y:5);
+  check "distant not forbidden" false (Grid.via_forbidden g ~x:8 ~y:5);
+  Grid.remove_via g ~x:5 ~y:5;
+  check "released" false (Grid.via_forbidden g ~x:6 ~y:5)
+
+let test_history () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let n = Node.pack space ~layer:Layer.M3 ~x:1 ~y:1 in
+  Grid.add_usage g ~net:0 n;
+  Grid.add_usage g ~net:1 n;
+  Grid.add_history g ~increment:2.5;
+  Alcotest.(check (float 1e-9)) "bumped" 2.5 (Grid.history g n);
+  Grid.add_history_at g n 1.0;
+  Alcotest.(check (float 1e-9)) "bumped again" 3.5 (Grid.history g n)
+
+(* ----- Maze ----- *)
+
+let test_maze_straight_line () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Maze.create g in
+  let src = Node.pack space ~layer:Layer.M2 ~x:2 ~y:5 in
+  let dst = Node.pack space ~layer:Layer.M2 ~x:10 ~y:5 in
+  match
+    Maze.search maze ~cost:Rgrid.Cost.default ~net:0 ~pfac:0.0 ~sources:[ src ]
+      ~targets:[ dst ] ~window:(Netlist.Design.die d)
+  with
+  | Maze.Found { path; cost } ->
+    check_int "9 nodes" 9 (List.length path);
+    check "cost = 8 steps" true (Float.abs (cost -. 8.0) < 1e-9);
+    check "starts at src" true (List.hd path = src)
+  | Maze.Unreachable -> Alcotest.fail "straight line must route"
+
+let test_maze_layer_change () =
+  (* different tracks force M3 (vertical) plus vias *)
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Maze.create g in
+  let src = Node.pack space ~layer:Layer.M2 ~x:2 ~y:2 in
+  let dst = Node.pack space ~layer:Layer.M2 ~x:2 ~y:7 in
+  match
+    Maze.search maze ~cost:Rgrid.Cost.default ~net:0 ~pfac:0.0 ~sources:[ src ]
+      ~targets:[ dst ] ~window:(Netlist.Design.die d)
+  with
+  | Maze.Found { path; _ } ->
+    let layers =
+      List.map (fun n -> Node.layer space n) path
+      |> List.filter (fun l -> Layer.equal l Layer.M3)
+    in
+    check "uses M3" true (layers <> []);
+    check "unidirectional: no M2 vertical step" true
+      (let ok = ref true in
+       let rec walk = function
+         | a :: (b :: _ as rest) ->
+           (if
+              Layer.equal (Node.layer space a) Layer.M2
+              && Layer.equal (Node.layer space b) Layer.M2
+              && Node.y space a <> Node.y space b
+            then ok := false);
+           walk rest
+         | _ -> ()
+       in
+       walk path;
+       !ok)
+  | Maze.Unreachable -> Alcotest.fail "must route via M3"
+
+let test_maze_respects_blockage () =
+  let blockages =
+    [
+      Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track:5
+        ~span:(I.make ~lo:5 ~hi:5);
+    ]
+  in
+  let d = design ~blockages () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Maze.create g in
+  let src = Node.pack space ~layer:Layer.M2 ~x:2 ~y:5 in
+  let dst = Node.pack space ~layer:Layer.M2 ~x:10 ~y:5 in
+  match
+    Maze.search maze ~cost:Rgrid.Cost.default ~net:0 ~pfac:0.0 ~sources:[ src ]
+      ~targets:[ dst ] ~window:(Netlist.Design.die d)
+  with
+  | Maze.Found { path; _ } ->
+    check "detours around blockage" true (List.length path > 9);
+    check "blocked node not used" true
+      (not (List.mem (Node.pack space ~layer:Layer.M2 ~x:5 ~y:5) path))
+  | Maze.Unreachable -> Alcotest.fail "detour exists"
+
+let test_maze_window_limits () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Maze.create g in
+  let src = Node.pack space ~layer:Layer.M2 ~x:2 ~y:2 in
+  let dst = Node.pack space ~layer:Layer.M2 ~x:2 ~y:7 in
+  (* window excluding everything but track 2: unreachable *)
+  let window =
+    Geometry.Rect.make ~xs:(I.make ~lo:0 ~hi:19) ~ys:(I.make ~lo:2 ~hi:2)
+  in
+  check "window blocks vertical" true
+    (Maze.search maze ~cost:Rgrid.Cost.default ~net:0 ~pfac:0.0 ~sources:[ src ]
+       ~targets:[ dst ] ~window
+    = Maze.Unreachable)
+
+let test_maze_owner_exclusion () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Maze.create g in
+  (* wall off column 5's M2 and M3 for a foreign net *)
+  for y = 0 to 9 do
+    Grid.set_owner g (Node.pack space ~layer:Layer.M2 ~x:5 ~y) ~net:99;
+    Grid.set_owner g (Node.pack space ~layer:Layer.M3 ~x:5 ~y) ~net:99
+  done;
+  let src = Node.pack space ~layer:Layer.M2 ~x:2 ~y:5 in
+  let dst = Node.pack space ~layer:Layer.M2 ~x:10 ~y:5 in
+  check "owned wall unreachable" true
+    (Maze.search maze ~cost:Rgrid.Cost.default ~net:0 ~pfac:0.0 ~sources:[ src ]
+       ~targets:[ dst ] ~window:(Netlist.Design.die d)
+    = Maze.Unreachable);
+  check "owner itself may pass" true
+    (match
+       Maze.search maze ~cost:Rgrid.Cost.default ~net:99 ~pfac:0.0
+         ~sources:[ src ] ~targets:[ dst ] ~window:(Netlist.Design.die d)
+     with
+    | Maze.Found _ -> true
+    | Maze.Unreachable -> false)
+
+let test_maze_spacing_penalty () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Maze.create g in
+  (* foreign solid metal right of the straight path's end *)
+  let wall = Node.pack space ~layer:Layer.M2 ~x:12 ~y:5 in
+  Grid.set_owner g wall ~net:99;
+  Grid.set_solid g wall;
+  let src = Node.pack space ~layer:Layer.M2 ~x:2 ~y:5 in
+  let dst = Node.pack space ~layer:Layer.M2 ~x:10 ~y:5 in
+  match
+    Maze.search maze ~cost:Rgrid.Cost.default ~net:0 ~pfac:0.0 ~sources:[ src ]
+      ~targets:[ dst ] ~window:(Netlist.Design.die d)
+  with
+  | Maze.Found { cost; _ } ->
+    (* ending 2 away from solid foreign metal pays the near penalty *)
+    check "clearance penalty charged" true (cost > 8.0 +. 1e-9)
+  | Maze.Unreachable -> Alcotest.fail "must still route"
+
+let () =
+  Alcotest.run "grid"
+    [
+      ( "node",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_node_roundtrip;
+          Alcotest.test_case "other layer" `Quick test_node_other_layer;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "occupancy" `Quick test_grid_occupancy;
+          Alcotest.test_case "ownership" `Quick test_grid_ownership;
+          Alcotest.test_case "blockages" `Quick test_grid_blockages_applied;
+          Alcotest.test_case "via pressure" `Quick test_via_pressure;
+          Alcotest.test_case "history" `Quick test_history;
+        ] );
+      ( "maze",
+        [
+          Alcotest.test_case "straight line" `Quick test_maze_straight_line;
+          Alcotest.test_case "layer change" `Quick test_maze_layer_change;
+          Alcotest.test_case "blockage detour" `Quick test_maze_respects_blockage;
+          Alcotest.test_case "window" `Quick test_maze_window_limits;
+          Alcotest.test_case "owner exclusion" `Quick test_maze_owner_exclusion;
+          Alcotest.test_case "spacing penalty" `Quick test_maze_spacing_penalty;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+module I = Geometry.Interval
+module B = Netlist.Builder
+module P = Pinaccess.Problem
+module Ilp = Pinaccess.Ilp
+module Sol = Pinaccess.Solution
+module PA = Pinaccess.Pin_access
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cfg = Pinaccess.Interval_gen.default_config
+
+let fig3_design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_span 6 ~lo:2 ~hi:4; B.pin_at 2 7; B.pin_at 17 6 ]);
+        ("b", [ B.pin_at 9 3; B.pin_at 9 8 ]);
+        ("c", [ B.pin_at 3 2; B.pin_at 13 2 ]);
+        ("d", [ B.pin_at 14 3; B.pin_at 15 8 ]);
+      ]
+    ()
+
+let test_formulation_shape () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let milp = Ilp.to_milp problem in
+  check_int "one variable per interval" (P.num_intervals problem)
+    milp.Solver.Milp.num_vars;
+  let chooses, conflicts =
+    List.partition
+      (fun row ->
+        match row with
+        | Solver.Milp.Choose_one _ -> true
+        | Solver.Milp.At_most_one _ -> false)
+      milp.Solver.Milp.rows
+  in
+  check_int "(1b): one row per pin" (P.num_pins problem) (List.length chooses);
+  check_int "(1c): one row per clique" (P.num_cliques problem)
+    (List.length conflicts)
+
+let test_ilp_optimal_and_feasible () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let r = Ilp.solve problem in
+  check "proven optimal" true r.Ilp.proven_optimal;
+  check "conflict free" true (Sol.is_conflict_free r.Ilp.solution);
+  Alcotest.(check (float 1e-6))
+    "objective consistent" r.Ilp.objective
+    (Sol.objective r.Ilp.solution)
+
+let test_ilp_dominates_lr () =
+  let d = Workloads.Suite.design ~scale:0.08 (Workloads.Suite.find "efc") in
+  for panel = 0 to Netlist.Design.num_panels d - 1 do
+    let problem = P.build_panel cfg d ~panel in
+    if P.num_pins problem > 0 then begin
+      let lr = Pinaccess.Lagrangian.solve problem in
+      let sol = lr.Pinaccess.Lagrangian.solution in
+      (* a residual-conflict LR solution is not feasible, hence not
+         comparable to the exact solver's objective *)
+      if Sol.is_conflict_free sol then begin
+        let ilp = Ilp.solve ~time_limit:20.0 ~warm_start:sol problem in
+        check "ILP >= LR objective" true
+          (ilp.Ilp.objective >= Sol.objective sol -. 1e-6)
+      end
+    end
+  done
+
+let test_lp_bound_dominates () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let r = Ilp.solve problem in
+  match Ilp.lp_relaxation_bound problem with
+  | Some b -> check "LP bound >= ILP optimum" true (b >= r.Ilp.objective -. 1e-6)
+  | None -> Alcotest.fail "simplex failed on a feasible relaxation"
+
+let test_theorem1_feasibility () =
+  (* Theorem 1: selecting minimum intervals is feasible, so the ILP is
+     solvable at clearance 0 for any valid design *)
+  let d = Workloads.Suite.design ~scale:0.06 (Workloads.Suite.find "ctl") in
+  let cfg0 = { cfg with Pinaccess.Interval_gen.clearance = 0 } in
+  for panel = 0 to Netlist.Design.num_panels d - 1 do
+    let problem = P.build_panel cfg0 d ~panel in
+    if P.num_pins problem > 0 then begin
+      let r = Ilp.solve ~time_limit:30.0 problem in
+      check "feasible at clearance 0" true (Sol.is_conflict_free r.Ilp.solution)
+    end
+  done
+
+let test_pin_access_top_level () =
+  let d = fig3_design () in
+  let lr = PA.optimize ~kind:PA.Lr d in
+  let ilp = PA.optimize ~kind:PA.Ilp d in
+  PA.validate lr;
+  PA.validate ilp;
+  check "ILP objective >= LR" true (ilp.PA.objective >= lr.PA.objective -. 1e-6);
+  check_int "one report per non-empty panel" 1 (List.length lr.PA.reports);
+  check "every pin assigned" true
+    (List.length lr.PA.assignments = Array.length (Netlist.Design.pins d))
+
+let test_pin_access_combined () =
+  let d = Workloads.Suite.design ~scale:0.08 (Workloads.Suite.find "ecc") in
+  let combined = PA.optimize_combined ~kind:PA.Lr d ~panels:[ 0; 1 ] in
+  PA.validate ~complete:false combined;
+  check "combined covers only two panels' pins" true
+    (List.length combined.PA.assignments
+    < Array.length (Netlist.Design.pins d))
+
+let test_interval_of_pin () =
+  let d = fig3_design () in
+  let lr = PA.optimize ~kind:PA.Lr d in
+  (match PA.interval_of_pin lr 0 with
+  | Some iv ->
+    check "serves pin 0" true (Pinaccess.Access_interval.serves iv 0)
+  | None -> Alcotest.fail "pin 0 should be assigned");
+  check "unknown pin id" true (PA.interval_of_pin lr 9999 = None)
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "formulation",
+        [
+          Alcotest.test_case "shape" `Quick test_formulation_shape;
+          Alcotest.test_case "optimal + feasible" `Quick test_ilp_optimal_and_feasible;
+          Alcotest.test_case "dominates LR" `Slow test_ilp_dominates_lr;
+          Alcotest.test_case "LP bound" `Quick test_lp_bound_dominates;
+          Alcotest.test_case "Theorem 1 feasibility" `Slow test_theorem1_feasibility;
+        ] );
+      ( "pin_access",
+        [
+          Alcotest.test_case "top level LR vs ILP" `Quick test_pin_access_top_level;
+          Alcotest.test_case "combined panels" `Quick test_pin_access_combined;
+          Alcotest.test_case "interval_of_pin" `Quick test_interval_of_pin;
+        ] );
+    ]

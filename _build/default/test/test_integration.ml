@@ -1,0 +1,150 @@
+(* End-to-end flows on a small but non-trivial synthetic circuit:
+   the invariants every router must uphold, plus the paper's expected
+   qualitative relationships between CPR and the two baselines. *)
+
+module Design = Netlist.Design
+module Grid = Rgrid.Grid
+module Node = Rgrid.Node
+module Route = Rgrid.Route
+module Flow = Router.Flow
+
+let check = Alcotest.(check bool)
+
+let small () = Workloads.Suite.design ~scale:0.08 (Workloads.Suite.find "ecc")
+
+let assert_flow_invariants name (flow : Flow.t) =
+  let d = flow.Flow.design in
+  let space = Node.space_of_design d in
+  (* 1. clean nets are routed *)
+  Array.iteri
+    (fun net clean ->
+      if clean then
+        check (name ^ ": clean implies routed") true
+          (Option.is_some flow.Flow.routes.(net)))
+    flow.Flow.clean;
+  (* 2. every routed net's metal is connected and covers its pins' V1s *)
+  Array.iter
+    (fun route ->
+      match route with
+      | None -> ()
+      | Some (r : Route.t) ->
+        List.iter
+          (fun (_pin, x, y) ->
+            check (name ^ ": V1 lands on own metal") true
+              (List.mem (Node.pack space ~layer:Rgrid.Layer.M2 ~x ~y)
+                 r.Route.nodes))
+          r.Route.pin_vias)
+    flow.Flow.routes;
+  (* 3. no two routed nets share a node (short-free final metal) *)
+  let owner = Hashtbl.create 1024 in
+  Array.iter
+    (fun route ->
+      match route with
+      | None -> ()
+      | Some (r : Route.t) ->
+        List.iter
+          (fun node ->
+            (match Hashtbl.find_opt owner node with
+            | Some other when other <> r.Route.net ->
+              Alcotest.failf "%s: nets %d and %d short at node %d" name other
+                r.Route.net node
+            | Some _ | None -> ());
+            Hashtbl.replace owner node r.Route.net)
+          r.Route.nodes)
+    flow.Flow.routes;
+  (* 4. blamed violations refer to routed nets *)
+  List.iter
+    (fun (v : Drc.Check.violation) ->
+      if v.Drc.Check.blame >= 0 then
+        check (name ^ ": blame within range") true
+          (v.Drc.Check.blame < Array.length flow.Flow.clean))
+    flow.Flow.violations;
+  (* 5. elapsed time sane *)
+  check (name ^ ": elapsed >= 0") true (flow.Flow.elapsed >= 0.0)
+
+let test_cpr_flow () = assert_flow_invariants "cpr" (Router.Cpr.run (small ()))
+
+let test_ncr_flow () =
+  assert_flow_invariants "ncr" (Router.Baseline_ncr.run (small ()))
+
+let test_seq_flow () =
+  assert_flow_invariants "seq" (Router.Sequential.run (small ()))
+
+let test_cpr_beats_ncr () =
+  (* the headline qualitative results on a mid-size instance *)
+  let d = Workloads.Suite.design ~scale:0.25 (Workloads.Suite.find "ecc") in
+  let cpr = Router.Cpr.run d in
+  let ncr = Router.Baseline_ncr.run d in
+  let s_cpr = Metrics.Eval.of_flow cpr and s_ncr = Metrics.Eval.of_flow ncr in
+  check "CPR routability >= NCR" true
+    (s_cpr.Metrics.Eval.routability >= s_ncr.Metrics.Eval.routability -. 1.0);
+  check "CPR initial congestion below NCR" true
+    (cpr.Flow.initial_congestion <= ncr.Flow.initial_congestion);
+  check "CPR via count not above NCR" true
+    (s_cpr.Metrics.Eval.via_count
+    <= int_of_float (1.1 *. float_of_int s_ncr.Metrics.Eval.via_count))
+
+let test_cpr_with_ilp_pao () =
+  let d = small () in
+  let config =
+    {
+      Router.Cpr.default_config with
+      Router.Cpr.pao_kind = Pinaccess.Pin_access.Ilp;
+      pao =
+        {
+          Pinaccess.Pin_access.default_config with
+          Pinaccess.Pin_access.ilp_time_limit = Some 5.0;
+        };
+    }
+  in
+  assert_flow_invariants "cpr-ilp" (Router.Cpr.run ~config d)
+
+let test_run_with_external_pao () =
+  let d = small () in
+  let pao = Pinaccess.Pin_access.optimize ~kind:Pinaccess.Pin_access.Lr d in
+  let flow = Router.Cpr.run_with_pao d pao in
+  assert_flow_invariants "cpr-external-pao" flow;
+  check "pao recorded in flow" true (Option.is_some flow.Flow.pao)
+
+let test_flow_metrics_consistent () =
+  let d = small () in
+  let flow = Router.Cpr.run d in
+  let s = Metrics.Eval.of_flow flow in
+  check "routed_count matches" true
+    (Flow.routed_count flow = s.Metrics.Eval.routed_nets);
+  check "routability consistent" true
+    (Float.abs ((Flow.routability flow *. 100.0) -. s.Metrics.Eval.routability)
+    < 1e-9)
+
+(* appended: electrical verification of every flow *)
+let test_verify_flows () =
+  let d = small () in
+  List.iter
+    (fun (name, flow) ->
+      match Router.Verify.check_flow flow with
+      | [] -> ()
+      | issues ->
+        Alcotest.failf "%s: %s" name
+          (String.concat "; " (List.map Router.Verify.issue_to_string issues)))
+    [
+      ("cpr", Router.Cpr.run d);
+      ("ncr", Router.Baseline_ncr.run d);
+      ("seq", Router.Sequential.run d);
+    ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "flows",
+        [
+          Alcotest.test_case "cpr invariants" `Quick test_cpr_flow;
+          Alcotest.test_case "ncr invariants" `Quick test_ncr_flow;
+          Alcotest.test_case "seq invariants" `Quick test_seq_flow;
+          Alcotest.test_case "cpr with ILP PAO" `Slow test_cpr_with_ilp_pao;
+          Alcotest.test_case "external pao" `Quick test_run_with_external_pao;
+          Alcotest.test_case "metrics consistent" `Quick test_flow_metrics_consistent;
+          Alcotest.test_case "cpr beats ncr" `Slow test_cpr_beats_ncr;
+          Alcotest.test_case "electrical verification" `Quick test_verify_flows;
+        ] );
+    ]
+

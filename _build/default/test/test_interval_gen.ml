@@ -1,0 +1,214 @@
+module I = Geometry.Interval
+module B = Netlist.Builder
+module AI = Pinaccess.Access_interval
+module Gen = Pinaccess.Interval_gen
+module Design = Netlist.Design
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cfg = Gen.default_config
+
+(* The paper's Figure 3(a) setup: pin a1 spans three tracks; diff-net
+   pins b1 and d1 sit inside the net bounding box on one of them. *)
+let fig3_design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_span 6 ~lo:2 ~hi:4; B.pin_at 2 7; B.pin_at 17 6 ]);
+        ("b", [ B.pin_at 9 3; B.pin_at 9 8 ]);
+        ("c", [ B.pin_at 3 2; B.pin_at 13 2 ]);
+        ("d", [ B.pin_at 14 3; B.pin_at 15 8 ]);
+      ]
+    ()
+
+let test_min_interval_always_present () =
+  let d = fig3_design () in
+  Array.iter
+    (fun (p : Netlist.Pin.t) ->
+      let cands = Gen.generate_pin cfg d p in
+      let mins =
+        List.filter (fun (_, _, _, kind) -> kind = AI.Minimum) cands
+      in
+      check "has a minimum" true (mins <> []);
+      List.iter
+        (fun (_pins, track, span, _) ->
+          check "minimum covers exactly the pin column" true
+            (I.equal span (I.point p.Netlist.Pin.x));
+          check "minimum on a pin track" true
+            (Netlist.Pin.covers_track p track))
+        mins)
+    (Design.pins d)
+
+let test_all_intervals_cover_pin_column () =
+  let d = fig3_design () in
+  Array.iter
+    (fun (p : Netlist.Pin.t) ->
+      List.iter
+        (fun (_pins, track, span, _kind) ->
+          check "interval on pin track" true (Netlist.Pin.covers_track p track);
+          check "span covers pin column" true (I.contains span p.Netlist.Pin.x))
+        (Gen.generate_pin cfg d p))
+    (Design.pins d)
+
+let test_cutting_lines () =
+  let d = fig3_design () in
+  (* pin a1 (id 0) at x=6, track 3 hosts diff-net pins b1 (x=9) and
+     d1 (x=14): interval right edges on track 3 must include 8 (stop
+     before b1), 13 (stop before d1) and the bbox edge *)
+  let p = Design.pin d 0 in
+  let track3 =
+    Gen.generate_pin cfg d p
+    |> List.filter (fun (_, t, _, k) -> t = 3 && k = AI.Regular)
+    |> List.map (fun (_, _, span, _) -> I.hi span)
+    |> List.sort_uniq Int.compare
+  in
+  check "stops before b1" true (List.mem 8 track3);
+  check "stops before d1" true (List.mem 13 track3);
+  check "reaches bbox right edge" true (List.mem 17 track3)
+
+let test_count_o_mn () =
+  (* pin with m diff-net pins left and n right on its track: the number
+     of (left, right) edge combinations on that track is (m+1)*(n+1) *)
+  let d =
+    B.design ~width:30 ~height:10
+      ~nets:
+        [
+          ("target", [ B.pin_at 15 3; B.pin_at 2 7; B.pin_at 28 7 ]);
+          ("l1", [ B.pin_at 5 3 ]);
+          ("l2", [ B.pin_at 8 3 ]);
+          ("r1", [ B.pin_at 20 3 ]);
+        ]
+      ()
+  in
+  let p = Design.pin d 0 in
+  let track3_regular =
+    Gen.generate_pin cfg d p
+    |> List.filter (fun (_, t, _, k) -> t = 3 && k = AI.Regular)
+  in
+  (* m = 2 (x=5, 8), n = 1 (x=20): (2+1) * (1+1) = 6 *)
+  check_int "O(m*n) combinations" 6 (List.length track3_regular)
+
+let test_blockage_clipping () =
+  let blockages =
+    [
+      Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track:3
+        ~span:(I.make ~lo:10 ~hi:12);
+    ]
+  in
+  let d =
+    B.design ~width:30 ~height:10
+      ~nets:[ ("a", [ B.pin_at 5 3; B.pin_at 25 3 ]) ]
+      ~blockages ()
+  in
+  let p = Design.pin d 0 in
+  List.iter
+    (fun (_, _track, span, _) ->
+      check "clipped before blockage" true (I.hi span < 10))
+    (Gen.generate_pin cfg d p)
+
+let test_pin_unreachable () =
+  let blockages =
+    [
+      Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track:3
+        ~span:(I.make ~lo:4 ~hi:6);
+    ]
+  in
+  let d =
+    B.design ~width:30 ~height:10
+      ~nets:[ ("a", [ B.pin_at 5 3; B.pin_at 25 3 ]) ]
+      ~blockages ()
+  in
+  match Gen.generate_pin cfg d (Design.pin d 0) with
+  | exception Gen.Pin_unreachable 0 -> ()
+  | _ -> Alcotest.fail "expected Pin_unreachable"
+
+let test_shared_intervals () =
+  (* two same-net pins on one track: some interval serves both *)
+  let d =
+    B.design ~width:20 ~height:10
+      ~nets:[ ("c", [ B.pin_at 3 2; B.pin_at 13 2 ]) ]
+      ()
+  in
+  let intervals = Gen.generate_panel cfg d ~panel:0 in
+  let shared =
+    Array.to_list intervals
+    |> List.filter (fun (iv : AI.t) -> List.length iv.AI.pins = 2)
+  in
+  check "a shared interval exists" true (shared <> []);
+  List.iter
+    (fun (iv : AI.t) ->
+      check "covers both pin columns" true
+        (I.contains iv.AI.span 3 && I.contains iv.AI.span 13))
+    shared
+
+let test_panel_dedupe () =
+  let d = fig3_design () in
+  let intervals = Gen.generate_panel cfg d ~panel:0 in
+  (* ids dense, geometry unique per net *)
+  Array.iteri (fun i (iv : AI.t) -> check_int "dense id" i iv.AI.id) intervals;
+  let keys =
+    Array.to_list intervals
+    |> List.map (fun (iv : AI.t) ->
+           (iv.AI.net, iv.AI.track, I.lo iv.AI.span, I.hi iv.AI.span))
+  in
+  check_int "no duplicate geometry" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_m2_bbox_margin () =
+  let d =
+    B.design ~width:60 ~height:10
+      ~nets:[ ("a", [ B.pin_at 10 3; B.pin_at 50 3 ]) ]
+      ()
+  in
+  let narrow = { cfg with Gen.m2_bbox_margin = Some 5 } in
+  let p = Design.pin d 0 in
+  List.iter
+    (fun (_, _t, span, _) ->
+      check "clipped to estimated M2 box" true (I.hi span <= 15 && I.lo span >= 5))
+    (Gen.generate_pin narrow d p);
+  let wide = Gen.generate_pin cfg d p in
+  check "net bbox reaches the far pin" true
+    (List.exists (fun (_, _, span, _) -> I.hi span = 50) wide)
+
+let test_max_per_pin_cap () =
+  let nets =
+    ("target", [ B.pin_at 25 3; B.pin_at 2 7; B.pin_at 48 7 ])
+    :: List.init 10 (fun i -> (Printf.sprintf "l%d" i, [ B.pin_at (2 + (2 * i)) 3 ]))
+    @ List.init 10 (fun i -> (Printf.sprintf "r%d" i, [ B.pin_at (28 + (2 * i)) 3 ]))
+  in
+  let d = B.design ~width:50 ~height:10 ~nets () in
+  let capped = { cfg with Gen.max_per_pin = 8 } in
+  let p = Design.pin d 0 in
+  let on_track3 =
+    Gen.generate_pin capped d p
+    |> List.filter (fun (_, t, _, k) -> t = 3 && k = AI.Regular)
+  in
+  check "capped" true (List.length on_track3 <= 8);
+  (* the longest candidate (full free range) must survive the cap *)
+  let max_len =
+    List.fold_left (fun m (_, _, span, _) -> max m (I.length span)) 0 on_track3
+  in
+  let uncapped =
+    Gen.generate_pin cfg d p
+    |> List.filter (fun (_, t, _, k) -> t = 3 && k = AI.Regular)
+    |> List.fold_left (fun m (_, _, span, _) -> max m (I.length span)) 0
+  in
+  check_int "maximum interval survives" uncapped max_len
+
+let () =
+  Alcotest.run "interval_gen"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "minimum present" `Quick test_min_interval_always_present;
+          Alcotest.test_case "covers pin column" `Quick test_all_intervals_cover_pin_column;
+          Alcotest.test_case "cutting lines" `Quick test_cutting_lines;
+          Alcotest.test_case "O(m*n) count" `Quick test_count_o_mn;
+          Alcotest.test_case "blockage clipping" `Quick test_blockage_clipping;
+          Alcotest.test_case "pin unreachable" `Quick test_pin_unreachable;
+          Alcotest.test_case "shared intervals" `Quick test_shared_intervals;
+          Alcotest.test_case "panel dedupe" `Quick test_panel_dedupe;
+          Alcotest.test_case "m2 bbox margin" `Quick test_m2_bbox_margin;
+          Alcotest.test_case "max_per_pin cap" `Quick test_max_per_pin_cap;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+module I = Geometry.Interval
+module B = Netlist.Builder
+module P = Pinaccess.Problem
+module LR = Pinaccess.Lagrangian
+module Sol = Pinaccess.Solution
+module Obj = Pinaccess.Objective
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cfg = Pinaccess.Interval_gen.default_config
+
+let fig3_design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_span 6 ~lo:2 ~hi:4; B.pin_at 2 7; B.pin_at 17 6 ]);
+        ("b", [ B.pin_at 9 3; B.pin_at 9 8 ]);
+        ("c", [ B.pin_at 3 2; B.pin_at 13 2 ]);
+        ("d", [ B.pin_at 14 3; B.pin_at 15 8 ]);
+      ]
+    ()
+
+let test_objective_function () =
+  Alcotest.(check (float 1e-9)) "sqrt" 3.0 (Obj.f Obj.Sqrt_length 9);
+  Alcotest.(check (float 1e-9)) "linear" 9.0 (Obj.f Obj.Linear_length 9);
+  let iv =
+    Pinaccess.Access_interval.make ~id:0 ~net:0 ~pins:[ 0; 1 ] ~track:0
+      ~span:(I.make ~lo:0 ~hi:8) ~kind:Pinaccess.Access_interval.Regular
+  in
+  Alcotest.(check (float 1e-9)) "shared counted per pin" 6.0
+    (Obj.profit Obj.Sqrt_length iv)
+
+let test_max_gains_assigns_all () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let assignment = LR.max_gains problem ~gains:problem.P.profits in
+  check_int "every pin assigned" (P.num_pins problem) (Array.length assignment);
+  Array.iteri
+    (fun slot id ->
+      check "assigned interval serves pin" true
+        (Pinaccess.Access_interval.serves problem.P.intervals.(id)
+           problem.P.pin_ids.(slot)))
+    assignment
+
+let test_max_gains_prefers_gain () =
+  (* with all-equal penalties, the top-gain interval of an isolated pin
+     is selected *)
+  let d =
+    B.design ~width:20 ~height:10 ~nets:[ ("a", [ B.pin_at 5 3; B.pin_at 15 3 ]) ] ()
+  in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let assignment = LR.max_gains problem ~gains:problem.P.profits in
+  (* the shared maximal interval serves both pins and has the largest
+     profit, so both slots point at it *)
+  check "both pins share the max interval" true
+    (assignment.(0) = assignment.(1))
+
+let test_solve_conflict_free () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let r = LR.solve problem in
+  check "conflict-free" true (Sol.is_conflict_free r.LR.solution);
+  check "iterations positive" true (r.LR.iterations >= 1);
+  check "history recorded" true (List.length r.LR.history = r.LR.iterations)
+
+let test_violations_decrease () =
+  let d = Workloads.Suite.design ~scale:0.08 (Workloads.Suite.find "ecc") in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let r = LR.solve problem in
+  match r.LR.history with
+  | [] -> () (* converged instantly *)
+  | first :: _ ->
+    let last_best = r.LR.best_violations in
+    check "best violations <= first iterate's" true
+      (last_best <= first.LR.violations)
+
+let test_iteration_bound_respected () =
+  let d = Workloads.Suite.design ~scale:0.08 (Workloads.Suite.find "ecc") in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let config = { LR.default_config with LR.max_iterations = 5 } in
+  let r = LR.solve ~config problem in
+  check "at most 5 iterations" true (r.LR.iterations <= 5);
+  check "still conflict-free after refinement" true
+    (Sol.num_violations r.LR.solution <= r.LR.best_violations)
+
+let test_constant_step_ablation () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let config = { LR.default_config with LR.constant_step = Some 0.5 } in
+  let r = LR.solve ~config problem in
+  check "constant step also conflict-free here" true
+    (Sol.is_conflict_free r.LR.solution)
+
+let test_literal_algorithm1 () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let config = { LR.default_config with LR.full_subgradient = false } in
+  let r = LR.solve ~config problem in
+  check "algorithm-1-literal converges here" true
+    (Sol.is_conflict_free r.LR.solution)
+
+let test_solution_accessors () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let r = LR.solve problem in
+  let sol = r.LR.solution in
+  check "objective positive" true (Sol.objective sol > 0.0);
+  check "total length >= pins" true (Sol.total_length sol >= P.num_pins problem);
+  check "balance in (0,1]" true (Sol.balance sol > 0.0 && Sol.balance sol <= 1.0);
+  Array.iter
+    (fun pid ->
+      let iv = Sol.interval_of_pin sol pid in
+      check "interval serves its pin" true (Pinaccess.Access_interval.serves iv pid))
+    problem.P.pin_ids
+
+let test_refine_repairs_conflicts () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  (* deliberately conflicting start: every pin takes its highest-profit
+     candidate *)
+  let assignment =
+    Array.mapi
+      (fun _slot candidates ->
+        Array.fold_left
+          (fun best id ->
+            if problem.P.profits.(id) > problem.P.profits.(best) then id
+            else best)
+          candidates.(0) candidates)
+      problem.P.pin_candidates
+  in
+  let raw = Sol.make problem ~assignment in
+  let repaired, shrinks = Pinaccess.Refine.remove_conflicts raw in
+  check "greedy start had conflicts" true (Sol.num_violations raw > 0);
+  check "repaired" true (Sol.is_conflict_free repaired);
+  check "shrinks counted" true (shrinks > 0)
+
+let test_objective_close_to_ilp () =
+  let d = Workloads.Suite.design ~scale:0.08 (Workloads.Suite.find "ecc") in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let lr = LR.solve problem in
+  if Sol.is_conflict_free lr.LR.solution then begin
+    let ilp =
+      Pinaccess.Ilp.solve ~time_limit:20.0 ~warm_start:lr.LR.solution problem
+    in
+    let lr_obj = Sol.objective lr.LR.solution in
+    check "LR <= ILP" true (lr_obj <= ilp.Pinaccess.Ilp.objective +. 1e-6);
+    (* Fig 6(b): LR is close to optimal — allow a generous 25% here *)
+    check "LR within 25% of ILP" true
+      (lr_obj >= 0.75 *. ilp.Pinaccess.Ilp.objective)
+  end
+
+let () =
+  Alcotest.run "lagrangian"
+    [
+      ( "lr",
+        [
+          Alcotest.test_case "objective f" `Quick test_objective_function;
+          Alcotest.test_case "maxGains assigns all" `Quick test_max_gains_assigns_all;
+          Alcotest.test_case "maxGains prefers gain" `Quick test_max_gains_prefers_gain;
+          Alcotest.test_case "solve conflict-free" `Quick test_solve_conflict_free;
+          Alcotest.test_case "violations decrease" `Quick test_violations_decrease;
+          Alcotest.test_case "iteration bound" `Quick test_iteration_bound_respected;
+          Alcotest.test_case "constant step ablation" `Quick test_constant_step_ablation;
+          Alcotest.test_case "algorithm 1 literal" `Quick test_literal_algorithm1;
+          Alcotest.test_case "solution accessors" `Quick test_solution_accessors;
+          Alcotest.test_case "refine repairs" `Quick test_refine_repairs_conflicts;
+          Alcotest.test_case "LR close to ILP" `Slow test_objective_close_to_ilp;
+        ] );
+    ]

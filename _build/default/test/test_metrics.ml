@@ -1,0 +1,109 @@
+module B = Netlist.Builder
+module Eval = Metrics.Eval
+module Report = Metrics.Report
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_at 2 3; B.pin_at 12 3 ]);
+        ("b", [ B.pin_at 5 6; B.pin_at 15 2 ]);
+      ]
+    ()
+
+let test_hpwl () =
+  let d = design () in
+  check_int "net 0 hpwl" 10 (Eval.hpwl d 0);
+  check_int "net 1 hpwl" 14 (Eval.hpwl d 1)
+
+let test_of_flow () =
+  let d = design () in
+  let flow = Router.Baseline_ncr.run d in
+  let s = Eval.of_flow ~name:"tiny" flow in
+  check_int "total nets" 2 s.Eval.total_nets;
+  check "name" true (s.Eval.name = "tiny");
+  check "routability in range" true
+    (s.Eval.routability >= 0.0 && s.Eval.routability <= 100.0);
+  check "wl positive" true (s.Eval.wirelength > 0);
+  if s.Eval.routed_nets = s.Eval.total_nets then
+    check "full routability" true (Float.abs (s.Eval.routability -. 100.0) < 1e-9)
+
+let test_via_estimate_extrapolates () =
+  let d = design () in
+  let flow = Router.Baseline_ncr.run d in
+  let s = Eval.of_flow flow in
+  (* with all nets routed, estimate equals the raw count: each 2-pin net
+     carries at least 2 V1s *)
+  check "via estimate >= 2 per routed net" true
+    (s.Eval.via_count >= 2 * s.Eval.routed_nets)
+
+let test_ratio () =
+  let a =
+    {
+      Eval.name = "a";
+      total_nets = 100;
+      routed_nets = 90;
+      routability = 90.0;
+      via_count = 200;
+      wirelength = 1000;
+      cpu = 2.0;
+      initial_congestion = 10;
+      violations = 0;
+    }
+  in
+  let b = { a with Eval.name = "b"; routability = 45.0; via_count = 100; cpu = 4.0 } in
+  let rout, via, wl, cpu = Eval.ratio b ~reference:a in
+  check "rout ratio" true (Float.abs (rout -. 0.5) < 1e-9);
+  check "via ratio" true (Float.abs (via -. 0.5) < 1e-9);
+  check "wl ratio" true (Float.abs (wl -. 1.0) < 1e-9);
+  check "cpu ratio" true (Float.abs (cpu -. 2.0) < 1e-9)
+
+let test_report_table () =
+  let t =
+    Report.table
+      ~header:[ "a"; "bb"; "ccc" ]
+      [ [ "1"; "2"; "3" ]; [ "10"; "20" ] ]
+  in
+  let lines = String.split_on_char '\n' t in
+  check_int "header + sep + 2 rows" 4 (List.length lines);
+  (match lines with
+  | _ :: sep :: _ -> check "separator dashes" true (String.contains sep '-')
+  | _ -> Alcotest.fail "bad table");
+  check "fixed format" true (Report.fixed 2 3.14159 = "3.14")
+
+let test_summary_cells () =
+  let s =
+    {
+      Eval.name = "x";
+      total_nets = 10;
+      routed_nets = 9;
+      routability = 90.0;
+      via_count = 42;
+      wirelength = 777;
+      cpu = 1.25;
+      initial_congestion = 3;
+      violations = 1;
+    }
+  in
+  check "cells" true
+    (Report.summary_cells s = [ "90.00"; "42"; "777"; "1.25" ])
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "hpwl" `Quick test_hpwl;
+          Alcotest.test_case "of_flow" `Quick test_of_flow;
+          Alcotest.test_case "via estimate" `Quick test_via_estimate_extrapolates;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_report_table;
+          Alcotest.test_case "summary cells" `Quick test_summary_cells;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+module I = Geometry.Interval
+module B = Netlist.Builder
+module Design = Netlist.Design
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_design () =
+  B.design ~width:20 ~height:20
+    ~nets:
+      [
+        ("a", [ B.pin_at 3 2; B.pin_at 12 4 ]);
+        ("b", [ B.pin_span 7 ~lo:12 ~hi:14; B.pin_at 15 16 ]);
+        ("c", [ B.pin_at 5 7 ]);
+      ]
+    ()
+
+let test_builder_basics () =
+  let d = small_design () in
+  check_int "pins" 5 (Array.length (Design.pins d));
+  check_int "nets" 3 (Array.length (Design.nets d));
+  check_int "panels" 2 (Design.num_panels d);
+  check_int "width" 20 (Design.width d);
+  let p = Design.pin d 2 in
+  check_int "pin net" 1 p.Netlist.Pin.net;
+  check_int "pin x" 7 p.Netlist.Pin.x
+
+let test_pin_helpers () =
+  let p = Netlist.Pin.make ~id:0 ~net:0 ~x:4 ~tracks:(I.make ~lo:2 ~hi:4) in
+  check_int "primary is middle" 3 (Netlist.Pin.primary_track p);
+  check "covers" true (Netlist.Pin.covers_track p 2);
+  check "not covers" false (Netlist.Pin.covers_track p 5);
+  check "location" true
+    (Geometry.Point.equal (Netlist.Pin.location p) (Geometry.Point.make ~x:4 ~y:3))
+
+let test_net_bbox () =
+  let d = small_design () in
+  let bbox = Design.net_bbox d 0 in
+  check_int "bbox xlo" 3 (I.lo (Geometry.Rect.xs bbox));
+  check_int "bbox xhi" 12 (I.hi (Geometry.Rect.xs bbox));
+  (* single-pin net has a degenerate bbox *)
+  check_int "1-pin bbox width" 1 (Geometry.Rect.width (Design.net_bbox d 2))
+
+let test_panel_queries () =
+  let d = small_design () in
+  check_int "panel of track 12" 1 (Design.panel_of_track d 12);
+  let tracks = Design.panel_tracks d 1 in
+  check_int "panel 1 lo" 10 (I.lo tracks);
+  check_int "panel 1 hi" 19 (I.hi tracks);
+  check_int "pins of panel 0" 3 (List.length (Design.pins_of_panel d 0));
+  check_int "pins of panel 1" 2 (List.length (Design.pins_of_panel d 1));
+  (* pins_on_track returns pins sorted by column *)
+  let on13 = Design.pins_on_track d 13 in
+  check_int "pins on track 13" 1 (List.length on13)
+
+let test_validation_rejects () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "off-die pin" (fun () ->
+      B.design ~width:10 ~height:10 ~nets:[ ("a", [ B.pin_at 11 2 ]) ] ());
+  expect_invalid "pin crossing panels" (fun () ->
+      B.design ~width:10 ~height:20
+        ~nets:[ ("a", [ B.pin_span 3 ~lo:8 ~hi:11 ]) ]
+        ());
+  expect_invalid "empty net" (fun () ->
+      B.design ~width:10 ~height:10 ~nets:[ ("a", []) ] ());
+  expect_invalid "overlapping pins" (fun () ->
+      B.design ~width:10 ~height:10
+        ~nets:[ ("a", [ B.pin_at 3 2 ]); ("b", [ B.pin_at 3 2 ]) ]
+        ());
+  expect_invalid "die not whole rows" (fun () ->
+      B.design ~width:10 ~height:15 ~nets:[ ("a", [ B.pin_at 1 1 ]) ] ())
+
+let test_blockage_index () =
+  let blockages =
+    [
+      Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track:5
+        ~span:(I.make ~lo:2 ~hi:6);
+      Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track:5
+        ~span:(I.make ~lo:10 ~hi:12);
+      Netlist.Blockage.make ~layer:Netlist.Blockage.M3 ~track:4
+        ~span:(I.make ~lo:0 ~hi:3);
+    ]
+  in
+  let d =
+    B.design ~width:20 ~height:10 ~nets:[ ("a", [ B.pin_at 8 2 ]) ] ~blockages ()
+  in
+  check_int "m2 blockages on track 5" 2
+    (List.length (Design.m2_blockages_on_track d 5));
+  check_int "none on track 6" 0 (List.length (Design.m2_blockages_on_track d 6));
+  check_int "all blockages kept" 3 (List.length (Design.blockages d))
+
+
+(* ----- Design_io ----- *)
+
+let test_io_roundtrip () =
+  let d = small_design () in
+  let d' = Netlist.Design_io.of_string (Netlist.Design_io.to_string d) in
+  check_int "pins preserved" (Array.length (Design.pins d))
+    (Array.length (Design.pins d'));
+  check_int "nets preserved" (Array.length (Design.nets d))
+    (Array.length (Design.nets d'));
+  Array.iteri
+    (fun i (p : Netlist.Pin.t) ->
+      let q = Design.pin d' i in
+      check "pin identical" true
+        (p.Netlist.Pin.x = q.Netlist.Pin.x
+        && Geometry.Interval.equal p.Netlist.Pin.tracks q.Netlist.Pin.tracks
+        && p.Netlist.Pin.net = q.Netlist.Pin.net))
+    (Design.pins d)
+
+let test_io_roundtrip_generated () =
+  let d =
+    Workloads.Generator.generate
+      (Workloads.Generator.with_size ~name:"io" ~nets:80 ~width:80 ~height:40
+         ~seed:9L ())
+  in
+  let d' = Netlist.Design_io.of_string (Netlist.Design_io.to_string d) in
+  check "same serialization" true
+    (Netlist.Design_io.to_string d = Netlist.Design_io.to_string d');
+  check_int "blockages preserved"
+    (List.length (Design.blockages d))
+    (List.length (Design.blockages d'))
+
+let test_io_parse_errors () =
+  let expect_invalid name text =
+    match Netlist.Design_io.of_string text with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "missing header" "net a\npin 1 2 2\n";
+  expect_invalid "pin before net" "design d 10 10 10\npin 1 2 2\n";
+  expect_invalid "bad integer" "design d 10 x 10\n";
+  expect_invalid "unknown record" "design d 10 10 10\nfrob 1\n";
+  expect_invalid "unknown layer" "design d 10 10 10\nblockage M7 1 2 3\n"
+
+let test_io_comments_and_blanks () =
+  let text =
+    "# a comment\ndesign d 10 10 10\n\nnet a # trailing\npin 1 2 2\npin 4 3 3\n"
+  in
+  let d = Netlist.Design_io.of_string text in
+  check_int "two pins" 2 (Array.length (Design.pins d))
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "design",
+        [
+          Alcotest.test_case "builder basics" `Quick test_builder_basics;
+          Alcotest.test_case "pin helpers" `Quick test_pin_helpers;
+          Alcotest.test_case "net bbox" `Quick test_net_bbox;
+          Alcotest.test_case "panel queries" `Quick test_panel_queries;
+          Alcotest.test_case "validation rejects" `Quick test_validation_rejects;
+          Alcotest.test_case "blockage index" `Quick test_blockage_index;
+        ] );
+      ( "design_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "roundtrip generated" `Quick test_io_roundtrip_generated;
+          Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "comments" `Quick test_io_comments_and_blanks;
+        ] );
+    ]

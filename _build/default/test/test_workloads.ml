@@ -1,0 +1,176 @@
+module Rng = Workloads.Rng
+module Gen = Workloads.Generator
+module Suite = Workloads.Suite
+module Design = Netlist.Design
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- Rng ----- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    check "same stream" true (Rng.next a = Rng.next b)
+  done;
+  let c = Rng.create 43L in
+  check "different seed differs" false (Rng.next a = Rng.next c)
+
+let test_rng_ranges () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    check "int in range" true (v >= 0 && v < 10);
+    let w = Rng.in_range r ~lo:5 ~hi:8 in
+    check "in_range" true (w >= 5 && w <= 8);
+    let f = Rng.float r in
+    check "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_weighted () =
+  let r = Rng.create 11L in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let k = Rng.choose_weighted r [ (2, 0.8); (3, 0.15); (4, 0.05) ] in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  check "2 dominates" true (get 2 > get 3 && get 3 > get 4);
+  check_int "only valid keys" 3000 (get 2 + get 3 + get 4)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3L in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  check "is a permutation" true (Array.to_list sorted = List.init 50 (fun i -> i))
+
+(* ----- Generator ----- *)
+
+let params =
+  Gen.with_size ~name:"t" ~nets:120 ~width:100 ~height:50 ~seed:5L ()
+
+let test_generator_valid_design () =
+  let d = Gen.generate params in
+  check_int "net count" 120 (Array.length (Design.nets d));
+  (* Design.create validated everything already; sanity beyond that *)
+  Array.iter
+    (fun (n : Netlist.Net.t) ->
+      let deg = Netlist.Net.degree n in
+      check "degree 2..4" true (deg >= 2 && deg <= 4))
+    (Design.nets d)
+
+let test_generator_deterministic () =
+  let d1 = Gen.generate params and d2 = Gen.generate params in
+  check_int "same pins" (Array.length (Design.pins d1))
+    (Array.length (Design.pins d2));
+  Array.iteri
+    (fun i (p1 : Netlist.Pin.t) ->
+      let p2 = Design.pin d2 i in
+      check "same pin placement" true
+        (p1.Netlist.Pin.x = p2.Netlist.Pin.x
+        && Geometry.Interval.equal p1.Netlist.Pin.tracks p2.Netlist.Pin.tracks))
+    (Design.pins d1)
+
+let test_generator_seeds_differ () =
+  let d1 = Gen.generate params in
+  let d2 = Gen.generate { params with Gen.seed = 6L } in
+  let differs =
+    Array.exists
+      (fun (p1 : Netlist.Pin.t) ->
+        let p2 = Design.pin d2 p1.Netlist.Pin.id in
+        p1.Netlist.Pin.x <> p2.Netlist.Pin.x)
+      (Design.pins d1)
+  in
+  check "different seeds give different placements" true differs
+
+let test_generator_locality () =
+  let d = Gen.generate params in
+  (* most nets should stay within the locality window *)
+  let local =
+    Array.to_list (Design.nets d)
+    |> List.filter (fun (n : Netlist.Net.t) ->
+           let bbox = Design.net_bbox d n.Netlist.Net.id in
+           Geometry.Rect.width bbox <= 70)
+  in
+  check "at least 80% of nets local" true
+    (List.length local * 10 >= 8 * Array.length (Design.nets d))
+
+let test_generator_pins_not_under_blockages () =
+  let d = Gen.generate { params with Gen.blockage_per_row = 3.0 } in
+  let blocked = Design.blockages d in
+  Array.iter
+    (fun (p : Netlist.Pin.t) ->
+      List.iter
+        (fun (b : Netlist.Blockage.t) ->
+          match b.Netlist.Blockage.layer with
+          | Netlist.Blockage.M2 ->
+            let covers_pin =
+              Geometry.Interval.contains p.Netlist.Pin.tracks
+                b.Netlist.Blockage.track
+              && Geometry.Interval.contains b.Netlist.Blockage.span
+                   p.Netlist.Pin.x
+            in
+            check "no blockage over a pin" false covers_pin
+          | Netlist.Blockage.M3 -> ())
+        blocked)
+    (Design.pins d)
+
+let test_generator_capacity_error () =
+  match
+    Gen.generate
+      (Gen.with_size ~name:"over" ~nets:4000 ~width:20 ~height:20 ~seed:1L ())
+  with
+  | exception Invalid_argument _ -> ()
+  | d ->
+    (* the generator may instead have grown the die to fit *)
+    check "grew the die" true (Design.width d > 20)
+
+(* ----- Suite ----- *)
+
+let test_suite_circuits () =
+  check_int "six circuits" 6 (List.length Suite.circuits);
+  let ecc = Suite.find "ecc" in
+  check_int "ecc nets" 1671 ecc.Suite.nets;
+  (match Suite.find "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown circuit must raise Not_found")
+
+let test_suite_scaled_design () =
+  let d = Suite.design ~scale:0.05 (Suite.find "ecc") in
+  check "scaled down" true (Array.length (Design.nets d) < 200);
+  check "rows intact" true (Design.height d mod Design.row_height d = 0)
+
+let test_sweep_design () =
+  let d = Suite.sweep_design ~pins:250 in
+  let pins = Array.length (Design.pins d) in
+  check "pin count near target" true (pins > 150 && pins < 400)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "weighted" `Quick test_rng_weighted;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "valid design" `Quick test_generator_valid_design;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_generator_seeds_differ;
+          Alcotest.test_case "locality" `Quick test_generator_locality;
+          Alcotest.test_case "pins clear of blockages" `Quick
+            test_generator_pins_not_under_blockages;
+          Alcotest.test_case "capacity" `Quick test_generator_capacity_error;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "circuits" `Quick test_suite_circuits;
+          Alcotest.test_case "scaled design" `Quick test_suite_scaled_design;
+          Alcotest.test_case "sweep design" `Quick test_sweep_design;
+        ] );
+    ]
