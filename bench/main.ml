@@ -155,12 +155,11 @@ let fig6 () =
           Pinaccess.Unix_time.time (fun () ->
               PA.optimize_combined ~kind:PA.Lr design ~panels)
         in
-        let ilp_config =
-          { PA.default_config with PA.ilp_time_limit = Some ilp_budget }
-        in
         let ilp, ilp_time =
           Pinaccess.Unix_time.time (fun () ->
-              PA.optimize_combined ~config:ilp_config ~kind:PA.Ilp design
+              PA.optimize_combined
+                ~budget:(Pinaccess.Budget.start ~seconds:ilp_budget ())
+                ~kind:PA.Ilp design
                 ~panels)
         in
         let capped =
@@ -199,13 +198,12 @@ let fig7a () =
       (fun c ->
         let design = Suite.design ~scale:fig7a_scale c in
         let lr_pao = PA.optimize ~kind:PA.Lr design in
-        let ilp_config =
-          {
-            PA.default_config with
-            PA.ilp_time_limit = Some (Float.min 3.0 ilp_budget);
-          }
+        let ilp_pao =
+          PA.optimize
+            ~budget:
+              (Pinaccess.Budget.start ~seconds:(Float.min 3.0 ilp_budget) ())
+            ~kind:PA.Ilp design
         in
-        let ilp_pao = PA.optimize ~config:ilp_config ~kind:PA.Ilp design in
         let lr = Eval.of_flow (Router.Cpr.run_with_pao design lr_pao) in
         let ilp = Eval.of_flow (Router.Cpr.run_with_pao design ilp_pao) in
         let rout, via, wl, _ = Eval.ratio lr ~reference:ilp in

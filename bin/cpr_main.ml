@@ -10,9 +10,9 @@ open Cmdliner
 
 type router_kind = R_cpr | R_ncr | R_seq
 
-let build_design circuit scale nets width height seed load =
+let build_design circuit scale nets width height seed load repair =
   match load with
-  | Some path -> Netlist.Design_io.load path
+  | Some path -> Netlist.Design_io.load ~repair path
   | None ->
     (match circuit with
     | Some id ->
@@ -35,7 +35,10 @@ let violation_breakdown violations =
     violations;
   Hashtbl.fold (fun k c acc -> Printf.sprintf "%s=%d %s" k c acc) table ""
 
-let run_flow router pao_kind design =
+let run_flow router pao_kind budget design =
+  let budget =
+    Option.map (fun seconds -> Pinaccess.Budget.start ~seconds ()) budget
+  in
   match router with
   | R_cpr ->
     let config =
@@ -45,26 +48,29 @@ let run_flow router pao_kind design =
           (match pao_kind with
           | `Lr -> Pinaccess.Pin_access.Lr
           | `Ilp -> Pinaccess.Pin_access.Ilp);
-        pao =
-          {
-            Pinaccess.Pin_access.default_config with
-            Pinaccess.Pin_access.ilp_time_limit = Some 30.0;
-          };
       }
     in
-    Router.Cpr.run ~config design
-  | R_ncr -> Router.Baseline_ncr.run design
-  | R_seq -> Router.Sequential.run design
+    (* without an explicit --budget, keep the historical 30 s cap on
+       the exact ILP stage so --pao ilp stays interactive *)
+    let pao_budget =
+      match (budget, pao_kind) with
+      | None, `Ilp -> Some (Pinaccess.Budget.start ~seconds:30.0 ())
+      | _ -> budget
+    in
+    Router.Cpr.run ~config ?budget ?pao_budget design
+  | R_ncr -> Router.Baseline_ncr.run ?budget design
+  | R_seq -> Router.Sequential.run ?budget design
 
-let main circuit scale nets width height seed router pao verbose load save svg =
-  let design = build_design circuit scale nets width height seed load in
+let main circuit scale nets width height seed router pao budget verbose load
+    repair save svg =
+  let design = build_design circuit scale nets width height seed load repair in
   (match save with
   | Some path ->
     Netlist.Design_io.save path design;
     Format.printf "saved design to %s@." path
   | None -> ());
   Format.printf "%s@." (Netlist.Design.stats design);
-  let flow = run_flow router pao design in
+  let flow = run_flow router pao budget design in
   let s = Metrics.Eval.of_flow flow in
   Format.printf "Rout.  : %.2f%% (%d/%d nets)@." s.Metrics.Eval.routability
     s.Metrics.Eval.routed_nets s.Metrics.Eval.total_nets;
@@ -75,6 +81,11 @@ let main circuit scale nets width height seed router pao verbose load save svg =
     s.Metrics.Eval.initial_congestion;
   Format.printf "DRC violations: %d (%s)@." s.Metrics.Eval.violations
     (violation_breakdown flow.Router.Flow.violations);
+  if Router.Flow.degraded flow then
+    Format.printf
+      "DEGRADED: %d panel(s) fell back below the requested pin access solver \
+       (see --verbose)@."
+      s.Metrics.Eval.degraded_panels;
   (match svg with
   | Some path ->
     Render.Layout_svg.save path (Render.Layout_svg.flow flow);
@@ -90,10 +101,13 @@ let main circuit scale nets width height seed router pao verbose load save svg =
       List.iter
         (fun (r : Pinaccess.Pin_access.panel_report) ->
           Format.printf
-            "  panel %d: %d pins, %d intervals, %d cliques, obj %.1f@."
+            "  panel %d: %d pins, %d intervals, %d cliques, obj %.1f, \
+             served by %s%s@."
             r.Pinaccess.Pin_access.panel r.Pinaccess.Pin_access.pins
             r.Pinaccess.Pin_access.intervals r.Pinaccess.Pin_access.cliques
-            r.Pinaccess.Pin_access.objective)
+            r.Pinaccess.Pin_access.objective
+            (Pinaccess.Pin_access.tier_to_string r.Pinaccess.Pin_access.served_by)
+            (if r.Pinaccess.Pin_access.degraded then " [degraded]" else ""))
         pao.Pinaccess.Pin_access.reports
     | None -> ());
     Format.printf "@.rip-up iterations: %d, total reroutes: %d@."
@@ -112,6 +126,19 @@ let main circuit scale nets width height seed router pao verbose load save svg =
   end;
   0
 
+(* Typed-error boundary: malformed designs, solver failures and
+   infeasible panels surface as clean cmdliner errors, never raw
+   OCaml exception traces. *)
+let main circuit scale nets width height seed router pao budget verbose load
+    repair save svg =
+  match
+    Pinaccess.Cpr_error.protect (fun () ->
+        main circuit scale nets width height seed router pao budget verbose
+          load repair save svg)
+  with
+  | Ok n -> Ok n
+  | Error e -> Error (`Msg (Pinaccess.Cpr_error.to_string e))
+
 let circuit =
   let doc =
     "Benchmark circuit id (ecc, efc, ctl, alu, div, top). When absent, a \
@@ -123,19 +150,52 @@ let scale =
   let doc = "Shrink a named circuit (nets and die together), in (0, 1]." in
   Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc)
 
+(* reject nonsense sizes at the parser, before any generator runs *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "must be positive, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "not an integer: %S" s))
+  in
+  Arg.conv ~docv:"INT" (parse, Format.pp_print_int)
+
+let nonneg_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "must be >= 0, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "not an integer: %S" s))
+  in
+  Arg.conv ~docv:"INT" (parse, Format.pp_print_int)
+
+let positive_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 && Float.is_finite f -> Ok f
+    | Some f -> Error (`Msg (Printf.sprintf "must be positive, got %g" f))
+    | None -> Error (`Msg (Printf.sprintf "not a number: %S" s))
+  in
+  Arg.conv ~docv:"SECONDS" (parse, fun fmt f -> Format.fprintf fmt "%g" f)
+
 let nets =
-  Arg.(value & opt int 300 & info [ "nets" ] ~doc:"Custom circuit: net count.")
+  Arg.(
+    value & opt positive_int 300
+    & info [ "nets" ] ~doc:"Custom circuit: net count.")
 
 let width =
-  Arg.(value & opt int 120 & info [ "width" ] ~doc:"Custom circuit: grid columns.")
+  Arg.(
+    value & opt positive_int 120
+    & info [ "width" ] ~doc:"Custom circuit: grid columns.")
 
 let height =
   Arg.(
-    value & opt int 100
+    value & opt positive_int 100
     & info [ "height" ] ~doc:"Custom circuit: M2 tracks (multiple of 10).")
 
 let seed =
-  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Custom circuit: PRNG seed.")
+  Arg.(
+    value & opt nonneg_int 1 & info [ "seed" ] ~doc:"Custom circuit: PRNG seed.")
 
 let router =
   let parse = function
@@ -173,6 +233,15 @@ let pao =
   in
   Arg.(value & opt solver_conv `Lr & info [ "pao" ] ~doc)
 
+let budget =
+  let doc =
+    "Wall-clock budget in seconds for the whole flow. Pin access degrades \
+     panel by panel (ILP → LR → minimum intervals) and routing stops \
+     ripping up when the budget runs out; the result is always a legal \
+     best-effort layout."
+  in
+  Arg.(value & opt (some positive_float) None & info [ "budget" ] ~doc)
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-panel and DRC details.")
 
@@ -181,6 +250,13 @@ let load =
     value
     & opt (some file) None
     & info [ "load" ] ~doc:"Route a design saved with $(b,--save).")
+
+let repair =
+  let doc =
+    "With $(b,--load): clamp off-die geometry and drop duplicate pins \
+     instead of rejecting a malformed design file."
+  in
+  Arg.(value & flag & info [ "repair" ] ~doc)
 
 let save =
   Arg.(
@@ -209,7 +285,8 @@ let cmd =
   Cmd.v
     (Cmd.info "cpr" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const main $ circuit $ scale $ nets $ width $ height $ seed $ router
-      $ pao $ verbose $ load $ save $ svg)
+      term_result
+        (const main $ circuit $ scale $ nets $ width $ height $ seed $ router
+        $ pao $ budget $ verbose $ load $ repair $ save $ svg))
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,61 @@
+type t = {
+  started : float;
+  deadline : float; (* absolute; [infinity] = no deadline *)
+  work_limit : int; (* absolute count; [max_int] = no limit *)
+  work : int ref; (* shared with sub-budgets *)
+}
+
+let unlimited () =
+  {
+    started = Unix_time.now ();
+    deadline = infinity;
+    work_limit = max_int;
+    work = ref 0;
+  }
+
+let start ?seconds ?work_units () =
+  let now = Unix_time.now () in
+  {
+    started = now;
+    deadline = (match seconds with Some s -> now +. s | None -> infinity);
+    work_limit = Option.value ~default:max_int work_units;
+    work = ref 0;
+  }
+
+let sub t ?seconds ?work_units () =
+  let now = Unix_time.now () in
+  {
+    t with
+    deadline =
+      (match seconds with
+      | Some s -> Float.min t.deadline (now +. s)
+      | None -> t.deadline);
+    work_limit =
+      (match work_units with
+      | Some w -> min t.work_limit (!(t.work) + w)
+      | None -> t.work_limit);
+  }
+
+let is_unlimited t = t.deadline = infinity && t.work_limit = max_int
+let spend t n = t.work := !(t.work) + n
+let work_spent t = !(t.work)
+let elapsed t = Unix_time.now () -. t.started
+
+let exhausted t =
+  !(t.work) >= t.work_limit
+  || (t.deadline < infinity && Unix_time.now () >= t.deadline)
+
+let remaining_seconds t =
+  if t.deadline = infinity then None
+  else Some (Float.max 0.0 (t.deadline -. Unix_time.now ()))
+
+let remaining_work t =
+  if t.work_limit = max_int then None
+  else Some (max 0 (t.work_limit - !(t.work)))
+
+let check t ~stage =
+  if exhausted t then
+    Cpr_error.error
+      (Cpr_error.Budget_exhausted { stage; elapsed = elapsed t })
+
+let of_option = function Some t -> t | None -> unlimited ()

@@ -1,0 +1,20 @@
+type point = Ilp | Lr
+
+let point_to_string = function Ilp -> "ilp" | Lr -> "lr"
+
+let hook : (point -> unit) ref = ref (fun _ -> ())
+
+let trip p = !hook p
+
+let with_hook h f =
+  let old = !hook in
+  hook := h;
+  Fun.protect ~finally:(fun () -> hook := old) f
+
+let with_failures points f =
+  with_hook
+    (fun p ->
+      if List.mem p points then
+        Cpr_error.solver_failure ~solver:(point_to_string p)
+          "fault injection: tier disabled")
+    f

@@ -1,0 +1,23 @@
+(** Deterministic fault injection over the solver tiers.
+
+    {!Pin_access} trips the hook at each tier's entry point; a test
+    installs a hook that raises for chosen tiers, proving the
+    degradation ladder (ILP -> LR -> shrink-to-minimum) still delivers
+    a validated result when upper tiers die.  The default hook does
+    nothing, so production code pays one indirect call per tier. *)
+
+type point = Ilp | Lr
+
+val point_to_string : point -> string
+
+val trip : point -> unit
+(** Called by solver entry points; raises whatever the installed hook
+    raises (nothing by default). *)
+
+val with_hook : (point -> unit) -> (unit -> 'a) -> 'a
+(** Run a thunk with the hook installed, restoring the previous hook on
+    exit (exception-safe). *)
+
+val with_failures : point list -> (unit -> 'a) -> 'a
+(** Run a thunk with the listed tiers raising a typed
+    [Cpr_error.Solver_failure] on entry. *)

@@ -24,15 +24,31 @@ let to_milp (problem : Problem.t) =
     rows;
   }
 
-let solve ?time_limit ?warm_start ?(root_lp = false) (problem : Problem.t) =
+let solve ?time_limit ?warm_start ?(root_lp = false) ?budget
+    (problem : Problem.t) =
   let milp = to_milp problem in
   let warm_start = Option.map Solution.chosen warm_start in
-  let sol =
-    match time_limit with
-    | Some time_limit ->
-      Solver.Milp.solve ~time_limit ?warm_start ~root_lp milp
-    | None -> Solver.Milp.solve ?warm_start ~root_lp milp
+  (* the effective limits combine the explicit cap with whatever the
+     budget has left; branch-and-bound nodes are the work unit *)
+  let opt_min a b =
+    match (a, b) with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as v), None | None, (Some _ as v) -> v
+    | None, None -> None
   in
+  let time_limit =
+    opt_min time_limit (Option.bind budget Budget.remaining_seconds)
+  in
+  let node_limit = Option.bind budget Budget.remaining_work in
+  let sol =
+    Solver.Milp.solve
+      ?time_limit
+      ?node_limit
+      ?warm_start ~root_lp milp
+  in
+  Option.iter
+    (fun b -> Budget.spend b sol.Solver.Milp.stats.Solver.Milp.nodes)
+    budget;
   let solution = Solution.of_chosen problem ~chosen:sol.Solver.Milp.values in
   assert (Solution.is_conflict_free solution);
   {

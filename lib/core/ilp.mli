@@ -24,12 +24,17 @@ val solve :
   ?time_limit:float ->
   ?warm_start:Solution.t ->
   ?root_lp:bool ->
+  ?budget:Budget.t ->
   Problem.t ->
   result
 (** Exact branch-and-bound; [warm_start] (typically the LR solution)
     provides the initial incumbent; [root_lp] additionally solves the
-    LP relaxation at the root.  With a [time_limit] the result may
-    carry [proven_optimal = false]. *)
+    LP relaxation at the root.  [budget] bounds the search by whatever
+    deadline/work allowance it has left (branch-and-bound nodes are the
+    work unit, spent back into the budget); the tighter of [time_limit]
+    and the budget deadline wins.  With either limit the result may
+    carry [proven_optimal = false] — the anytime contract still returns
+    the best feasible incumbent. *)
 
 val lp_relaxation_bound : Problem.t -> float option
 (** Optimal value of the LP relaxation via the in-repo simplex. *)

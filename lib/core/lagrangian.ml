@@ -22,6 +22,7 @@ type result = {
   iterations : int;
   best_violations : int;
   shrinks : int;
+  budget_expired : bool;
   history : iterate list;
 }
 
@@ -64,7 +65,8 @@ let max_gains (problem : Problem.t) ~gains =
   assert (!remaining = 0);
   assignment
 
-let solve ?(config = default_config) (problem : Problem.t) =
+let solve ?(config = default_config) ?budget (problem : Problem.t) =
+  let budget = Budget.of_option budget in
   let intervals = problem.Problem.intervals in
   let cliques = problem.Problem.cliques in
   let n = Array.length intervals in
@@ -93,8 +95,12 @@ let solve ?(config = default_config) (problem : Problem.t) =
     | Some limit -> !since_best >= limit
     | None -> false
   in
-  while !min_vio > 0 && !k < config.max_iterations && not (stalled ()) do
+  let want_more () =
+    !min_vio > 0 && !k < config.max_iterations && not (stalled ())
+  in
+  while want_more () && not (Budget.exhausted budget) do
     incr k;
+    Budget.spend budget 1;
     for i = 0 to n - 1 do
       gains.(i) <- profits.(i) -. penalties.(i)
     done;
@@ -145,6 +151,8 @@ let solve ?(config = default_config) (problem : Problem.t) =
     else incr since_best;
     iterations := !k
   done;
+  (* expired: the budget cut the loop short of its own exit criteria *)
+  let budget_expired = want_more () && Budget.exhausted budget in
   let assignment =
     match !best_assignment with
     | Some a -> a
@@ -160,5 +168,6 @@ let solve ?(config = default_config) (problem : Problem.t) =
     iterations = !iterations;
     best_violations = (if !min_vio = max_int then Solution.num_violations raw else !min_vio);
     shrinks;
+    budget_expired;
     history = List.rev !history;
   }

@@ -40,10 +40,17 @@ type result = {
   iterations : int;  (** LR iterations actually run *)
   best_violations : int;  (** violations of the best iterate, pre-refinement *)
   shrinks : int;  (** refinement shrink operations *)
+  budget_expired : bool;
+      (** the budget stopped the subgradient loop before its own exit
+          criteria (UB, plateau or zero violations); the solution is
+          the refined best-so-far iterate *)
   history : iterate list;  (** per-iteration trace, oldest first *)
 }
 
-val solve : ?config:config -> Problem.t -> result
+val solve : ?config:config -> ?budget:Budget.t -> Problem.t -> result
+(** [budget] is checked once per subgradient iteration (one work unit
+    each); on expiry the best-so-far iterate is refined and returned —
+    the solver never raises on exhaustion. *)
 
 val max_gains : Problem.t -> gains:float array -> int array
 (** One greedy subproblem solve (Algorithm 1, [maxGains]): per pin

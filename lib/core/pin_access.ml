@@ -1,9 +1,10 @@
 type solver_kind = Ilp | Lr
 
+type tier = Tier_ilp | Tier_lr | Tier_minimum
+
 type config = {
   gen : Interval_gen.config;
   lr : Lagrangian.config;
-  ilp_time_limit : float option;
   ilp_warm_start : bool;
 }
 
@@ -11,7 +12,6 @@ let default_config =
   {
     gen = Interval_gen.default_config;
     lr = Lagrangian.default_config;
-    ilp_time_limit = None;
     ilp_warm_start = true;
   }
 
@@ -23,6 +23,8 @@ type panel_report = {
   objective : float;
   lr_iterations : int;
   proven_optimal : bool;
+  served_by : tier;
+  degraded : bool;
 }
 
 type t = {
@@ -31,50 +33,94 @@ type t = {
   assignments : (Netlist.Pin.id * Access_interval.t) list;
   objective : float;
   reports : panel_report list;
+  degraded : bool;
   elapsed : float;
 }
 
 let solver_kind_to_string = function Ilp -> "ILP" | Lr -> "LR"
 
-let solve_problem config kind ~panel (problem : Problem.t) =
-  let solution, lr_iterations, proven_optimal =
-    match kind with
-    | Lr ->
-      let r = Lagrangian.solve ~config:config.lr problem in
-      (r.Lagrangian.solution, r.Lagrangian.iterations, true)
-    | Ilp ->
-      let warm_start_of p =
-        if config.ilp_warm_start then
-          let lr = Lagrangian.solve ~config:config.lr p in
-          if Solution.is_conflict_free lr.Lagrangian.solution then
-            Some lr.Lagrangian.solution
-          else None
-        else None
-      in
-      let solve p =
-        Ilp.solve ?time_limit:config.ilp_time_limit
-          ?warm_start:(warm_start_of p) p
-      in
-      (try
-         let r = solve problem in
-         (r.Ilp.solution, 0, r.Ilp.proven_optimal)
-       with Solver.Milp.Infeasible ->
-         (* the design-rule clearance can make strict feasibility
-            impossible (adjacent same-track pins); fall back to the
-            paper's original conflict relation for this instance *)
-         let relaxed =
-           {
-             problem.Problem.config with
-             Interval_gen.clearance = 0;
-           }
-         in
-         let problem0 =
-           Problem.of_intervals relaxed problem.Problem.design
-             problem.Problem.intervals
-         in
-         let r = solve problem0 in
-         (r.Ilp.solution, 0, r.Ilp.proven_optimal))
+let tier_to_string = function
+  | Tier_ilp -> "ILP"
+  | Tier_lr -> "LR"
+  | Tier_minimum -> "MIN"
+
+let tier_of_kind = function Ilp -> Tier_ilp | Lr -> Tier_lr
+
+(* Theorem 1: every pin's minimum interval exists and minimum intervals
+   are pairwise disjoint, so this assignment is always feasible — the
+   ladder's unconditional last rung. *)
+let minimum_solution (problem : Problem.t) =
+  let assignment =
+    Array.init (Problem.num_pins problem) (fun slot ->
+        Problem.minimum_interval problem ~slot)
   in
+  Solution.make problem ~assignment
+
+(* One tier attempt: (solution, lr_iterations, complete, tier) where
+   [complete] means the tier ran to its own finish rather than being
+   cut short by the budget. *)
+let ilp_tier config ~budget (problem : Problem.t) =
+  Fault.trip Fault.Ilp;
+  let warm_start_of p =
+    if config.ilp_warm_start then
+      match Lagrangian.solve ~config:config.lr ~budget p with
+      | lr when Solution.is_conflict_free lr.Lagrangian.solution ->
+        Some lr.Lagrangian.solution
+      | _ -> None
+      | exception e when Cpr_error.recoverable e -> None
+    else None
+  in
+  let solve p = Ilp.solve ~budget ?warm_start:(warm_start_of p) p in
+  let r =
+    try solve problem
+    with Solver.Milp.Infeasible ->
+      (* the design-rule clearance can make strict feasibility
+         impossible (adjacent same-track pins); fall back to the
+         paper's original conflict relation for this instance *)
+      let relaxed =
+        { problem.Problem.config with Interval_gen.clearance = 0 }
+      in
+      let problem0 =
+        Problem.of_intervals relaxed problem.Problem.design
+          problem.Problem.intervals
+      in
+      solve problem0
+  in
+  (r.Ilp.solution, 0, r.Ilp.proven_optimal, Tier_ilp)
+
+let lr_tier config ~budget (problem : Problem.t) =
+  Fault.trip Fault.Lr;
+  let r = Lagrangian.solve ~config:config.lr ~budget problem in
+  (r.Lagrangian.solution, r.Lagrangian.iterations,
+   not r.Lagrangian.budget_expired, Tier_lr)
+
+let minimum_tier (problem : Problem.t) =
+  (minimum_solution problem, 0, true, Tier_minimum)
+
+let solve_problem config ~budget kind ~panel (problem : Problem.t) =
+  let tiers =
+    if Budget.exhausted budget then [ fun _ -> minimum_tier problem ]
+    else
+      match kind with
+      | Ilp ->
+        [
+          (fun () -> ilp_tier config ~budget problem);
+          (fun () -> lr_tier config ~budget problem);
+          (fun _ -> minimum_tier problem);
+        ]
+      | Lr ->
+        [
+          (fun () -> lr_tier config ~budget problem);
+          (fun _ -> minimum_tier problem);
+        ]
+  in
+  let rec attempt = function
+    | [] -> assert false
+    | [ last ] -> last () (* last rung: typed errors propagate *)
+    | f :: rest ->
+      (try f () with e when Cpr_error.recoverable e -> attempt rest)
+  in
+  let solution, lr_iterations, complete, served_by = attempt tiers in
   let objective = Solution.objective solution in
   let report =
     {
@@ -84,7 +130,9 @@ let solve_problem config kind ~panel (problem : Problem.t) =
       cliques = Problem.num_cliques problem;
       objective;
       lr_iterations;
-      proven_optimal;
+      proven_optimal = complete;
+      served_by;
+      degraded = served_by <> tier_of_kind kind || not complete;
     }
   in
   let assignments =
@@ -96,58 +144,96 @@ let solve_problem config kind ~panel (problem : Problem.t) =
   in
   (assignments, objective, report)
 
-let run ?(config = default_config) ~kind design problems =
+(* Give each remaining panel an equal slice of what is left, so an
+   early pathological panel cannot starve the rest of the design. *)
+let panel_budget budget ~panels_left =
+  if Budget.is_unlimited budget || panels_left <= 1 then budget
+  else
+    let slice o n = Option.map (fun v -> v /. float_of_int n) o in
+    let seconds = slice (Budget.remaining_seconds budget) panels_left in
+    let work_units =
+      Option.map
+        (fun w -> max 1 (w / panels_left))
+        (Budget.remaining_work budget)
+    in
+    Budget.sub budget ?seconds ?work_units ()
+
+let run ?(config = default_config) ?budget ~kind design problems =
   let start = Unix_time.now () in
+  let budget = Budget.of_option budget in
+  let panels_left =
+    ref
+      (List.length
+         (List.filter (fun (_, p) -> Problem.num_pins p > 0) problems))
+  in
   let assignments, objective, reports =
     List.fold_left
       (fun (acc_a, acc_o, acc_r) (panel, problem) ->
         if Problem.num_pins problem = 0 then (acc_a, acc_o, acc_r)
         else begin
-          let a, o, r = solve_problem config kind ~panel problem in
+          let sliced = panel_budget budget ~panels_left:!panels_left in
+          decr panels_left;
+          let a, o, r = solve_problem config ~budget:sliced kind ~panel problem in
           (List.rev_append a acc_a, acc_o +. o, r :: acc_r)
         end)
       ([], 0.0, []) problems
   in
+  let reports = List.rev reports in
   {
     design;
     kind;
     assignments = List.rev assignments;
     objective;
-    reports = List.rev reports;
+    reports;
+    degraded = List.exists (fun (r : panel_report) -> r.degraded) reports;
     elapsed = Unix_time.now () -. start;
   }
 
-let optimize ?(config = default_config) ~kind design =
+let build_panel config design ~panel =
+  try Problem.build_panel config.gen design ~panel
+  with Interval_gen.Pin_unreachable pid ->
+    Cpr_error.infeasible ~panel
+      "pin %d unreachable: its primary track is blocked" pid
+
+let optimize ?(config = default_config) ?budget ~kind design =
   let problems =
     List.init (Netlist.Design.num_panels design) (fun panel ->
-        (panel, Problem.build_panel config.gen design ~panel))
+        (panel, build_panel config design ~panel))
   in
-  run ~config ~kind design problems
+  run ~config ?budget ~kind design problems
 
-let optimize_combined ?(config = default_config) ~kind design ~panels =
-  let problem = Problem.build_panels config.gen design ~panels in
-  run ~config ~kind design [ (-1, problem) ]
+let optimize_combined ?(config = default_config) ?budget ~kind design ~panels =
+  let problem =
+    try Problem.build_panels config.gen design ~panels
+    with Interval_gen.Pin_unreachable pid ->
+      Cpr_error.infeasible "pin %d unreachable: its primary track is blocked"
+        pid
+  in
+  run ~config ?budget ~kind design [ (-1, problem) ]
 
 let interval_of_pin t pid =
   List.assoc_opt pid t.assignments
 
 let validate ?(complete = true) t =
+  let fail fmt =
+    Printf.ksprintf
+      (fun reason ->
+        Cpr_error.solver_failure ~solver:"pin_access" "validate: %s" reason)
+      fmt
+  in
   let design = t.design in
   let num_pins = Array.length (Netlist.Design.pins design) in
   let seen = Array.make num_pins false in
   List.iter
     (fun (pid, iv) ->
-      if seen.(pid) then failwith "Pin_access.validate: pin assigned twice";
+      if seen.(pid) then fail "pin %d assigned twice" pid;
       seen.(pid) <- true;
       if not (Access_interval.serves iv pid) then
-        failwith "Pin_access.validate: interval does not serve its pin")
+        fail "interval does not serve pin %d" pid)
     t.assignments;
   if complete then
     Array.iteri
-      (fun pid assigned ->
-        if not assigned then
-          failwith
-            (Printf.sprintf "Pin_access.validate: pin %d unassigned" pid))
+      (fun pid assigned -> if not assigned then fail "pin %d unassigned" pid)
       seen;
   (* no overlap among assigned intervals of different nets (Problem 1) *)
   let distinct =
@@ -173,7 +259,9 @@ let validate ?(complete = true) t =
           if
             a.Access_interval.net <> b.Access_interval.net
             && Access_interval.overlaps a b
-          then failwith "Pin_access.validate: different-net intervals overlap"
+          then
+            fail "different-net intervals overlap on track %d"
+              a.Access_interval.track
         done
       done)
     by_track

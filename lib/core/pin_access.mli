@@ -1,13 +1,26 @@
 (** Top-level concurrent pin access optimization: panel-by-panel (the
     paper's production mode) or over a combined multi-panel instance
-    (the Fig. 6 scalability mode). *)
+    (the Fig. 6 scalability mode).
+
+    Every entry point runs a per-panel degradation ladder under the
+    optional {!Budget}: the requested solver first (ILP or LR), then —
+    on a typed solver failure, an injected fault or budget pressure —
+    the next tier down, ending at the shrink-to-minimum assignment that
+    Theorem 1 guarantees feasible.  The serving tier and a [degraded]
+    flag are recorded per panel, so callers always get a validated
+    assignment within the budget plus an honest account of how it was
+    obtained. *)
 
 type solver_kind = Ilp | Lr
+
+type tier =
+  | Tier_ilp  (** exact branch-and-bound *)
+  | Tier_lr  (** Lagrangian relaxation *)
+  | Tier_minimum  (** shrink-to-minimum fallback (paper Sec. 3.1) *)
 
 type config = {
   gen : Interval_gen.config;
   lr : Lagrangian.config;
-  ilp_time_limit : float option;
   ilp_warm_start : bool;
       (** seed the ILP incumbent with the LR solution *)
 }
@@ -20,25 +33,48 @@ type panel_report = {
   intervals : int;
   cliques : int;
   objective : float;
-  lr_iterations : int;  (** 0 for the pure-ILP path *)
-  proven_optimal : bool;  (** always true for the LR path's feasibility *)
+  lr_iterations : int;  (** 0 for the pure-ILP and minimum paths *)
+  proven_optimal : bool;
+      (** the serving tier ran to its own completion (ILP: optimality
+          proved; LR: converged/plateaued before any budget expiry) *)
+  served_by : tier;  (** which rung of the ladder produced the panel *)
+  degraded : bool;
+      (** the panel was not served by the requested solver running to
+          completion — a lower tier answered or the budget cut in *)
 }
 
 type t = {
   design : Netlist.Design.t;
-  kind : solver_kind;
+  kind : solver_kind;  (** the *requested* solver *)
   assignments : (Netlist.Pin.id * Access_interval.t) list;
       (** conflict-free: one interval per pin of the design *)
   objective : float;  (** summed over panels *)
   reports : panel_report list;
+  degraded : bool;  (** any panel degraded *)
   elapsed : float;  (** wall-clock seconds *)
 }
 
-val optimize : ?config:config -> kind:solver_kind -> Netlist.Design.t -> t
-(** Solve every panel of the design independently. *)
+val optimize :
+  ?config:config ->
+  ?budget:Budget.t ->
+  kind:solver_kind ->
+  Netlist.Design.t ->
+  t
+(** Solve every panel of the design independently.  Each panel gets an
+    equal slice of the remaining budget; once the budget is exhausted,
+    remaining panels are served directly by the minimum tier so the
+    call still returns promptly with a feasible result.
+    @raise Cpr_error.Error ([Infeasible_panel]) when a pin has no
+    access interval at all (blocked primary track) — no tier can serve
+    such a design. *)
 
 val optimize_combined :
-  ?config:config -> kind:solver_kind -> Netlist.Design.t -> panels:int list -> t
+  ?config:config ->
+  ?budget:Budget.t ->
+  kind:solver_kind ->
+  Netlist.Design.t ->
+  panels:int list ->
+  t
 (** Solve the given panels as a single instance (used by the Fig. 6
     sweep, where instance size is the experiment variable). *)
 
@@ -50,6 +86,8 @@ val validate : ?complete:bool -> t -> unit
     intervals of different nets overlap.  With [complete] (default)
     additionally every pin of the design must be assigned — pass
     [~complete:false] for [optimize_combined] over a panel subset.
-    @raise Failure on violation. *)
+    @raise Cpr_error.Error ([Solver_failure]) on violation. *)
 
 val solver_kind_to_string : solver_kind -> string
+val tier_to_string : tier -> string
+val tier_of_kind : solver_kind -> tier

@@ -99,9 +99,8 @@ let minimum_interval t ~slot =
   match minimum_intervals t ~slot with
   | id :: _ -> id
   | [] ->
-    invalid_arg
-      (Printf.sprintf "Problem.minimum_interval: pin %d has no minimum"
-         t.pin_ids.(slot))
+    Cpr_error.infeasible "Problem.minimum_interval: pin %d has no minimum"
+      t.pin_ids.(slot)
 
 let cliques_of_interval t id =
   let index =

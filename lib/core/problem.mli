@@ -39,7 +39,8 @@ val slot_of_pin : t -> Netlist.Pin.id -> int
 
 val minimum_interval : t -> slot:int -> int
 (** Id of the pin's primary-track minimum interval (exists by
-    construction). *)
+    construction).
+    @raise Cpr_error.Error ([Infeasible_panel]) when absent. *)
 
 val minimum_intervals : t -> slot:int -> int list
 (** All of the pin's minimum intervals (one per free track), primary

@@ -2,21 +2,22 @@ type t = { problem : Problem.t; assignment : int array }
 
 let make (problem : Problem.t) ~assignment =
   if Array.length assignment <> Problem.num_pins problem then
-    invalid_arg "Solution.make: assignment size mismatch";
+    Cpr_error.solver_failure ~solver:"solution"
+      "Solution.make: assignment size mismatch";
   Array.iteri
     (fun slot id ->
       let iv = problem.Problem.intervals.(id) in
       let pid = problem.Problem.pin_ids.(slot) in
       if not (Access_interval.serves iv pid) then
-        invalid_arg
-          (Printf.sprintf
-             "Solution.make: interval %d does not serve pin %d" id pid))
+        Cpr_error.solver_failure ~solver:"solution"
+          "Solution.make: interval %d does not serve pin %d" id pid)
     assignment;
   { problem; assignment }
 
 let of_chosen (problem : Problem.t) ~chosen =
   if Array.length chosen <> Problem.num_intervals problem then
-    invalid_arg "Solution.of_chosen: indicator size mismatch";
+    Cpr_error.solver_failure ~solver:"solution"
+      "Solution.of_chosen: indicator size mismatch";
   let assignment =
     Array.mapi
       (fun slot candidates ->
@@ -24,12 +25,11 @@ let of_chosen (problem : Problem.t) ~chosen =
         match picks with
         | [ id ] -> id
         | [] ->
-          invalid_arg
-            (Printf.sprintf "Solution.of_chosen: pin slot %d unassigned" slot)
+          Cpr_error.solver_failure ~solver:"solution"
+            "Solution.of_chosen: pin slot %d unassigned" slot
         | _ :: _ :: _ ->
-          invalid_arg
-            (Printf.sprintf
-               "Solution.of_chosen: pin slot %d multiply assigned" slot))
+          Cpr_error.solver_failure ~solver:"solution"
+            "Solution.of_chosen: pin slot %d multiply assigned" slot)
       problem.Problem.pin_candidates
   in
   { problem; assignment }

@@ -8,12 +8,13 @@ type t = {
 
 val make : Problem.t -> assignment:int array -> t
 (** Checks that every slot's interval actually serves the pin.
-    @raise Invalid_argument otherwise. *)
+    @raise Cpr_error.Error ([Solver_failure]) otherwise. *)
 
 val of_chosen : Problem.t -> chosen:bool array -> t
 (** Reconstruct the per-pin assignment from a chosen-interval
     indicator (the ILP solution vector).  Each pin must be served by
-    exactly one chosen interval. @raise Invalid_argument otherwise. *)
+    exactly one chosen interval.
+    @raise Cpr_error.Error ([Solver_failure]) otherwise. *)
 
 val chosen : t -> bool array
 (** Indicator over intervals: selected by at least one pin. *)

@@ -91,7 +91,8 @@ let entry_cost t ~(cost : Cost.t) ~net ~pfac ~via node =
     else negotiated
   end
 
-let search t ~cost ~net ~pfac ~sources ~targets ~window =
+let search ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
+    ~targets ~window =
   t.cur <- t.cur + 1;
   t.expansions <- 0;
   Heap.clear t.heap;
@@ -148,7 +149,10 @@ let search t ~cost ~net ~pfac ~sources ~targets ~window =
         if t.gen.(node) = t.cur && d > t.dist.(node) +. 1e-12 then loop ()
         else begin
           t.expansions <- t.expansions + 1;
-          if t.target_gen.(node) = t.cur then begin
+          (* periodic deadline probe: abandoning mid-search is safe —
+             the caller treats it like an unreachable target *)
+          if t.expansions land 1023 = 0 && should_stop () then Unreachable
+          else if t.target_gen.(node) = t.cur then begin
             let rec walk acc n =
               if n < 0 then acc else walk (n :: acc) t.parent.(n)
             in

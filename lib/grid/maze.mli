@@ -21,6 +21,7 @@ type outcome =
   | Unreachable
 
 val search :
+  ?should_stop:(unit -> bool) ->
   t ->
   cost:Cost.t ->
   net:int ->
@@ -31,7 +32,11 @@ val search :
   outcome
 (** Multi-source multi-target shortest path.  Sources start at cost 0
     (they are the net's existing metal).  Unpassable sources/targets are
-    ignored; if no passable target exists the search is [Unreachable]. *)
+    ignored; if no passable target exists the search is [Unreachable].
+    [should_stop] is probed every 1024 expansions; when it answers
+    [true] the search is abandoned and reports [Unreachable] — how
+    routing budgets bound per-node work without this library depending
+    on them. *)
 
 val expansions : t -> int
 (** Nodes popped during the last search (benchmark instrumentation). *)

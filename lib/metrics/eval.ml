@@ -8,9 +8,19 @@ type summary = {
   cpu : float;
   initial_congestion : int;
   violations : int;
+  degraded_panels : int;
 }
 
 let hpwl design net = Geometry.Rect.half_perimeter (Netlist.Design.net_bbox design net)
+
+let degraded_panels (flow : Router.Flow.t) =
+  match flow.Router.Flow.pao with
+  | None -> 0
+  | Some pao ->
+    List.length
+      (List.filter
+         (fun (r : Pinaccess.Pin_access.panel_report) -> r.degraded)
+         pao.Pinaccess.Pin_access.reports)
 
 let of_flow ?name (flow : Router.Flow.t) =
   let design = flow.Router.Flow.design in
@@ -49,6 +59,7 @@ let of_flow ?name (flow : Router.Flow.t) =
     cpu = flow.Router.Flow.elapsed;
     initial_congestion = flow.Router.Flow.initial_congestion;
     violations = List.length flow.Router.Flow.violations;
+    degraded_panels = degraded_panels flow;
   }
 
 let ratio s ~reference =

@@ -16,9 +16,15 @@ type summary = {
   cpu : float;
   initial_congestion : int;
   violations : int;
+  degraded_panels : int;
+      (** panels whose pin access fell back below the requested solver
+          or was cut short by the budget; 0 for flows without PAO *)
 }
 
 val hpwl : Netlist.Design.t -> Netlist.Net.id -> int
+
+val degraded_panels : Router.Flow.t -> int
+(** Count of degraded PAO panel reports in the flow (0 without PAO). *)
 
 val of_flow : ?name:string -> Router.Flow.t -> summary
 

@@ -9,8 +9,9 @@ let design ?name ~width ~height ?row_height ~nets ?blockages () =
   List.iteri
     (fun net_id (net_name, specs) ->
       if specs = [] then
-        invalid_arg
-          (Printf.sprintf "Builder.design: net %s has no pins" net_name);
+        raise
+          (Design.Invalid
+             (Printf.sprintf "Builder.design: net %s has no pins" net_name));
       let pin_ids =
         List.map
           (fun spec ->

@@ -19,3 +19,5 @@ val design :
   ?blockages:Blockage.t list ->
   unit ->
   Design.t
+(** @raise Design.Invalid when a net has no pins or the assembled
+    design violates {!Design.create}'s invariants. *)

@@ -1,5 +1,9 @@
 module I = Geometry.Interval
 
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
 type t = {
   name : string;
   width : int;
@@ -15,35 +19,33 @@ type t = {
 }
 
 let validate ~width ~height ~row_height pins nets =
-  if width <= 0 || height <= 0 then invalid_arg "Design.create: empty die";
-  if row_height <= 0 then invalid_arg "Design.create: row_height <= 0";
+  if width <= 0 || height <= 0 then invalid "Design.create: empty die";
+  if row_height <= 0 then invalid "Design.create: row_height <= 0";
   if height mod row_height <> 0 then
-    invalid_arg "Design.create: die height must be a whole number of rows";
+    invalid "Design.create: die height must be a whole number of rows";
   Array.iteri
     (fun i (p : Pin.t) ->
-      if p.id <> i then invalid_arg "Design.create: pin ids must be dense";
+      if p.id <> i then invalid "Design.create: pin ids must be dense";
       if p.x < 0 || p.x >= width then
-        invalid_arg (Printf.sprintf "Design.create: pin %d off-die (x=%d)" i p.x);
+        invalid "Design.create: pin %d off-die (x=%d)" i p.x;
       let tlo = I.lo p.tracks and thi = I.hi p.tracks in
       if tlo < 0 || thi >= height then
-        invalid_arg (Printf.sprintf "Design.create: pin %d off-die tracks" i);
+        invalid "Design.create: pin %d off-die tracks" i;
       if tlo / row_height <> thi / row_height then
-        invalid_arg (Printf.sprintf "Design.create: pin %d crosses panels" i);
+        invalid "Design.create: pin %d crosses panels" i;
       if p.net < 0 || p.net >= Array.length nets then
-        invalid_arg (Printf.sprintf "Design.create: pin %d has bad net" i))
+        invalid "Design.create: pin %d has bad net" i)
     pins;
   Array.iteri
     (fun i (n : Net.t) ->
-      if n.id <> i then invalid_arg "Design.create: net ids must be dense";
-      if n.pins = [] then
-        invalid_arg (Printf.sprintf "Design.create: net %d has no pins" i);
+      if n.id <> i then invalid "Design.create: net ids must be dense";
+      if n.pins = [] then invalid "Design.create: net %d has no pins" i;
       List.iter
         (fun pid ->
           if pid < 0 || pid >= Array.length pins then
-            invalid_arg (Printf.sprintf "Design.create: net %d bad pin ref" i);
+            invalid "Design.create: net %d bad pin ref" i;
           if pins.(pid).Pin.net <> i then
-            invalid_arg
-              (Printf.sprintf "Design.create: pin %d not owned by net %d" pid i))
+            invalid "Design.create: pin %d not owned by net %d" pid i)
         n.pins)
     nets;
   (* No two pins may occupy the same (column, track) grid. *)
@@ -53,9 +55,7 @@ let validate ~width ~height ~row_height pins nets =
       for tr = I.lo p.tracks to I.hi p.tracks do
         let key = (p.Pin.x * height) + tr in
         if Hashtbl.mem seen key then
-          invalid_arg
-            (Printf.sprintf "Design.create: overlapping pins at (%d,%d)" p.Pin.x
-               tr);
+          invalid "Design.create: overlapping pins at (%d,%d)" p.Pin.x tr;
         Hashtbl.add seen key ()
       done)
     pins

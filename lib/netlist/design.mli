@@ -8,6 +8,12 @@
 
 type t
 
+exception Invalid of string
+(** Typed construction/validation error: the message names the first
+    violated invariant.  Raised instead of a bare [Invalid_argument] so
+    callers (loaders, CLIs) can distinguish malformed designs from
+    programming errors. *)
+
 val create :
   ?name:string ->
   width:int ->
@@ -21,7 +27,7 @@ val create :
 (** Validates the input: pin/net cross-references must resolve, each
     net must have >= 1 pin, every pin must belong to its net, pin
     coordinates must be on the die, and each pin's track span must stay
-    inside one panel. @raise Invalid_argument on violations. *)
+    inside one panel. @raise Invalid on violations. *)
 
 val name : t -> string
 val width : t -> int

@@ -1,5 +1,17 @@
 module I = Geometry.Interval
 
+exception Malformed of { line : int option; reason : string }
+
+let malformed ?line fmt =
+  Printf.ksprintf (fun reason -> raise (Malformed { line; reason })) fmt
+
+let malformed_to_string = function
+  | Malformed { line = Some l; reason } ->
+    Printf.sprintf "malformed design (line %d): %s" l reason
+  | Malformed { line = None; reason } ->
+    Printf.sprintf "malformed design: %s" reason
+  | _ -> invalid_arg "Design_io.malformed_to_string: not a Malformed"
+
 let to_string design =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
@@ -33,17 +45,17 @@ type header = {
   row_height : int;
 }
 
-let of_string text =
+(* a parsed pin spec with its source line, kept for error reporting *)
+type raw_pin = { lineno : int; x : int; tracks : I.t }
+
+let parse text =
   let header = ref None in
-  let nets = ref [] in (* (name, pin spec list) in reverse *)
-  let blockages = ref [] in
-  let fail lineno msg =
-    invalid_arg (Printf.sprintf "Design_io.of_string: line %d: %s" lineno msg)
-  in
+  let nets = ref [] in (* (name, raw_pin list) in reverse *)
+  let blockages = ref [] in (* (lineno, Blockage.t) in reverse *)
   let int lineno s =
     match int_of_string_opt s with
     | Some v -> v
-    | None -> fail lineno (Printf.sprintf "expected an integer, got %S" s)
+    | None -> malformed ~line:lineno "expected an integer, got %S" s
   in
   List.iteri
     (fun i line ->
@@ -59,7 +71,7 @@ let of_string text =
       with
       | [] -> ()
       | [ "design"; name; w; h; rh ] ->
-        if !header <> None then fail lineno "duplicate design header";
+        if !header <> None then malformed ~line:lineno "duplicate design header";
         header :=
           Some
             {
@@ -71,13 +83,13 @@ let of_string text =
       | [ "net"; name ] -> nets := (name, []) :: !nets
       | [ "pin"; x; lo; hi ] ->
         (match !nets with
-        | [] -> fail lineno "pin before any net"
+        | [] -> malformed ~line:lineno "pin before any net"
         | (name, pins) :: rest ->
+          let lo = int lineno lo and hi = int lineno hi in
+          if hi < lo then
+            malformed ~line:lineno "pin track range %d..%d is empty" lo hi;
           let spec =
-            {
-              Builder.x = int lineno x;
-              tracks = I.make ~lo:(int lineno lo) ~hi:(int lineno hi);
-            }
+            { lineno; x = int lineno x; tracks = I.make ~lo ~hi }
           in
           nets := (name, spec :: pins) :: rest)
       | [ "blockage"; layer; track; lo; hi ] ->
@@ -85,32 +97,160 @@ let of_string text =
           match layer with
           | "M2" -> Blockage.M2
           | "M3" -> Blockage.M3
-          | other -> fail lineno (Printf.sprintf "unknown layer %S" other)
+          | other -> malformed ~line:lineno "unknown layer %S" other
         in
+        let lo = int lineno lo and hi = int lineno hi in
+        if hi < lo then
+          malformed ~line:lineno "blockage span %d..%d is empty" lo hi;
         blockages :=
-          Blockage.make ~layer ~track:(int lineno track)
-            ~span:(I.make ~lo:(int lineno lo) ~hi:(int lineno hi))
+          ( lineno,
+            Blockage.make ~layer ~track:(int lineno track)
+              ~span:(I.make ~lo ~hi) )
           :: !blockages
-      | word :: _ -> fail lineno (Printf.sprintf "unknown record %S" word))
+      | word :: _ -> malformed ~line:lineno "unknown record %S" word)
     (String.split_on_char '\n' text);
   match !header with
-  | None -> invalid_arg "Design_io.of_string: missing design header"
+  | None -> malformed "missing design header"
   | Some h ->
+    (* both accumulators are reversed; rev_map restores net order while
+       its body restores each net's pin order *)
+    ( h,
+      List.rev_map (fun (name, pins) -> (name, List.rev pins)) !nets,
+      List.rev !blockages )
+
+(* Semantic validation of the parsed records, before Design.create sees
+   them.  Strict mode rejects with the offending line; repair mode
+   clamps off-die geometry, drops duplicate pins (first occurrence
+   wins) and discards out-of-bbox blockages, guaranteeing the result
+   passes [Design.create]'s invariants whenever a repaired design still
+   has at least one pin per surviving net. *)
+let validate_records ~repair (h : header) nets blockages =
+  if h.width <= 0 || h.height <= 0 then
+    malformed "empty die (%dx%d)" h.width h.height;
+  if h.row_height <= 0 then malformed "row_height %d <= 0" h.row_height;
+  if h.height mod h.row_height <> 0 then
+    malformed "die height %d is not a whole number of %d-track rows" h.height
+      h.row_height;
+  let clamp v ~lo ~hi = max lo (min hi v) in
+  let occupied = Hashtbl.create 256 in (* (x, track) -> first lineno *)
+  let check_pin (p : raw_pin) =
+    let on_die =
+      p.x >= 0
+      && p.x < h.width
+      && I.lo p.tracks >= 0
+      && I.hi p.tracks < h.height
+    in
+    let panel_lo = I.lo p.tracks / h.row_height
+    and panel_hi = I.hi p.tracks / h.row_height in
+    let p =
+      if on_die && panel_lo = panel_hi then p
+      else if not repair then
+        if on_die then
+          malformed ~line:p.lineno "pin crosses panels (tracks %d..%d)"
+            (I.lo p.tracks) (I.hi p.tracks)
+        else
+          malformed ~line:p.lineno "off-grid pin (x=%d tracks %d..%d)" p.x
+            (I.lo p.tracks) (I.hi p.tracks)
+      else begin
+        (* clamp into the die, then into the panel of the low track *)
+        let x = clamp p.x ~lo:0 ~hi:(h.width - 1) in
+        let lo = clamp (I.lo p.tracks) ~lo:0 ~hi:(h.height - 1) in
+        let hi = clamp (I.hi p.tracks) ~lo ~hi:(h.height - 1) in
+        let panel_end = (((lo / h.row_height) + 1) * h.row_height) - 1 in
+        { p with x; tracks = I.make ~lo ~hi:(min hi panel_end) }
+      end
+    in
+    (* duplicate / overlapping pins occupy a shared (column, track) *)
+    let clash = ref None in
+    for tr = I.lo p.tracks to I.hi p.tracks do
+      match Hashtbl.find_opt occupied (p.x, tr) with
+      | Some first when !clash = None -> clash := Some (tr, first)
+      | Some _ | None -> ()
+    done;
+    match !clash with
+    | Some (tr, first) ->
+      if repair then None
+      else
+        malformed ~line:p.lineno
+          "duplicate pin: grid (%d,%d) already occupied by the pin at line %d"
+          p.x tr first
+    | None ->
+      for tr = I.lo p.tracks to I.hi p.tracks do
+        Hashtbl.replace occupied (p.x, tr) p.lineno
+      done;
+      Some p
+  in
+  let nets =
+    List.filter_map
+      (fun (name, pins) ->
+        match List.filter_map check_pin pins with
+        | [] when repair -> None (* every pin repaired away: drop the net *)
+        | [] -> malformed "net %s has no pins" name
+        | pins -> Some (name, pins))
+      nets
+  in
+  let check_blockage (lineno, (b : Blockage.t)) =
+    let track_max, span_max =
+      match b.Blockage.layer with
+      | Blockage.M2 -> (h.height - 1, h.width - 1)
+      | Blockage.M3 -> (h.width - 1, h.height - 1)
+    in
+    let on_die =
+      b.Blockage.track >= 0
+      && b.Blockage.track <= track_max
+      && I.lo b.Blockage.span >= 0
+      && I.hi b.Blockage.span <= span_max
+    in
+    if on_die then Some b
+    else if not repair then
+      malformed ~line:lineno "out-of-bbox blockage (track %d span %d..%d)"
+        b.Blockage.track (I.lo b.Blockage.span) (I.hi b.Blockage.span)
+    else if b.Blockage.track < 0 || b.Blockage.track > track_max then None
+    else
+      let lo = clamp (I.lo b.Blockage.span) ~lo:0 ~hi:span_max in
+      let hi = clamp (I.hi b.Blockage.span) ~lo ~hi:span_max in
+      Some (Blockage.make ~layer:b.Blockage.layer ~track:b.Blockage.track
+              ~span:(I.make ~lo ~hi))
+  in
+  (nets, List.filter_map check_blockage blockages)
+
+let of_string ?(repair = false) text =
+  let h, nets, blockages = parse text in
+  let nets, blockages = validate_records ~repair h nets blockages in
+  if nets = [] then malformed "design %s has no nets with pins" h.name;
+  match
     Builder.design ~name:h.name ~width:h.width ~height:h.height
       ~row_height:h.row_height
-      ~nets:(List.rev_map (fun (name, pins) -> (name, List.rev pins)) !nets)
-      ~blockages:(List.rev !blockages) ()
+      ~nets:
+        (List.map
+           (fun (name, pins) ->
+             ( name,
+               List.map
+                 (fun (p : raw_pin) -> { Builder.x = p.x; tracks = p.tracks })
+                 pins ))
+           nets)
+      ~blockages ()
+  with
+  | design -> design
+  | exception Design.Invalid reason ->
+    (* the record validator should have caught everything Design.create
+       checks; translate any residual rejection into the typed error *)
+    malformed "%s" reason
 
 let save path design =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string design))
+  match open_out path with
+  | exception Sys_error reason -> malformed "%s" reason
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string design))
 
-let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+let load ?repair path =
+  match open_in path with
+  | exception Sys_error reason -> malformed "%s" reason
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        of_string ?repair (really_input_string ic n))

@@ -9,14 +9,36 @@
     net <name>
     pin <x> <track_lo> <track_hi>       # belongs to the last net
     blockage <M2|M3> <track> <lo> <hi>
-    v} *)
+    v}
+
+    Loading validates the records before they reach the solvers: syntax
+    errors, off-grid pins, duplicate (overlapping) pins and out-of-bbox
+    blockages all raise the typed {!Malformed} error with the offending
+    line.  With [~repair:true] the loader instead clamps off-die
+    geometry into the die, drops later duplicate pins (and nets left
+    empty by that) and discards unplaceable blockages, so any
+    syntactically well-formed file yields a valid design. *)
+
+exception Malformed of { line : int option; reason : string }
+(** The only exception this module raises on bad input — parse errors,
+    semantic validation failures and file-system errors ([Sys_error])
+    are all mapped to it. *)
+
+val malformed_to_string : exn -> string
+(** Render a {!Malformed} value for user display.
+    @raise Invalid_argument on any other exception. *)
 
 val to_string : Design.t -> string
 
-val of_string : string -> Design.t
-(** @raise Invalid_argument on malformed input (with a line number). *)
+val of_string : ?repair:bool -> string -> Design.t
+(** @raise Malformed on malformed input (with a line number where one
+    applies); with [repair] (default [false]) semantic defects are
+    repaired instead of rejected. *)
 
 val save : string -> Design.t -> unit
-(** [save path design] *)
+(** [save path design] @raise Malformed when the file cannot be
+    written. *)
 
-val load : string -> Design.t
+val load : ?repair:bool -> string -> Design.t
+(** @raise Malformed when the file cannot be read or (subject to
+    [repair], as in {!of_string}) does not encode a valid design. *)

@@ -2,13 +2,15 @@ type config = { cost : Rgrid.Cost.t; rules : Drc.Rules.t }
 
 let default_config = { cost = Rgrid.Cost.default; rules = Drc.Rules.default }
 
-let run ?(config = default_config) design =
+let run ?(config = default_config) ?budget design =
   let started = Pinaccess.Unix_time.now () in
   let grid = Rgrid.Grid.create design in
   let specs = Spec_builder.build grid ~pao:None in
-  let result = Negotiation.run ~cost:config.cost ~rules:config.rules grid specs in
+  let result =
+    Negotiation.run ~cost:config.cost ~rules:config.rules ?budget grid specs
+  in
   let drc_reroutes =
-    Negotiation.drc_ripup ~cost:config.cost ~rules:config.rules grid
+    Negotiation.drc_ripup ~cost:config.cost ?budget ~rules:config.rules grid
       ~spec_of:(fun net -> Some specs.(net))
       ~routes:result.Negotiation.routes ~rounds:2
   in

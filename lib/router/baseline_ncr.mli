@@ -7,4 +7,7 @@ type config = { cost : Rgrid.Cost.t; rules : Drc.Rules.t }
 
 val default_config : config
 
-val run : ?config:config -> Netlist.Design.t -> Flow.t
+val run :
+  ?config:config -> ?budget:Pinaccess.Budget.t -> Netlist.Design.t -> Flow.t
+(** [budget] bounds negotiation and DRC rip-up; on exhaustion the best
+    short-free routing found so far is returned. *)

@@ -13,13 +13,15 @@ let default_config =
     rules = Drc.Rules.default;
   }
 
-let run_with_pao ?(config = default_config) design pao =
+let run_with_pao ?(config = default_config) ?budget design pao =
   let started = Pinaccess.Unix_time.now () -. pao.Pinaccess.Pin_access.elapsed in
   let grid = Rgrid.Grid.create design in
   let specs = Spec_builder.build grid ~pao:(Some pao) in
-  let result = Negotiation.run ~cost:config.cost ~rules:config.rules grid specs in
+  let result =
+    Negotiation.run ~cost:config.cost ~rules:config.rules ?budget grid specs
+  in
   let drc_reroutes =
-    Negotiation.drc_ripup ~cost:config.cost ~rules:config.rules grid
+    Negotiation.drc_ripup ~cost:config.cost ?budget ~rules:config.rules grid
       ~spec_of:(fun net -> Some specs.(net))
       ~routes:result.Negotiation.routes ~rounds:2
   in
@@ -29,9 +31,10 @@ let run_with_pao ?(config = default_config) design pao =
     ~total_reroutes:(result.Negotiation.total_reroutes + drc_reroutes)
     ~started result.Negotiation.routes
 
-let run ?(config = default_config) design =
+let run ?(config = default_config) ?budget ?pao_budget design =
+  let pao_budget = match pao_budget with Some _ as b -> b | None -> budget in
   let pao =
-    Pinaccess.Pin_access.optimize ~config:config.pao ~kind:config.pao_kind
-      design
+    Pinaccess.Pin_access.optimize ~config:config.pao ?budget:pao_budget
+      ~kind:config.pao_kind design
   in
-  run_with_pao ~config design pao
+  run_with_pao ~config ?budget design pao

@@ -14,9 +14,25 @@ type config = {
 
 val default_config : config
 
-val run : ?config:config -> Netlist.Design.t -> Flow.t
+val run :
+  ?config:config ->
+  ?budget:Pinaccess.Budget.t ->
+  ?pao_budget:Pinaccess.Budget.t ->
+  Netlist.Design.t ->
+  Flow.t
+(** [budget] bounds the whole flow: pin access optimization degrades
+    panel by panel (ILP → LR → minimum intervals) and negotiation stops
+    rerouting when the budget runs out, so the flow always returns a
+    short-free result near the deadline.  [pao_budget], when given,
+    bounds the PAO stage separately (e.g. a tight ILP cap while routing
+    stays unbounded); it defaults to [budget]. *)
 
-val run_with_pao : ?config:config -> Netlist.Design.t -> Pinaccess.Pin_access.t -> Flow.t
+val run_with_pao :
+  ?config:config ->
+  ?budget:Pinaccess.Budget.t ->
+  Netlist.Design.t ->
+  Pinaccess.Pin_access.t ->
+  Flow.t
 (** Route with an externally computed pin access result (used by the
     Fig. 7(a) bench to compare LR-based and ILP-based PAO under one
     routing engine). *)

@@ -91,3 +91,8 @@ let routed_count t = Array.fold_left (fun k c -> if c then k + 1 else k) 0 t.cle
 
 let routability t =
   float_of_int (routed_count t) /. float_of_int (Array.length t.clean)
+
+let degraded t =
+  match t.pao with
+  | None -> false
+  | Some pao -> pao.Pinaccess.Pin_access.degraded

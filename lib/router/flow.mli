@@ -36,3 +36,8 @@ val routed_count : t -> int
 
 val routability : t -> float
 (** [routed_count / total nets]. *)
+
+val degraded : t -> bool
+(** [true] when the pin access stage fell back below its requested
+    solver on some panel (or was cut short by its budget); [false] for
+    flows without a PAO stage. *)

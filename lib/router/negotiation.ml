@@ -22,12 +22,17 @@ let retract_route grid (route : Rgrid.Route.t) =
     route.Rgrid.Route.nodes;
   List.iter (fun (x, y) -> Grid.remove_via grid ~x ~y) (Rgrid.Route.via_positions ~space route)
 
-let drc_ripup ?(cost = Cost.default) ?(own = false) ~rules grid ~spec_of
-    ~routes ~rounds =
+let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ~rules grid
+    ~spec_of ~routes ~rounds =
   let design = Grid.design grid in
   let space = Grid.space grid in
   let maze = Maze.create grid in
   let reroutes = ref 0 in
+  let exhausted () =
+    match budget with
+    | None -> false
+    | Some b -> Pinaccess.Budget.exhausted b
+  in
   (* a soft (pfac-based) reroute may introduce sharing; resolve it by
      dropping the later net before metal extraction *)
   let drop_overused () =
@@ -49,7 +54,7 @@ let drc_ripup ?(cost = Cost.default) ?(own = false) ~rules grid ~spec_of
   in
   let round = ref 0 in
   let continue_ = ref true in
-  while !continue_ && !round < rounds do
+  while !continue_ && !round < rounds && not (exhausted ()) do
     incr round;
     drop_overused ();
     let layout = Drc.Extract.of_routes design routes in
@@ -92,7 +97,8 @@ let drc_ripup ?(cost = Cost.default) ?(own = false) ~rules grid ~spec_of
                 r.Rgrid.Route.nodes
           in
           match
-            Option.bind (spec_of net) (Net_router.route maze ~cost ~pfac:4.0)
+            Option.bind (spec_of net)
+              (Net_router.route ?budget maze ~cost ~pfac:4.0)
           with
           | Some r ->
             apply_route grid r;
@@ -140,13 +146,18 @@ let overused_nets grid routes =
     routes;
   List.rev !result
 
-let run ?(cost = Cost.default) ?rules grid specs =
+let run ?(cost = Cost.default) ?rules ?budget grid specs =
   let maze = Maze.create grid in
   let design = Grid.design grid in
   let space = Grid.space grid in
   let n = Array.length specs in
   let routes : Rgrid.Route.t option array = Array.make n None in
   let total_reroutes = ref 0 in
+  let exhausted () =
+    match budget with
+    | None -> false
+    | Some b -> Pinaccess.Budget.exhausted b
+  in
   let route_net ~pfac net =
     (match routes.(net) with
     | Some r ->
@@ -154,7 +165,7 @@ let run ?(cost = Cost.default) ?rules grid specs =
       routes.(net) <- None
     | None -> ());
     incr total_reroutes;
-    match Net_router.route maze ~cost ~pfac specs.(net) with
+    match Net_router.route ?budget maze ~cost ~pfac specs.(net) with
     | Some r ->
       apply_route grid r;
       routes.(net) <- Some r
@@ -194,7 +205,11 @@ let run ?(cost = Cost.default) ?rules grid specs =
   in
   let blamed = ref (if initial_congestion = 0 then drc_victims () else []) in
   if !blamed <> [] then continue_ := true;
-  while !continue_ && !iterations < cost.Cost.max_ripup_iterations do
+  while
+    !continue_
+    && !iterations < cost.Cost.max_ripup_iterations
+    && not (exhausted ())
+  do
     incr iterations;
     let pfac =
       cost.Cost.pfac_initial

@@ -20,13 +20,20 @@ type result = {
 val run :
   ?cost:Rgrid.Cost.t ->
   ?rules:Drc.Rules.t ->
+  ?budget:Pinaccess.Budget.t ->
   Rgrid.Grid.t ->
   Net_router.spec array ->
   result
 (** With [rules], every rip-up iteration also probes the current metal
     for DRC violations, bumps history on the offending grids and adds
     the blamed nets to the victims — the paper's combined congestion +
-    manufacturing-constraint rip-up. *)
+    manufacturing-constraint rip-up.
+
+    [budget] bounds the work: it is checked before each rip-up round
+    and inside every maze search, so on exhaustion the engine stops
+    rerouting and returns the best routing found so far (nets still
+    conflicting are dropped as usual — the result stays short-free,
+    just with more unrouted nets). *)
 
 val apply_route : Rgrid.Grid.t -> Rgrid.Route.t -> unit
 (** Record a route's node usage and via pressure. *)
@@ -36,6 +43,7 @@ val retract_route : Rgrid.Grid.t -> Rgrid.Route.t -> unit
 val drc_ripup :
   ?cost:Rgrid.Cost.t ->
   ?own:bool ->
+  ?budget:Pinaccess.Budget.t ->
   rules:Drc.Rules.t ->
   Rgrid.Grid.t ->
   spec_of:(int -> Net_router.spec option) ->
@@ -48,4 +56,5 @@ val drc_ripup :
     times.  [own] re-claims exclusive ownership of committed metal
     (the sequential baseline's hard-blocking mode).  Returns the number
     of reroute attempts.  [routes] is updated in place; a net whose
-    reroute fails becomes unrouted. *)
+    reroute fails becomes unrouted.  [budget] is checked before each
+    round; exhaustion stops the rip-up with the routes as they stand. *)

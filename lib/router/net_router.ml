@@ -67,7 +67,17 @@ let trim_component space (c : component) ~keeps =
         | None -> false)
       c.nodes
 
-let route maze ~cost ~pfac spec =
+let route ?budget maze ~cost ~pfac spec =
+  let should_stop =
+    match budget with
+    | None -> fun () -> false
+    | Some b -> fun () -> Pinaccess.Budget.exhausted b
+  in
+  let spend_expansions () =
+    match budget with
+    | None -> ()
+    | Some b -> Pinaccess.Budget.spend b (Maze.expansions maze)
+  in
   let grid = Maze.grid maze in
   let space = Grid.space grid in
   let die = Netlist.Design.die (Grid.design grid) in
@@ -91,15 +101,18 @@ let route maze ~cost ~pfac spec =
   let connect i =
     let component = comp_arr.(i) in
     let try_margin margin =
-      match
-        Maze.search maze ~cost ~net:spec.net ~pfac ~sources:!tree
+      let outcome =
+        Maze.search ~should_stop maze ~cost ~net:spec.net ~pfac ~sources:!tree
           ~targets:component.nodes ~window:(window margin)
-      with
+      in
+      spend_expansions ();
+      match outcome with
       | Maze.Found { path; _ } -> Some path
       | Maze.Unreachable -> None
     in
     let rec attempt = function
       | [] -> false
+      | _ when should_stop () -> false
       | margin :: more ->
         (match try_margin margin with
         | Some path ->

@@ -33,6 +33,7 @@ val spec_of_components :
 (** Computes the bbox. @raise Invalid_argument on an empty net. *)
 
 val route :
+  ?budget:Pinaccess.Budget.t ->
   Rgrid.Maze.t ->
   cost:Rgrid.Cost.t ->
   pfac:float ->
@@ -42,4 +43,7 @@ val route :
     searches inside the spec bbox inflated by [cost.bbox_margin],
     retrying with [cost.retry_margins].  The result contains the path
     nodes, the trimmed component metal and the realized V1 landings;
-    [None] when some component stays unreachable. *)
+    [None] when some component stays unreachable.  [budget] bounds the
+    maze searches per expanded node (expansions are spent back as work
+    units); on exhaustion the net simply reports unroutable, which
+    negotiation treats as any other failure. *)

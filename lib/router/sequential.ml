@@ -133,7 +133,7 @@ let commit grid route =
     (fun node -> Grid.set_owner grid node ~net:route.Rgrid.Route.net)
     route.Rgrid.Route.nodes
 
-let run ?(config = default_config) design =
+let run ?(config = default_config) ?budget design =
   let started = Pinaccess.Unix_time.now () in
   let grid = Grid.create design in
   let space = Grid.space grid in
@@ -155,7 +155,7 @@ let run ?(config = default_config) design =
     | None -> false
     | Some spec ->
       incr reroutes;
-      (match Net_router.route maze ~cost ~pfac:0.0 spec with
+      (match Net_router.route ?budget maze ~cost ~pfac:0.0 spec with
       | Some route ->
         commit grid route;
         routes.(net) <- Some route;
@@ -186,8 +186,8 @@ let run ?(config = default_config) design =
   (* per-net design-rule legalization, hard-blocked like the rest of
      the flow ([12] legalizes during sequential routing) *)
   let drc_reroutes =
-    Negotiation.drc_ripup ~cost:(wide hard_cost) ~own:true ~rules:config.rules
-      grid
+    Negotiation.drc_ripup ~cost:(wide hard_cost) ~own:true ?budget
+      ~rules:config.rules grid
       ~spec_of:(build_spec grid config)
       ~routes ~rounds:3
   in

@@ -17,4 +17,7 @@ type config = {
 
 val default_config : config
 
-val run : ?config:config -> Netlist.Design.t -> Flow.t
+val run :
+  ?config:config -> ?budget:Pinaccess.Budget.t -> Netlist.Design.t -> Flow.t
+(** [budget] bounds the maze searches and the legalization rip-up; on
+    exhaustion remaining nets stay unrouted. *)

@@ -90,14 +90,12 @@ let test_cpr_with_ilp_pao () =
     {
       Router.Cpr.default_config with
       Router.Cpr.pao_kind = Pinaccess.Pin_access.Ilp;
-      pao =
-        {
-          Pinaccess.Pin_access.default_config with
-          Pinaccess.Pin_access.ilp_time_limit = Some 5.0;
-        };
     }
   in
-  assert_flow_invariants "cpr-ilp" (Router.Cpr.run ~config d)
+  assert_flow_invariants "cpr-ilp"
+    (Router.Cpr.run ~config
+       ~pao_budget:(Pinaccess.Budget.start ~seconds:5.0 ())
+       d)
 
 let test_run_with_external_pao () =
   let d = small () in

@@ -52,6 +52,7 @@ let test_ratio () =
       cpu = 2.0;
       initial_congestion = 10;
       violations = 0;
+      degraded_panels = 0;
     }
   in
   let b = { a with Eval.name = "b"; routability = 45.0; via_count = 100; cpu = 4.0 } in
@@ -86,6 +87,7 @@ let test_summary_cells () =
       cpu = 1.25;
       initial_congestion = 3;
       violations = 1;
+      degraded_panels = 0;
     }
   in
   check "cells" true

@@ -56,8 +56,8 @@ let test_panel_queries () =
 let test_validation_rejects () =
   let expect_invalid name f =
     match f () with
-    | exception Invalid_argument _ -> ()
-    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Design.Invalid _ -> ()
+    | _ -> Alcotest.failf "%s: expected Design.Invalid" name
   in
   expect_invalid "off-die pin" (fun () ->
       B.design ~width:10 ~height:10 ~nets:[ ("a", [ B.pin_at 11 2 ]) ] ());
@@ -125,17 +125,94 @@ let test_io_roundtrip_generated () =
     (List.length (Design.blockages d))
     (List.length (Design.blockages d'))
 
+let expect_malformed name f =
+  match f () with
+  | exception Netlist.Design_io.Malformed _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Design_io.Malformed, got %s" name
+      (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Design_io.Malformed" name
+
 let test_io_parse_errors () =
   let expect_invalid name text =
-    match Netlist.Design_io.of_string text with
-    | exception Invalid_argument _ -> ()
-    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    expect_malformed name (fun () -> Netlist.Design_io.of_string text)
   in
   expect_invalid "missing header" "net a\npin 1 2 2\n";
   expect_invalid "pin before net" "design d 10 10 10\npin 1 2 2\n";
   expect_invalid "bad integer" "design d 10 x 10\n";
   expect_invalid "unknown record" "design d 10 10 10\nfrob 1\n";
   expect_invalid "unknown layer" "design d 10 10 10\nblockage M7 1 2 3\n"
+
+(* corrupt input must always surface as the typed [Malformed] error —
+   never a leaked [Scanf.Scan_failure], [Failure] or [Invalid_argument] *)
+let test_io_malformed_semantics () =
+  let expect_invalid name text =
+    expect_malformed name (fun () -> Netlist.Design_io.of_string text)
+  in
+  expect_invalid "truncated pin record" "design d 10 10 10\nnet a\npin 1 2\n";
+  expect_invalid "off-die pin" "design d 10 10 10\nnet a\npin 12 2 2\n";
+  expect_invalid "negative track" "design d 10 10 10\nnet a\npin 1 -3 2\n";
+  expect_invalid "empty track range" "design d 10 10 10\nnet a\npin 1 5 3\n";
+  expect_invalid "panel-crossing pin" "design d 10 20 10\nnet a\npin 1 8 11\n";
+  expect_invalid "duplicate pin"
+    "design d 10 10 10\nnet a\npin 3 2 2\nnet b\npin 3 2 2\n";
+  expect_invalid "empty net" "design d 10 10 10\nnet a\nnet b\npin 1 2 2\n";
+  expect_invalid "no nets" "design d 10 10 10\n";
+  expect_invalid "bad row height" "design d 10 10 0\nnet a\npin 1 2 2\n";
+  expect_invalid "ragged rows" "design d 10 15 10\nnet a\npin 1 2 2\n";
+  expect_invalid "garbage" "\x00\xffnot a design at all\n";
+  expect_invalid "out-of-bbox blockage"
+    "design d 10 10 10\nnet a\npin 1 2 2\nblockage M2 2 7 15\n"
+
+let test_io_malformed_has_line () =
+  match
+    Netlist.Design_io.of_string "design d 10 10 10\nnet a\npin 12 2 2\n"
+  with
+  | exception Netlist.Design_io.Malformed { line; reason } ->
+    Alcotest.(check (option int)) "line number" (Some 3) line;
+    check "reason mentions the pin" true
+      (String.length reason > 0)
+  | _ -> Alcotest.fail "expected Malformed with a line number"
+
+let test_io_repair () =
+  let d =
+    Netlist.Design_io.of_string ~repair:true
+      "design d 10 10 10\n\
+       net a\n\
+       pin 12 2 2\n\
+       net b\n\
+       pin 3 4 4\n\
+       net c\n\
+       pin 3 4 4\n\
+       blockage M2 2 7 15\n\
+       blockage M2 99 0 3\n"
+  in
+  (* off-die pin clamped to x=9; duplicate pin of net c dropped (and
+     with it net c); oversized blockage span clamped; off-die blockage
+     track dropped *)
+  check_int "nets kept" 2 (Array.length (Design.nets d));
+  check_int "pins kept" 2 (Array.length (Design.pins d));
+  let p = Design.pin d 0 in
+  check_int "clamped x" 9 p.Netlist.Pin.x;
+  check_int "blockages kept" 1 (List.length (Design.blockages d));
+  (match Design.blockages d with
+  | [ b ] -> check_int "clamped span hi" 9 (I.hi b.Netlist.Blockage.span)
+  | _ -> Alcotest.fail "expected one blockage");
+  (* repair cannot conjure pins out of nothing *)
+  expect_malformed "all pins unrepairable" (fun () ->
+      Netlist.Design_io.of_string ~repair:true "design d 10 10 10\nnet a\n")
+
+let test_io_load_errors () =
+  expect_malformed "missing file" (fun () ->
+      Netlist.Design_io.load "/nonexistent/dir/nothing.cpr");
+  let path = Filename.temp_file "cpr_test" ".cpr" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "design d 10 10\n";
+      close_out oc;
+      expect_malformed "corrupt file" (fun () -> Netlist.Design_io.load path))
 
 let test_io_comments_and_blanks () =
   let text =
@@ -161,6 +238,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "roundtrip generated" `Quick test_io_roundtrip_generated;
           Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "malformed semantics" `Quick
+            test_io_malformed_semantics;
+          Alcotest.test_case "malformed line numbers" `Quick
+            test_io_malformed_has_line;
+          Alcotest.test_case "repair mode" `Quick test_io_repair;
+          Alcotest.test_case "load errors" `Quick test_io_load_errors;
           Alcotest.test_case "comments" `Quick test_io_comments_and_blanks;
         ] );
     ]

@@ -69,7 +69,44 @@ let prop_pao_valid kind name =
         let pao = PA.optimize ~kind d in
         (match PA.validate pao with
         | () -> true
-        | exception Failure _ -> false))
+        | exception Pinaccess.Cpr_error.Error _ -> false))
+
+(* Theorem 1 made executable: with both optimizing tiers killed, the
+   shrink-to-minimum rung must still produce a complete conflict-free
+   assignment on ANY valid design — the ladder's unconditional floor. *)
+let prop_minimum_fallback_valid =
+  QCheck.Test.make ~name:"minimum-tier fallback always valid" ~count:60
+    arbitrary_design (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let pao =
+          Pinaccess.Fault.with_failures
+            [ Pinaccess.Fault.Ilp; Pinaccess.Fault.Lr ]
+            (fun () -> PA.optimize ~kind:PA.Ilp d)
+        in
+        (match PA.validate pao with
+        | () ->
+          pao.PA.degraded
+          && List.for_all
+               (fun (r : PA.panel_report) ->
+                 r.PA.served_by = PA.Tier_minimum && r.PA.degraded)
+               pao.PA.reports
+        | exception Pinaccess.Cpr_error.Error _ -> false))
+
+(* save → load reproduces the design exactly (pins, nets, blockages) *)
+let prop_design_io_roundtrip =
+  QCheck.Test.make ~name:"design_io roundtrip" ~count:60 arbitrary_design
+    (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let d' = Netlist.Design_io.of_string (Netlist.Design_io.to_string d) in
+        Netlist.Design_io.to_string d = Netlist.Design_io.to_string d'
+        && Array.length (Design.pins d) = Array.length (Design.pins d')
+        && Array.length (Design.nets d) = Array.length (Design.nets d'))
 
 let prop_lr_le_ilp =
   (* only comparable when the LR solution is feasible: with residual
@@ -174,6 +211,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest (prop_pao_valid PA.Lr "LR PAO valid");
           QCheck_alcotest.to_alcotest (prop_pao_valid PA.Ilp "ILP PAO valid");
+          QCheck_alcotest.to_alcotest prop_minimum_fallback_valid;
+          QCheck_alcotest.to_alcotest prop_design_io_roundtrip;
           QCheck_alcotest.to_alcotest prop_lr_le_ilp;
           QCheck_alcotest.to_alcotest prop_cpr_flow_sound;
           QCheck_alcotest.to_alcotest prop_determinism;
