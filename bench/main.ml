@@ -18,13 +18,26 @@ module Suite = Workloads.Suite
 module PA = Pinaccess.Pin_access
 
 let pf = Format.printf
-let scale = try float_of_string (Sys.getenv "CPR_BENCH_SCALE") with Not_found -> 1.0
+
+(* a malformed env var must not kill a long bench run: warn and keep
+   the default *)
+let env_float name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "warning: ignoring malformed %s=%S (using %g)\n%!" name s
+        default;
+      default)
+
+let scale = env_float "CPR_BENCH_SCALE" ~default:1.0
 
 (* budget for each exact-ILP solve; the paper's CPLEX-class solver gets
    hours, our in-repo branch-and-bound gets this many seconds and
    reports when the cap bites *)
-let ilp_budget =
-  try float_of_string (Sys.getenv "CPR_BENCH_ILP_LIMIT") with Not_found -> 60.0
+let ilp_budget = env_float "CPR_BENCH_ILP_LIMIT" ~default:60.0
 
 let section title =
   pf "@.================================================================@.";
@@ -69,6 +82,54 @@ let circuits () =
   List.map (fun (id, _, _, _) -> Suite.find id) paper_table2
 
 (* --------------------------------------------------------------- *)
+(* Machine-readable telemetry (BENCH_PR2.json)                      *)
+(* --------------------------------------------------------------- *)
+
+(* Per-circuit summaries recorded by table2, written with the kernel
+   counters at the end of every bench invocation so each PR leaves a
+   diffable perf record. *)
+let telemetry_file = "BENCH_PR2.json"
+let bench_circuits : (string * (string * Eval.summary) list) list ref = ref []
+
+let write_telemetry ~ran =
+  let open Obs.Json in
+  let summary_json (s : Eval.summary) =
+    Obj
+      [
+        ("routability", Num s.Eval.routability);
+        ("via_count", num_int s.Eval.via_count);
+        ("wirelength", num_int s.Eval.wirelength);
+        ("cpu", Num s.Eval.cpu);
+      ]
+  in
+  let circuits =
+    List.rev_map
+      (fun (id, flows) ->
+        Obj
+          [
+            ("id", Str id);
+            ("flows", Obj (List.map (fun (tag, s) -> (tag, summary_json s)) flows));
+          ])
+      !bench_circuits
+  in
+  let json =
+    Obj
+      [
+        ("pr", num_int 2);
+        ("bench", Str "cpr");
+        ("scale", Num scale);
+        ("experiments", List (List.map (fun e -> Str e) ran));
+        ("circuits", List circuits);
+        ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+      ]
+  in
+  let oc = open_out telemetry_file in
+  output_string oc (to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  pf "@.telemetry written to %s@." telemetry_file
+
+(* --------------------------------------------------------------- *)
 (* Table 2                                                          *)
 (* --------------------------------------------------------------- *)
 
@@ -100,6 +161,9 @@ let table2 () =
       record 0 s_seq;
       record 4 s_ncr;
       record 8 s_cpr;
+      bench_circuits :=
+        (id, [ ("seq", s_seq); ("ncr", s_ncr); ("cpr", s_cpr) ])
+        :: !bench_circuits;
       let cells (s : Eval.summary) (p : paper_row) =
         [
           Printf.sprintf "%.2f(%.2f)" s.Eval.routability p.rout;
@@ -464,11 +528,15 @@ let () =
     | _ :: [] | [] -> List.map fst experiments
   in
   pf "CPR reproduction bench — scale %.2f (CPR_BENCH_SCALE to change)@." scale;
+  let ran = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+        f ();
+        ran := name :: !ran
       | None ->
         pf "unknown experiment %s; available: %s@." name
           (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  write_telemetry ~ran:(List.rev !ran)

@@ -62,7 +62,7 @@ let run_flow router pao_kind budget design =
   | R_seq -> Router.Sequential.run ?budget design
 
 let main circuit scale nets width height seed router pao budget verbose load
-    repair save svg =
+    repair save svg trace metrics_out stats =
   let design = build_design circuit scale nets width height seed load repair in
   (match save with
   | Some path ->
@@ -70,7 +70,36 @@ let main circuit scale nets width height seed router pao budget verbose load
     Format.printf "saved design to %s@." path
   | None -> ());
   Format.printf "%s@." (Netlist.Design.stats design);
-  let flow = run_flow router pao budget design in
+  (* span sinks for the run: Chrome trace_event and/or JSONL stream *)
+  let trace_oc = Option.map open_out trace in
+  let metrics_oc = Option.map open_out metrics_out in
+  let sinks =
+    List.filter_map Fun.id
+      [
+        Option.map Obs.Trace.chrome trace_oc;
+        Option.map Obs.Trace.jsonl metrics_oc;
+      ]
+  in
+  let run () = run_flow router pao budget design in
+  let flow =
+    match sinks with
+    | [] -> run ()
+    | s :: rest -> Obs.Trace.with_sink (List.fold_left Obs.Trace.tee s rest) run
+  in
+  (* the JSONL stream ends with the final counter/histogram snapshot,
+     so one file carries both the events and the aggregates *)
+  Option.iter
+    (fun oc ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (Obs.Metrics.jsonl (Obs.Metrics.snapshot ()));
+      close_out oc)
+    metrics_oc;
+  Option.iter close_out trace_oc;
+  Option.iter (Format.printf "trace written to %s (Perfetto-loadable)@.") trace;
+  Option.iter (Format.printf "metrics written to %s@.") metrics_out;
   let s = Metrics.Eval.of_flow flow in
   Format.printf "Rout.  : %.2f%% (%d/%d nets)@." s.Metrics.Eval.routability
     s.Metrics.Eval.routed_nets s.Metrics.Eval.total_nets;
@@ -86,6 +115,8 @@ let main circuit scale nets width height seed router pao budget verbose load
       "DEGRADED: %d panel(s) fell back below the requested pin access solver \
        (see --verbose)@."
       s.Metrics.Eval.degraded_panels;
+  if stats then
+    Format.printf "@.%s" (Obs.Metrics.summary (Obs.Metrics.snapshot ()));
   (match svg with
   | Some path ->
     Render.Layout_svg.save path (Render.Layout_svg.flow flow);
@@ -130,11 +161,11 @@ let main circuit scale nets width height seed router pao budget verbose load
    infeasible panels surface as clean cmdliner errors, never raw
    OCaml exception traces. *)
 let main circuit scale nets width height seed router pao budget verbose load
-    repair save svg =
+    repair save svg trace metrics_out stats =
   match
     Pinaccess.Cpr_error.protect (fun () ->
         main circuit scale nets width height seed router pao budget verbose
-          load repair save svg)
+          load repair save svg trace metrics_out stats)
   with
   | Ok n -> Ok n
   | Error e -> Error (`Msg (Pinaccess.Cpr_error.to_string e))
@@ -270,6 +301,29 @@ let svg =
     & opt (some string) None
     & info [ "svg" ] ~doc:"Write an SVG plot of the routed layout.")
 
+let trace =
+  let doc =
+    "Write a Chrome trace_event JSON of the run's spans (run > panel > \
+     LR iteration) to $(docv); open it in about:tracing or \
+     ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Stream span events as JSON-lines to $(docv), ending with the final \
+     counter/histogram snapshot — the machine-readable twin of $(b,--stats)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let stats =
+  let doc =
+    "Print the end-of-run solver counters and histograms (LR iterations, \
+     ILP nodes, maze expansions, rip-up rounds, degradation tiers, ...)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let cmd =
   let doc = "concurrent pin access optimization for unidirectional routing" in
   let man =
@@ -287,6 +341,7 @@ let cmd =
     Term.(
       term_result
         (const main $ circuit $ scale $ nets $ width $ height $ seed $ router
-        $ pao $ budget $ verbose $ load $ repair $ save $ svg))
+        $ pao $ budget $ verbose $ load $ repair $ save $ svg $ trace
+        $ metrics_out $ stats))
 
 let () = exit (Cmd.eval' cmd)

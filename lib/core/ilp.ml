@@ -6,6 +6,10 @@ type result = {
   root_lp_bound : float option;
 }
 
+(* branch-and-bound nodes are the ILP work unit (see [Budget.spend]
+   below); metered here as [ilp.nodes] *)
+let m_nodes = Obs.Metrics.counter "ilp.nodes"
+
 let to_milp (problem : Problem.t) =
   let rows =
     Array.to_list
@@ -26,6 +30,7 @@ let to_milp (problem : Problem.t) =
 
 let solve ?time_limit ?warm_start ?(root_lp = false) ?budget
     (problem : Problem.t) =
+  Obs.Trace.with_span "ilp.solve" @@ fun () ->
   let milp = to_milp problem in
   let warm_start = Option.map Solution.chosen warm_start in
   (* the effective limits combine the explicit cap with whatever the
@@ -49,6 +54,7 @@ let solve ?time_limit ?warm_start ?(root_lp = false) ?budget
   Option.iter
     (fun b -> Budget.spend b sol.Solver.Milp.stats.Solver.Milp.nodes)
     budget;
+  Obs.Metrics.add m_nodes sol.Solver.Milp.stats.Solver.Milp.nodes;
   let solution = Solution.of_chosen problem ~chosen:sol.Solver.Milp.values in
   assert (Solution.is_conflict_free solution);
   {

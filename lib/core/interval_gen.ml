@@ -19,6 +19,8 @@ let default_config =
 
 exception Pin_unreachable of Netlist.Pin.id
 
+let m_intervals_per_pin = Obs.Metrics.histogram "pao.intervals_per_pin"
+
 (* Horizontal extent that bounds interval generation for a pin: the net
    bounding box (paper default), or the estimated M2 box of footnote 1. *)
 let gen_bounds config design (p : Pin.t) =
@@ -119,9 +121,13 @@ let generate_pin config design (p : Pin.t) =
         | None -> None)
       tracks
   in
-  minimums @ regular
+  let candidates = minimums @ regular in
+  Obs.Metrics.observe m_intervals_per_pin
+    (float_of_int (List.length candidates));
+  candidates
 
 let generate_panel config design ~panel =
+  Obs.Trace.with_span "pao.intervals" @@ fun () ->
   let pins = Design.pins_of_panel design panel in
   let table : (int * int * int * int, Netlist.Pin.id list * Access_interval.kind) Hashtbl.t =
     Hashtbl.create 256

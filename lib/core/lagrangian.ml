@@ -15,6 +15,12 @@ let default_config =
     plateau_exit = Some 50;
   }
 
+(* metered in lockstep with [Budget.spend]: one LR iteration is one
+   work unit and one tick of [lr.iterations] *)
+let m_iterations = Obs.Metrics.counter "lr.iterations"
+let m_step_size = Obs.Metrics.histogram "lr.step_size"
+let m_violations = Obs.Metrics.histogram "lr.violations"
+
 type iterate = { iteration : int; violations : int; relaxed_objective : float }
 
 type result = {
@@ -99,8 +105,10 @@ let solve ?(config = default_config) ?budget (problem : Problem.t) =
     !min_vio > 0 && !k < config.max_iterations && not (stalled ())
   in
   while want_more () && not (Budget.exhausted budget) do
+    Obs.Trace.with_span "lr.iteration" @@ fun () ->
     incr k;
     Budget.spend budget 1;
+    Obs.Metrics.incr m_iterations;
     for i = 0 to n - 1 do
       gains.(i) <- profits.(i) -. penalties.(i)
     done;
@@ -124,7 +132,9 @@ let solve ?(config = default_config) ?budget (problem : Problem.t) =
           else cnt > 1
         in
         if update then begin
-          let lam' = Float.max 0.0 (lambda.(m) +. (step !k clique *. g)) in
+          let s = step !k clique in
+          Obs.Metrics.observe m_step_size s;
+          let lam' = Float.max 0.0 (lambda.(m) +. (s *. g)) in
           let delta = lam' -. lambda.(m) in
           if delta <> 0.0 then begin
             lambda.(m) <- lam';
@@ -139,6 +149,7 @@ let solve ?(config = default_config) ?budget (problem : Problem.t) =
       Array.iteri (fun id c -> if c then sel := !sel +. gains.(id)) chosen;
       Array.fold_left ( +. ) !sel lambda
     in
+    Obs.Metrics.observe m_violations (float_of_int !vio);
     history :=
       { iteration = !k; violations = !vio; relaxed_objective = relaxed }
       :: !history;

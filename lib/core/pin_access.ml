@@ -39,6 +39,17 @@ type t = {
 
 let solver_kind_to_string = function Ilp -> "ILP" | Lr -> "LR"
 
+(* which rung of the degradation ladder actually served each panel *)
+let m_tier_ilp = Obs.Metrics.counter "pao.tier.ilp"
+let m_tier_lr = Obs.Metrics.counter "pao.tier.lr"
+let m_tier_minimum = Obs.Metrics.counter "pao.tier.minimum"
+let m_degraded = Obs.Metrics.counter "pao.degraded_panels"
+
+let tier_counter = function
+  | Tier_ilp -> m_tier_ilp
+  | Tier_lr -> m_tier_lr
+  | Tier_minimum -> m_tier_minimum
+
 let tier_to_string = function
   | Tier_ilp -> "ILP"
   | Tier_lr -> "LR"
@@ -60,6 +71,7 @@ let minimum_solution (problem : Problem.t) =
    [complete] means the tier ran to its own finish rather than being
    cut short by the budget. *)
 let ilp_tier config ~budget (problem : Problem.t) =
+  Obs.Trace.with_span "pao.tier.ilp" @@ fun () ->
   Fault.trip Fault.Ilp;
   let warm_start_of p =
     if config.ilp_warm_start then
@@ -89,6 +101,7 @@ let ilp_tier config ~budget (problem : Problem.t) =
   (r.Ilp.solution, 0, r.Ilp.proven_optimal, Tier_ilp)
 
 let lr_tier config ~budget (problem : Problem.t) =
+  Obs.Trace.with_span "pao.tier.lr" @@ fun () ->
   Fault.trip Fault.Lr;
   let r = Lagrangian.solve ~config:config.lr ~budget problem in
   (r.Lagrangian.solution, r.Lagrangian.iterations,
@@ -98,6 +111,7 @@ let minimum_tier (problem : Problem.t) =
   (minimum_solution problem, 0, true, Tier_minimum)
 
 let solve_problem config ~budget kind ~panel (problem : Problem.t) =
+  Obs.Trace.with_span "pao.panel" @@ fun () ->
   let tiers =
     if Budget.exhausted budget then [ fun _ -> minimum_tier problem ]
     else
@@ -121,6 +135,9 @@ let solve_problem config ~budget kind ~panel (problem : Problem.t) =
       (try f () with e when Cpr_error.recoverable e -> attempt rest)
   in
   let solution, lr_iterations, complete, served_by = attempt tiers in
+  Obs.Metrics.incr (tier_counter served_by);
+  if served_by <> tier_of_kind kind || not complete then
+    Obs.Metrics.incr m_degraded;
   let objective = Solution.objective solution in
   let report =
     {
@@ -159,6 +176,7 @@ let panel_budget budget ~panels_left =
     Budget.sub budget ?seconds ?work_units ()
 
 let run ?(config = default_config) ?budget ~kind design problems =
+  Obs.Trace.with_span "pao.optimize" @@ fun () ->
   let start = Unix_time.now () in
   let budget = Budget.of_option budget in
   let panels_left =

@@ -1,4 +1,7 @@
+let m_shrinks = Obs.Metrics.counter "refine.shrinks"
+
 let remove_conflicts ?gains (sol : Solution.t) =
+  Obs.Trace.with_span "pao.refine" @@ fun () ->
   let problem = sol.Solution.problem in
   let gains = Option.value ~default:problem.Problem.profits gains in
   let assignment = Array.copy sol.Solution.assignment in
@@ -147,4 +150,5 @@ let remove_conflicts ?gains (sol : Solution.t) =
   while repair_pass () && !rounds < 4 do
     incr rounds
   done;
+  Obs.Metrics.add m_shrinks !shrinks;
   (Solution.make problem ~assignment, !shrinks)

@@ -1,6 +1,2 @@
-let now () = Sys.time ()
-
-let time f =
-  let t0 = now () in
-  let x = f () in
-  (x, now () -. t0)
+let now () = Obs.Clock.now ()
+let time f = Obs.Clock.time f

@@ -1,7 +1,12 @@
 (** Monotonic-enough process timing without a [unix] dependency.
 
-    The paper reports "cpu(s)"; [Sys.time] gives processor seconds,
-    which is what the benches print. *)
+    The paper reports "cpu(s)"; the default clock is [Sys.time]
+    (processor seconds), which is what the benches print.
+
+    This is a thin alias for {!Obs.Clock}, the single clock shared by
+    solve budgets and tracing spans — faking the clock with
+    [Obs.Clock.with_source] in a test fakes budget expiry and span
+    timestamps together. *)
 
 val now : unit -> float
 val time : (unit -> 'a) -> 'a * float

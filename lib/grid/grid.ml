@@ -117,10 +117,17 @@ let via_forbidden t ~x ~y =
 
 let history t node = t.history.(node)
 
+(* negotiation-cost telemetry: targeted DRC blame bumps vs the blanket
+   per-round congestion sweep *)
+let m_history_bumps = Obs.Metrics.counter "grid.history_bumps"
+let m_history_sweeps = Obs.Metrics.counter "grid.history_sweeps"
+
 let add_history_at t node increment =
+  Obs.Metrics.incr m_history_bumps;
   t.history.(node) <- t.history.(node) +. increment
 
 let add_history t ~increment =
+  Obs.Metrics.incr m_history_sweeps;
   Array.iteri
     (fun node o -> if o > 1 then t.history.(node) <- t.history.(node) +. increment)
     t.occ

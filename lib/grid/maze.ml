@@ -10,7 +10,11 @@ type t = {
   mutable cur : int;
   heap : Heap.t;
   mutable expansions : int;
+  mutable pushes : int;
 }
+
+let m_expansions = Obs.Metrics.counter "maze.expansions"
+let m_pushes = Obs.Metrics.counter "maze.pushes"
 
 let create grid =
   let n = Node.count (Grid.space grid) in
@@ -24,12 +28,14 @@ let create grid =
     cur = 0;
     heap = Heap.create ~capacity:1024 ();
     expansions = 0;
+    pushes = 0;
   }
 
 type outcome = Found of { path : Node.t list; cost : float } | Unreachable
 
 let grid t = t.grid
 let expansions t = t.expansions
+let pushes t = t.pushes
 
 (* Another net's metal (or a blockage) sits on [node].  During the
    independent stage ([pfac = 0]) only static metal counts — pins,
@@ -91,10 +97,11 @@ let entry_cost t ~(cost : Cost.t) ~net ~pfac ~via node =
     else negotiated
   end
 
-let search ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
+let search_impl ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
     ~targets ~window =
   t.cur <- t.cur + 1;
   t.expansions <- 0;
+  t.pushes <- 0;
   Heap.clear t.heap;
   let xs = Geometry.Rect.xs window and ys = Geometry.Rect.ys window in
   let in_window node =
@@ -120,6 +127,7 @@ let search ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
             t.dist.(node) <- d0;
             t.parent.(node) <- -1;
             t.gen.(node) <- t.cur;
+            t.pushes <- t.pushes + 1;
             Heap.push t.heap d0 node
           end
         end)
@@ -138,6 +146,7 @@ let search ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
           t.gen.(node) <- t.cur;
           t.dist.(node) <- d;
           t.parent.(node) <- from;
+          t.pushes <- t.pushes + 1;
           Heap.push t.heap d node
         end
       end
@@ -183,3 +192,11 @@ let search ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
     in
     loop ()
   end
+
+let search ?should_stop t ~cost ~net ~pfac ~sources ~targets ~window =
+  let outcome =
+    search_impl ?should_stop t ~cost ~net ~pfac ~sources ~targets ~window
+  in
+  Obs.Metrics.add m_expansions t.expansions;
+  Obs.Metrics.add m_pushes t.pushes;
+  outcome

@@ -39,4 +39,10 @@ val search :
     on them. *)
 
 val expansions : t -> int
-(** Nodes popped during the last search (benchmark instrumentation). *)
+(** Nodes popped during the last search (benchmark instrumentation).
+    Also accumulated into the [maze.expansions] counter of
+    {!Obs.Metrics}. *)
+
+val pushes : t -> int
+(** Heap pushes during the last search; accumulated into
+    [maze.pushes]. *)

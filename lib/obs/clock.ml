@@ -1,0 +1,15 @@
+let default = Sys.time
+let source = ref default
+let now () = !source ()
+let set_source f = source := f
+let reset_source () = source := default
+
+let with_source f g =
+  let saved = !source in
+  source := f;
+  Fun.protect ~finally:(fun () -> source := saved) g
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)

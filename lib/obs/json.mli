@@ -1,0 +1,28 @@
+(** Minimal JSON: enough to emit telemetry and to parse it back in
+    tests and validators.  No external dependency; numbers are floats
+    (ints round-trip exactly up to 2^53). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_int : int -> t
+(** [Num] of an integer. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (valid JSON; strings escaped,
+    non-finite numbers become [null]). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for files meant to be diffed. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one JSON value (surrounding whitespace allowed);
+    [Error] carries a byte offset and reason. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)

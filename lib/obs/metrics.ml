@@ -1,0 +1,161 @@
+type counter = { c_name : string; mutable count : int }
+
+(* cells.(0) = count, (1) = sum, (2) = min, (3) = max; a floatarray
+   keeps the fields unboxed so [observe] never allocates *)
+type histogram = { h_name : string; cells : floatarray }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let empty_cells cells =
+  Float.Array.set cells 0 0.0;
+  Float.Array.set cells 1 0.0;
+  Float.Array.set cells 2 infinity;
+  Float.Array.set cells 3 neg_infinity
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; cells = Float.Array.create 4 } in
+    empty_cells h.cells;
+    Hashtbl.replace histograms name h;
+    h
+
+let add c n = c.count <- c.count + n
+let incr c = add c 1
+let value c = c.count
+
+let observe h v =
+  let cells = h.cells in
+  Float.Array.set cells 0 (Float.Array.get cells 0 +. 1.0);
+  Float.Array.set cells 1 (Float.Array.get cells 1 +. v);
+  if v < Float.Array.get cells 2 then Float.Array.set cells 2 v;
+  if v > Float.Array.get cells 3 then Float.Array.set cells 3 v
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+}
+
+let stats h =
+  let count = int_of_float (Float.Array.get h.cells 0) in
+  let sum = Float.Array.get h.cells 1 in
+  {
+    count;
+    sum;
+    min = Float.Array.get h.cells 2;
+    max = Float.Array.get h.cells 3;
+    mean = (if count = 0 then nan else sum /. float_of_int count);
+  }
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram_stats) list;
+}
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold
+      (fun name (c : counter) acc ->
+        if c.count = 0 then acc else (name, c.count) :: acc)
+      counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        let s = stats h in
+        if s.count = 0 then acc else (name, s) :: acc)
+      histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { counters = cs; histograms = hs }
+
+let reset () =
+  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
+  Hashtbl.iter (fun _ h -> empty_cells h.cells) histograms
+
+let summary snap =
+  let buf = Buffer.create 256 in
+  if snap.counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    let width =
+      List.fold_left (fun w (n, _) -> max w (String.length n)) 0 snap.counters
+    in
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" width name v))
+      snap.counters
+  end;
+  if snap.histograms <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    let width =
+      List.fold_left (fun w (n, _) -> max w (String.length n)) 0 snap.histograms
+    in
+    List.iter
+      (fun (name, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s n=%d mean=%.3f min=%.3f max=%.3f sum=%.3f\n"
+             width name s.count s.mean s.min s.max s.sum))
+      snap.histograms
+  end;
+  if snap.counters = [] && snap.histograms = [] then
+    Buffer.add_string buf "no metrics recorded\n";
+  Buffer.contents buf
+
+let stats_json s =
+  Json.Obj
+    [
+      ("count", Json.num_int s.count);
+      ("sum", Json.Num s.sum);
+      ("min", Json.Num s.min);
+      ("max", Json.Num s.max);
+      ("mean", Json.Num s.mean);
+    ]
+
+let to_json snap =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.num_int v)) snap.counters) );
+      ( "histograms",
+        Json.Obj (List.map (fun (n, s) -> (n, stats_json s)) snap.histograms) );
+    ]
+
+let jsonl snap =
+  List.map
+    (fun (n, v) ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("type", Json.Str "counter");
+             ("name", Json.Str n);
+             ("value", Json.num_int v);
+           ]))
+    snap.counters
+  @ List.map
+      (fun (n, s) ->
+        Json.to_string
+          (Json.Obj
+             [
+               ("type", Json.Str "histogram");
+               ("name", Json.Str n);
+               ("count", Json.num_int s.count);
+               ("sum", Json.Num s.sum);
+               ("min", Json.Num s.min);
+               ("max", Json.Num s.max);
+               ("mean", Json.Num s.mean);
+             ]))
+      snap.histograms

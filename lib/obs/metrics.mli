@@ -1,0 +1,61 @@
+(** Global registry of named solver metrics.
+
+    Counters and histograms are registered once (usually at module
+    initialization, next to the code they meter) and bumped on the hot
+    path; a bump is a couple of loads and stores, never an allocation,
+    so metering stays on even in production builds.  The registry is
+    process-global and single-threaded, like the pipeline itself.
+
+    Canonical metric names are dotted paths owned by the emitting
+    subsystem: [lr.iterations], [lr.step_size], [ilp.nodes],
+    [maze.expansions], [negotiation.ripup_rounds], [pao.tier.lr], … —
+    see DESIGN.md §7 for the full taxonomy. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Find-or-create; the same name always yields the same counter. *)
+
+val histogram : string -> histogram
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val value : counter -> int
+
+val observe : histogram -> float -> unit
+(** Record one sample (count/sum/min/max, no binning). *)
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty *)
+  max : float;  (** [neg_infinity] when empty *)
+  mean : float;  (** [nan] when empty *)
+}
+
+val stats : histogram -> histogram_stats
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * histogram_stats) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Zero-valued counters and empty histograms are omitted. *)
+
+val reset : unit -> unit
+(** Zero every registered metric in place (registrations survive, so
+    cached handles stay valid) — used between bench experiments and
+    tests. *)
+
+val summary : snapshot -> string
+(** Human-readable table: the [--stats] end-of-run report. *)
+
+val to_json : snapshot -> Json.t
+(** [{"counters": {...}, "histograms": {name: {count,sum,min,max,mean}}}]. *)
+
+val jsonl : snapshot -> string list
+(** One self-describing JSON object per line:
+    [{"type":"counter","name":...,"value":...}] and
+    [{"type":"histogram","name":...,"count":...,...}]. *)

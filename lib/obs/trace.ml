@@ -1,0 +1,109 @@
+type event = { name : string; ts : float; dur : float; depth : int }
+
+type sink = { on_event : event -> unit; flush : unit -> unit }
+
+let null = { on_event = ignore; flush = ignore }
+
+let make_sink ~on_event ~flush = { on_event; flush }
+
+let tee a b =
+  {
+    on_event =
+      (fun e ->
+        a.on_event e;
+        b.on_event e);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }
+
+let collect () =
+  let events = ref [] in
+  ( { on_event = (fun e -> events := e :: !events); flush = ignore },
+    fun () -> List.rev !events )
+
+let event_json e =
+  Json.Obj
+    [
+      ("type", Json.Str "span");
+      ("name", Json.Str e.name);
+      ("ts", Json.Num e.ts);
+      ("dur", Json.Num e.dur);
+      ("depth", Json.num_int e.depth);
+    ]
+
+let jsonl oc =
+  {
+    on_event =
+      (fun e ->
+        output_string oc (Json.to_string (event_json e));
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+  }
+
+let chrome oc =
+  let first = ref true in
+  output_string oc "[";
+  {
+    on_event =
+      (fun e ->
+        if !first then first := false else output_string oc ",";
+        (* ts/dur in microseconds, per the trace_event format *)
+        Printf.fprintf oc
+          "\n\
+           {\"name\":%s,\"cat\":\"cpr\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
+          (Json.to_string (Json.Str e.name))
+          (e.ts *. 1e6) (e.dur *. 1e6));
+    flush =
+      (fun () ->
+        output_string oc "\n]\n";
+        flush oc);
+  }
+
+(* [on] mirrors "a non-null sink is installed" so the disabled check on
+   the hot path is one immediate load, no physical comparison *)
+let active = ref null
+let on = ref false
+
+let set_sink s =
+  active := s;
+  on := s != null
+
+let clear_sink () =
+  active := null;
+  on := false
+
+let enabled () = !on
+
+let with_sink s f =
+  let prev_active = !active and prev_on = !on in
+  set_sink s;
+  Fun.protect
+    ~finally:(fun () ->
+      s.flush ();
+      active := prev_active;
+      on := prev_on)
+    f
+
+let depth = ref 0
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = Clock.now () in
+    let finish () =
+      let dur = Clock.now () -. t0 in
+      depth := d;
+      !active.on_event { name; ts = t0; dur; depth = d }
+    in
+    match f () with
+    | x ->
+      finish ();
+      x
+    | exception e ->
+      finish ();
+      raise e
+  end

@@ -1,0 +1,55 @@
+(** Hierarchical tracing spans with pluggable sinks.
+
+    A span is a named region of execution ([run] > [panel] >
+    [LR-iteration]); names are static strings so the disabled path
+    stays allocation-free.  With no sink installed, {!with_span} is a
+    single flag test around the thunk — instrumentation can live on
+    the hottest loops.  With a sink, each completed span is delivered
+    as an {!event} carrying its start time, duration (from
+    {!Clock.now}) and nesting depth.  Events arrive in completion
+    order, i.e. children before their parent. *)
+
+type event = {
+  name : string;
+  ts : float;  (** start, seconds on the {!Clock} timeline *)
+  dur : float;  (** seconds *)
+  depth : int;  (** 0 = root span *)
+}
+
+type sink
+
+val null : sink
+(** Drops everything; the default. *)
+
+val make_sink : on_event:(event -> unit) -> flush:(unit -> unit) -> sink
+
+val tee : sink -> sink -> sink
+(** Deliver to both (events and flushes). *)
+
+val collect : unit -> sink * (unit -> event list)
+(** In-memory sink for tests; the thunk returns events delivered so
+    far, oldest first. *)
+
+val jsonl : out_channel -> sink
+(** One [{"type":"span","name":...,"ts":...,"dur":...,"depth":...}]
+    JSON object per line; [flush] flushes the channel (the caller
+    closes it). *)
+
+val chrome : out_channel -> sink
+(** Chrome [trace_event] JSON array of complete ("ph":"X") events,
+    loadable in about:tracing / Perfetto; [flush] writes the closing
+    bracket, so flush exactly once before closing the channel. *)
+
+val set_sink : sink -> unit
+val clear_sink : unit -> unit
+(** Back to {!null}. *)
+
+val enabled : unit -> bool
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Install for the duration of the thunk, then flush the sink and
+    restore the previous one (also on exceptions). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  Exceptions still finish (and emit)
+    the span, then propagate. *)

@@ -14,6 +14,7 @@ let default_config =
   }
 
 let run_with_pao ?(config = default_config) ?budget design pao =
+  Obs.Trace.with_span "cpr.route" @@ fun () ->
   let started = Pinaccess.Unix_time.now () -. pao.Pinaccess.Pin_access.elapsed in
   let grid = Rgrid.Grid.create design in
   let specs = Spec_builder.build grid ~pao:(Some pao) in
@@ -32,6 +33,7 @@ let run_with_pao ?(config = default_config) ?budget design pao =
     ~started result.Negotiation.routes
 
 let run ?(config = default_config) ?budget ?pao_budget design =
+  Obs.Trace.with_span "cpr.run" @@ fun () ->
   let pao_budget = match pao_budget with Some _ as b -> b | None -> budget in
   let pao =
     Pinaccess.Pin_access.optimize ~config:config.pao ?budget:pao_budget

@@ -10,6 +10,10 @@ type result = {
   total_reroutes : int;
 }
 
+let m_ripup_rounds = Obs.Metrics.counter "negotiation.ripup_rounds"
+let m_reroutes = Obs.Metrics.counter "negotiation.reroutes"
+let m_drc_rounds = Obs.Metrics.counter "negotiation.drc_rounds"
+
 let apply_route grid (route : Rgrid.Route.t) =
   let space = Grid.space grid in
   List.iter (fun node -> Grid.add_usage grid ~net:route.Rgrid.Route.net node) route.Rgrid.Route.nodes;
@@ -55,7 +59,9 @@ let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ~rules grid
   let round = ref 0 in
   let continue_ = ref true in
   while !continue_ && !round < rounds && not (exhausted ()) do
+    Obs.Trace.with_span "negotiation.drc_round" @@ fun () ->
     incr round;
+    Obs.Metrics.incr m_drc_rounds;
     drop_overused ();
     let layout = Drc.Extract.of_routes design routes in
     let violations = Drc.Check.run rules layout in
@@ -88,6 +94,7 @@ let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ~rules grid
             routes.(net) <- None
           | None -> ());
           incr reroutes;
+          Obs.Metrics.incr m_reroutes;
           let reown (r : Rgrid.Route.t) =
             if own then
               List.iter
@@ -165,6 +172,7 @@ let run ?(cost = Cost.default) ?rules ?budget grid specs =
       routes.(net) <- None
     | None -> ());
     incr total_reroutes;
+    Obs.Metrics.incr m_reroutes;
     match Net_router.route ?budget maze ~cost ~pfac specs.(net) with
     | Some r ->
       apply_route grid r;
@@ -210,7 +218,9 @@ let run ?(cost = Cost.default) ?rules ?budget grid specs =
     && !iterations < cost.Cost.max_ripup_iterations
     && not (exhausted ())
   do
+    Obs.Trace.with_span "negotiation.round" @@ fun () ->
     incr iterations;
+    Obs.Metrics.incr m_ripup_rounds;
     let pfac =
       cost.Cost.pfac_initial
       *. Float.pow cost.Cost.pfac_growth (float_of_int (!iterations - 1))

@@ -67,7 +67,7 @@ let trim_component space (c : component) ~keeps =
         | None -> false)
       c.nodes
 
-let route ?budget maze ~cost ~pfac spec =
+let route_impl ?budget maze ~cost ~pfac spec =
   let should_stop =
     match budget with
     | None -> fun () -> false
@@ -166,3 +166,7 @@ let route ?budget maze ~cost ~pfac spec =
     let nodes = List.concat (!kept :: !paths) in
     Some (Rgrid.Route.make ~space ~net:spec.net ~nodes ~pin_vias:!pin_vias)
   end
+
+let route ?budget maze ~cost ~pfac spec =
+  Obs.Trace.with_span "route.net" @@ fun () ->
+  route_impl ?budget maze ~cost ~pfac spec

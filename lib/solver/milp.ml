@@ -83,8 +83,10 @@ let root_lp_bound p choose conflict =
   | Lp.Optimal s -> Some s.Lp.objective_value
   | Lp.Infeasible | Lp.Unbounded | Lp.Iteration_limit -> None
 
-let solve ?(time_limit = infinity) ?(node_limit = max_int) ?warm_start
-    ?(root_lp = false) p =
+let m_nodes = Obs.Metrics.counter "milp.nodes"
+
+let branch_and_bound ?(time_limit = infinity) ?(node_limit = max_int)
+    ?warm_start ?(root_lp = false) p =
   let n = p.num_vars in
   let choose, conflict = split_rows p in
   let in_choose = validate p choose conflict in
@@ -312,3 +314,9 @@ let solve ?(time_limit = infinity) ?(node_limit = max_int) ?warm_start
         root_lp_bound = lp_bound;
       };
   }
+
+let solve ?time_limit ?node_limit ?warm_start ?root_lp p =
+  Obs.Trace.with_span "milp.solve" @@ fun () ->
+  let sol = branch_and_bound ?time_limit ?node_limit ?warm_start ?root_lp p in
+  Obs.Metrics.add m_nodes sol.stats.nodes;
+  sol
