@@ -32,7 +32,23 @@ let env_float name ~default =
         default;
       default)
 
+let env_int name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      Printf.eprintf "warning: ignoring malformed %s=%S (using %d)\n%!" name s
+        default;
+      default)
+
 let scale = env_float "CPR_BENCH_SCALE" ~default:1.0
+
+(* domains for the [parallel] experiment; the container may expose a
+   single core, in which case the experiment still checks determinism
+   but reports no speedup *)
+let jobs = env_int "CPR_BENCH_JOBS" ~default:2
 
 (* budget for each exact-ILP solve; the paper's CPLEX-class solver gets
    hours, our in-repo branch-and-bound gets this many seconds and
@@ -82,14 +98,30 @@ let circuits () =
   List.map (fun (id, _, _, _) -> Suite.find id) paper_table2
 
 (* --------------------------------------------------------------- *)
-(* Machine-readable telemetry (BENCH_PR2.json)                      *)
+(* Machine-readable telemetry (BENCH_PR3.json)                      *)
 (* --------------------------------------------------------------- *)
 
 (* Per-circuit summaries recorded by table2, written with the kernel
    counters at the end of every bench invocation so each PR leaves a
    diffable perf record. *)
-let telemetry_file = "BENCH_PR2.json"
+let telemetry_file = "BENCH_PR3.json"
 let bench_circuits : (string * (string * Eval.summary) list) list ref = ref []
+
+(* Per-circuit rows recorded by the [parallel] experiment: sequential
+   vs parallel wall-clock of the PAO stage and of the full flow, plus
+   the bit-identity flag the CI job asserts on. *)
+type parallel_row = {
+  pr_id : string;
+  pao_seq_wall : float;
+  pao_par_wall : float;
+  pao_identical : bool;
+  flow_seq : Eval.summary;
+  flow_par : Eval.summary;
+  flow_seq_wall : float;
+  flow_par_wall : float;
+}
+
+let parallel_rows : parallel_row list ref = ref []
 
 let write_telemetry ~ran =
   let open Obs.Json in
@@ -112,14 +144,33 @@ let write_telemetry ~ran =
           ])
       !bench_circuits
   in
+  let parallel =
+    List.rev_map
+      (fun r ->
+        Obj
+          [
+            ("id", Str r.pr_id);
+            ("pao_seq_wall", Num r.pao_seq_wall);
+            ("pao_par_wall", Num r.pao_par_wall);
+            ("identical", Bool r.pao_identical);
+            ("flow_seq", summary_json r.flow_seq);
+            ("flow_par", summary_json r.flow_par);
+            ("flow_seq_wall", Num r.flow_seq_wall);
+            ("flow_par_wall", Num r.flow_par_wall);
+          ])
+      !parallel_rows
+  in
   let json =
     Obj
       [
-        ("pr", num_int 2);
+        ("pr", num_int 3);
         ("bench", Str "cpr");
         ("scale", Num scale);
+        ("jobs", num_int jobs);
+        ("available_domains", num_int (Domain.recommended_domain_count ()));
         ("experiments", List (List.map (fun e -> Str e) ran));
         ("circuits", List circuits);
+        ("parallel", List parallel);
         ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
       ]
   in
@@ -508,6 +559,99 @@ let kernels () =
   pf "%s@." (Report.table ~header:[ "kernel"; "ns/run" ] rows)
 
 (* --------------------------------------------------------------- *)
+(* Parallel execution — seq vs [-j jobs] wall-clock and determinism  *)
+(* --------------------------------------------------------------- *)
+
+(* The PR-3 executor promises *bit-identical* results: the panels of
+   the PAO stage and the disjoint batches of the initial-route stage
+   produce exactly the sequential answer, whatever [jobs] is.  This
+   experiment measures the seq and parallel wall-clock per circuit
+   (CPU seconds via [Sys.time] mislead under multiple domains) and
+   records the equality flag that CI asserts on.  On a single-core
+   container the parallel runs cannot be faster — the point of the
+   record is the identity check plus an honest timing baseline. *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let parallel_exp () =
+  section
+    (Printf.sprintf
+       "Parallel execution — sequential vs -j %d (available domains: %d)" jobs
+       (Domain.recommended_domain_count ()));
+  pf "(parallel results must be bit-identical to sequential; wall-clock@.";
+  pf " speedup requires more than one core — see available domains)@.@.";
+  let rows =
+    List.map
+      (fun c ->
+        let design = Suite.design ~scale c in
+        let pao_seq, pao_seq_wall =
+          wall (fun () -> PA.optimize ~kind:PA.Lr design)
+        in
+        let pao_par, pao_par_wall =
+          wall (fun () -> PA.optimize ~kind:PA.Lr ~j:jobs design)
+        in
+        let pao_identical =
+          pao_seq.PA.objective = pao_par.PA.objective
+          && pao_seq.PA.reports = pao_par.PA.reports
+          && pao_seq.PA.assignments = pao_par.PA.assignments
+        in
+        let flow_seq, flow_seq_wall = wall (fun () -> Router.Cpr.run design) in
+        let flow_par, flow_par_wall =
+          wall (fun () ->
+              Router.Cpr.run
+                ~config:
+                  { Router.Cpr.default_config with jobs; parallel_init = true }
+                design)
+        in
+        let s_seq = Eval.of_flow ~name:"flow-seq" flow_seq in
+        let s_par = Eval.of_flow ~name:"flow-par" flow_par in
+        parallel_rows :=
+          {
+            pr_id = c.Suite.id;
+            pao_seq_wall;
+            pao_par_wall;
+            pao_identical;
+            flow_seq = s_seq;
+            flow_par = s_par;
+            flow_seq_wall;
+            flow_par_wall;
+          }
+          :: !parallel_rows;
+        pf "  %s done@." c.Suite.id;
+        [
+          c.Suite.id;
+          Report.fixed 2 pao_seq_wall;
+          Report.fixed 2 pao_par_wall;
+          (if pao_identical then "yes" else "NO");
+          Report.fixed 2 flow_seq_wall;
+          Report.fixed 2 flow_par_wall;
+          Printf.sprintf "%.2f/%d/%d" s_seq.Eval.routability s_seq.Eval.via_count
+            s_seq.Eval.wirelength;
+          Printf.sprintf "%.2f/%d/%d" s_par.Eval.routability s_par.Eval.via_count
+            s_par.Eval.wirelength;
+        ])
+      (circuits ())
+  in
+  pf "@.%s@."
+    (Report.table
+       ~header:
+         [
+           "Ckt";
+           "PAO seq(s)";
+           Printf.sprintf "PAO -j%d(s)" jobs;
+           "identical";
+           "flow seq(s)";
+           Printf.sprintf "flow -j%d(s)" jobs;
+           "seq R/V/WL";
+           "par R/V/WL";
+         ]
+       rows);
+  pf "@.Expected shape: the identical column is all-yes; the wall-clock@.";
+  pf "columns converge on one core and separate once domains > 1.@."
+
+(* --------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -518,6 +662,7 @@ let experiments =
     ("ablation-f", ablation_f);
     ("ablation-step", ablation_step);
     ("ablation-ub", ablation_ub);
+    ("parallel", parallel_exp);
     ("kernels", kernels);
   ]
 

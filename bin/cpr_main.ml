@@ -35,7 +35,7 @@ let violation_breakdown violations =
     violations;
   Hashtbl.fold (fun k c acc -> Printf.sprintf "%s=%d %s" k c acc) table ""
 
-let run_flow router pao_kind budget design =
+let run_flow router pao_kind budget jobs parallel_init design =
   let budget =
     Option.map (fun seconds -> Pinaccess.Budget.start ~seconds ()) budget
   in
@@ -48,6 +48,8 @@ let run_flow router pao_kind budget design =
           (match pao_kind with
           | `Lr -> Pinaccess.Pin_access.Lr
           | `Ilp -> Pinaccess.Pin_access.Ilp);
+        jobs;
+        parallel_init;
       }
     in
     (* without an explicit --budget, keep the historical 30 s cap on
@@ -61,8 +63,8 @@ let run_flow router pao_kind budget design =
   | R_ncr -> Router.Baseline_ncr.run ?budget design
   | R_seq -> Router.Sequential.run ?budget design
 
-let main circuit scale nets width height seed router pao budget verbose load
-    repair save svg trace metrics_out stats =
+let main circuit scale nets width height seed router pao budget jobs
+    parallel_init verbose load repair save svg trace metrics_out stats =
   let design = build_design circuit scale nets width height seed load repair in
   (match save with
   | Some path ->
@@ -80,7 +82,7 @@ let main circuit scale nets width height seed router pao budget verbose load
         Option.map Obs.Trace.jsonl metrics_oc;
       ]
   in
-  let run () = run_flow router pao budget design in
+  let run () = run_flow router pao budget jobs parallel_init design in
   let flow =
     match sinks with
     | [] -> run ()
@@ -160,12 +162,12 @@ let main circuit scale nets width height seed router pao budget verbose load
 (* Typed-error boundary: malformed designs, solver failures and
    infeasible panels surface as clean cmdliner errors, never raw
    OCaml exception traces. *)
-let main circuit scale nets width height seed router pao budget verbose load
-    repair save svg trace metrics_out stats =
+let main circuit scale nets width height seed router pao budget jobs
+    parallel_init verbose load repair save svg trace metrics_out stats =
   match
     Pinaccess.Cpr_error.protect (fun () ->
-        main circuit scale nets width height seed router pao budget verbose
-          load repair save svg trace metrics_out stats)
+        main circuit scale nets width height seed router pao budget jobs
+          parallel_init verbose load repair save svg trace metrics_out stats)
   with
   | Ok n -> Ok n
   | Error e -> Error (`Msg (Pinaccess.Cpr_error.to_string e))
@@ -273,6 +275,31 @@ let budget =
   in
   Arg.(value & opt (some positive_float) None & info [ "budget" ] ~doc)
 
+let jobs =
+  let doc =
+    "Domains for the parallel stages of the $(b,cpr) flow (default 1 = \
+     sequential). Pin access solves independent panels on $(docv) domains \
+     with a deterministic merge, so results are identical to $(b,-j 1); \
+     pass 0 to use every core the machine recommends."
+  in
+  let parse s =
+    match int_of_string_opt s with
+    | Some 0 -> Ok (Exec.default_domains ())
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "must be >= 0, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "not an integer: %S" s))
+  in
+  let jobs_conv = Arg.conv ~docv:"N" (parse, Format.pp_print_int) in
+  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let parallel_init =
+  let doc =
+    "Also batch independent nets of the negotiation router's initial \
+     routing stage across the $(b,-j) domains (feature flag; identical \
+     routing, only the wall clock changes). No effect with $(b,-j 1)."
+  in
+  Arg.(value & flag & info [ "parallel-init" ] ~doc)
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-panel and DRC details.")
 
@@ -341,7 +368,7 @@ let cmd =
     Term.(
       term_result
         (const main $ circuit $ scale $ nets $ width $ height $ seed $ router
-        $ pao $ budget $ verbose $ load $ repair $ save $ svg $ trace
-        $ metrics_out $ stats))
+        $ pao $ budget $ jobs $ parallel_init $ verbose $ load $ repair $ save
+        $ svg $ trace $ metrics_out $ stats))
 
 let () = exit (Cmd.eval' cmd)

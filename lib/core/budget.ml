@@ -36,6 +36,25 @@ let sub t ?seconds ?work_units () =
       | None -> t.work_limit);
   }
 
+let isolated t ?seconds ?work_units () =
+  let now = Unix_time.now () in
+  let remaining =
+    if t.work_limit = max_int then max_int
+    else max 0 (t.work_limit - !(t.work))
+  in
+  {
+    started = t.started;
+    deadline =
+      (match seconds with
+      | Some s -> Float.min t.deadline (now +. s)
+      | None -> t.deadline);
+    work_limit =
+      (match work_units with
+      | Some w -> min remaining w
+      | None -> remaining);
+    work = ref 0;
+  }
+
 let is_unlimited t = t.deadline = infinity && t.work_limit = max_int
 let spend t n = t.work := !(t.work) + n
 let work_spent t = !(t.work)

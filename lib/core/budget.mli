@@ -27,6 +27,14 @@ val sub : t -> ?seconds:float -> ?work_units:int -> unit -> t
     smaller of the parent's remainder and [work_units].  Work spent on
     the child counts against the parent. *)
 
+val isolated : t -> ?seconds:float -> ?work_units:int -> unit -> t
+(** Like {!sub}, but with a {e private} work counter starting at zero:
+    the child inherits the parent's deadline (possibly tightened) and
+    at most the parent's remaining work allowance, and can safely be
+    handed to another domain — parent and child never share mutable
+    state.  The parent does not see the child's spending until the
+    caller reconciles at join with [spend parent (work_spent child)]. *)
+
 val is_unlimited : t -> bool
 
 val spend : t -> int -> unit

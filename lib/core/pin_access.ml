@@ -175,26 +175,79 @@ let panel_budget budget ~panels_left =
     in
     Budget.sub budget ?seconds ?work_units ()
 
-let run ?(config = default_config) ?budget ~kind design problems =
-  Obs.Trace.with_span "pao.optimize" @@ fun () ->
-  let start = Unix_time.now () in
-  let budget = Budget.of_option budget in
+let solve_sequential config ~budget kind problems =
   let panels_left =
     ref
       (List.length
          (List.filter (fun (_, p) -> Problem.num_pins p > 0) problems))
   in
+  List.fold_left
+    (fun (acc_a, acc_o, acc_r) (panel, problem) ->
+      if Problem.num_pins problem = 0 then (acc_a, acc_o, acc_r)
+      else begin
+        let sliced = panel_budget budget ~panels_left:!panels_left in
+        decr panels_left;
+        let a, o, r = solve_problem config ~budget:sliced kind ~panel problem in
+        (List.rev_append a acc_a, acc_o +. o, r :: acc_r)
+      end)
+    ([], 0.0, []) problems
+
+(* Panels are independent subproblems (Sec. 3.4): fan them out over a
+   domain pool.  Each task gets an equal, *isolated* slice of the
+   remaining budget (private work counter — domains share no mutable
+   budget state) and runs with its metrics and spans buffered
+   domain-locally; the join below merges everything back in panel
+   order, so reports, assignments, counters and traces come out
+   identical to a sequential left-to-right run. *)
+let solve_parallel config ~budget ~j kind live =
+  let tasks = Array.of_list live in
+  let n = Array.length tasks in
+  let slices =
+    Array.map
+      (fun _ ->
+        if Budget.is_unlimited budget then Budget.isolated budget ()
+        else
+          let seconds =
+            Option.map
+              (fun s -> s /. float_of_int n)
+              (Budget.remaining_seconds budget)
+          in
+          let work_units =
+            Option.map (fun w -> max 1 (w / n)) (Budget.remaining_work budget)
+          in
+          Budget.isolated budget ?seconds ?work_units ())
+      tasks
+  in
+  let trace_on = Obs.Trace.enabled () in
+  let solve i (panel, problem) =
+    let task () = solve_problem config ~budget:slices.(i) kind ~panel problem in
+    Obs.Metrics.buffered (fun () ->
+        if trace_on then Obs.Trace.buffered task else (task (), []))
+  in
+  let results =
+    Exec.with_pool ~domains:(min j n) (fun pool -> Exec.mapi pool solve tasks)
+  in
+  let acc_a = ref [] and acc_o = ref 0.0 and acc_r = ref [] in
+  Array.iteri
+    (fun i (((a, o, r), events), mbuf) ->
+      Obs.Metrics.flush mbuf;
+      Obs.Trace.replay events;
+      Budget.spend budget (Budget.work_spent slices.(i));
+      acc_a := List.rev_append a !acc_a;
+      acc_o := !acc_o +. o;
+      acc_r := r :: !acc_r)
+    results;
+  (!acc_a, !acc_o, !acc_r)
+
+let run ?(config = default_config) ?budget ?(j = 1) ~kind design problems =
+  Obs.Trace.with_span "pao.optimize" @@ fun () ->
+  let start = Unix_time.now () in
+  let budget = Budget.of_option budget in
+  let live = List.filter (fun (_, p) -> Problem.num_pins p > 0) problems in
   let assignments, objective, reports =
-    List.fold_left
-      (fun (acc_a, acc_o, acc_r) (panel, problem) ->
-        if Problem.num_pins problem = 0 then (acc_a, acc_o, acc_r)
-        else begin
-          let sliced = panel_budget budget ~panels_left:!panels_left in
-          decr panels_left;
-          let a, o, r = solve_problem config ~budget:sliced kind ~panel problem in
-          (List.rev_append a acc_a, acc_o +. o, r :: acc_r)
-        end)
-      ([], 0.0, []) problems
+    if j <= 1 || List.length live <= 1 then
+      solve_sequential config ~budget kind problems
+    else solve_parallel config ~budget ~j kind live
   in
   let reports = List.rev reports in
   {
@@ -213,12 +266,12 @@ let build_panel config design ~panel =
     Cpr_error.infeasible ~panel
       "pin %d unreachable: its primary track is blocked" pid
 
-let optimize ?(config = default_config) ?budget ~kind design =
+let optimize ?(config = default_config) ?budget ?j ~kind design =
   let problems =
     List.init (Netlist.Design.num_panels design) (fun panel ->
         (panel, build_panel config design ~panel))
   in
-  run ~config ?budget ~kind design problems
+  run ~config ?budget ?j ~kind design problems
 
 let optimize_combined ?(config = default_config) ?budget ~kind design ~panels =
   let problem =

@@ -57,6 +57,7 @@ type t = {
 val optimize :
   ?config:config ->
   ?budget:Budget.t ->
+  ?j:int ->
   kind:solver_kind ->
   Netlist.Design.t ->
   t
@@ -64,6 +65,17 @@ val optimize :
     equal slice of the remaining budget; once the budget is exhausted,
     remaining panels are served directly by the minimum tier so the
     call still returns promptly with a feasible result.
+
+    [j] (default 1) is the number of domains panels are fanned out
+    over, the paper's production-mode concurrency.  Per-panel results,
+    metrics and spans are merged back in panel order, so without a
+    budget [~j:n] returns bit-identical assignments, reports and
+    objective to [~j:1] for any [n].  Under a finite budget the
+    slicing differs slightly: the sequential walk re-slices the
+    remainder before each panel, while the parallel fan-out hands
+    every panel an equal {!Budget.isolated} slice up front (a domain
+    cannot observe what another has spent mid-flight), reconciling the
+    parent's work counter at join.
     @raise Cpr_error.Error ([Infeasible_panel]) when a pin has no
     access interval at all (blocked primary track) — no tier can serve
     such a design. *)

@@ -1,0 +1,150 @@
+(* A job is one [map] call: tasks are indices [0, total); every domain
+   (workers and the caller) repeatedly claims the next chunk of
+   contiguous indices with a fetch-and-add and runs them.  [run] never
+   raises — the wrapper in [map] stores results and exceptions into
+   per-index slots. *)
+type job = { run : int -> unit; total : int; chunk : int; next : int Atomic.t }
+
+let run_job job =
+  let rec grab () =
+    let start = Atomic.fetch_and_add job.next job.chunk in
+    if start < job.total then begin
+      let stop = min job.total (start + job.chunk) in
+      for i = start to stop - 1 do
+        job.run i
+      done;
+      grab ()
+    end
+  in
+  grab ()
+
+(* Workers park on [ready] between jobs.  An epoch counter tells a
+   waking worker whether a new job was published since the one it last
+   ran; [running] counts workers still inside the current job so the
+   caller knows when the join is complete.  All fields are guarded by
+   [m] except the chunk cursor, which is atomic. *)
+type pool_state = {
+  size : int;
+  m : Mutex.t;
+  ready : Condition.t;
+  finished : Condition.t;
+  mutable epoch : int;
+  mutable job : job option;
+  mutable running : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type t = Sequential | Pool of pool_state
+
+let sequential = Sequential
+
+let worker_loop state =
+  let my_epoch = ref 0 in
+  let rec loop () =
+    Mutex.lock state.m;
+    while (not state.stop) && state.epoch = !my_epoch do
+      Condition.wait state.ready state.m
+    done;
+    if state.stop then Mutex.unlock state.m
+    else begin
+      my_epoch := state.epoch;
+      let job = Option.get state.job in
+      Mutex.unlock state.m;
+      run_job job;
+      Mutex.lock state.m;
+      state.running <- state.running - 1;
+      if state.running = 0 then Condition.broadcast state.finished;
+      Mutex.unlock state.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let pool ~domains =
+  let size = max 1 domains in
+  if size = 1 then Sequential
+  else begin
+    let state =
+      {
+        size;
+        m = Mutex.create ();
+        ready = Condition.create ();
+        finished = Condition.create ();
+        epoch = 0;
+        job = None;
+        running = 0;
+        stop = false;
+        workers = [];
+      }
+    in
+    state.workers <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop state));
+    Pool state
+  end
+
+let shutdown = function
+  | Sequential -> ()
+  | Pool state ->
+    Mutex.lock state.m;
+    state.stop <- true;
+    Condition.broadcast state.ready;
+    Mutex.unlock state.m;
+    List.iter Domain.join state.workers;
+    state.workers <- []
+
+let with_pool ~domains f =
+  let t = pool ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let domains = function Sequential -> 1 | Pool state -> state.size
+
+let default_domains () = Domain.recommended_domain_count ()
+
+type 'b slot = Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let mapi t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else
+    match t with
+    | Sequential -> Array.mapi f xs
+    | Pool state when state.workers = [] || n = 1 -> Array.mapi f xs
+    | Pool state ->
+      let out = Array.make n None in
+      let run i =
+        out.(i) <-
+          Some
+            (try Done (f i xs.(i))
+             with e -> Failed (e, Printexc.get_raw_backtrace ()))
+      in
+      let chunk = max 1 (n / (state.size * 4)) in
+      let job = { run; total = n; chunk; next = Atomic.make 0 } in
+      Mutex.lock state.m;
+      state.job <- Some job;
+      state.running <- List.length state.workers;
+      state.epoch <- state.epoch + 1;
+      Condition.broadcast state.ready;
+      Mutex.unlock state.m;
+      (* the caller is the pool's last worker *)
+      run_job job;
+      Mutex.lock state.m;
+      while state.running > 0 do
+        Condition.wait state.finished state.m
+      done;
+      state.job <- None;
+      Mutex.unlock state.m;
+      (* deterministic failure: surface the lowest-index exception,
+         exactly what a left-to-right sequential run would raise first *)
+      Array.iter
+        (function
+          | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Done _) | None -> ())
+        out;
+      Array.map
+        (function
+          | Some (Done v) -> v
+          | Some (Failed _) | None -> assert false)
+        out
+
+let map t f xs = mapi t (fun _ x -> f x) xs

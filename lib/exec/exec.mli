@@ -1,0 +1,76 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    The panel pipeline and the router's independent routing stage are
+    embarrassingly parallel: each work item reads shared immutable
+    state and produces a private result.  This module gives them one
+    executor abstraction with two implementations:
+
+    - {!sequential} runs every task inline on the caller — the
+      OCaml-4-style fallback, and the mode to use when debugging,
+      since it preserves a single-threaded execution trace;
+    - {!pool} keeps [domains - 1] worker domains parked on a condition
+      variable; every {!map} call wakes them, the caller participates
+      as the last worker, and all domains pull fixed-size index chunks
+      from a shared atomic cursor (a work-stealing-free chunked
+      queue — no deques, no stealing, just one fetch-and-add per
+      chunk).
+
+    Results are written into per-index slots, so {!map} always returns
+    them in input order regardless of which domain ran which chunk:
+    callers get a deterministic merge order for free.  The library
+    depends only on the standard library.
+
+    {2 What the executor does {e not} do}
+
+    Tasks must not submit work to the pool that is running them
+    ({!map} is not re-entrant), and they are responsible for their own
+    isolation: anything they mutate must be private to the task (see
+    [Obs.Metrics.buffered] and [Budget.isolated] for the
+    observability and budget halves of that contract). *)
+
+type t
+(** An executor: either inline-sequential or a domain pool. *)
+
+val sequential : t
+(** Runs every task on the calling domain, in index order.  [map
+    sequential f xs] is observably [Array.map f xs]. *)
+
+val pool : domains:int -> t
+(** A pool of [max 1 domains] domains: [domains - 1] spawned workers
+    plus the calling domain.  [pool ~domains:1] spawns nothing and
+    behaves like {!sequential}.  The workers park between {!map} calls
+    and live until {!shutdown}; always pair [pool] with {!shutdown}
+    (or use {!with_pool}) or the process will not exit cleanly. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] over a fresh pool and shuts it
+    down afterwards, also on exceptions. *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains.  Idempotent; a no-op on
+    {!sequential}.  Calling {!map} after [shutdown] falls back to
+    inline-sequential execution. *)
+
+val domains : t -> int
+(** Total domains the executor uses, caller included (1 for
+    {!sequential}). *)
+
+val default_domains : unit -> int
+(** The runtime's recommended domain count for this machine
+    ([Domain.recommended_domain_count]). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element and returns the results
+    in input order.  On a pool, tasks run concurrently in chunks of
+    contiguous indices (chunk size [max 1 (n / (domains * 4))], so
+    uneven task costs still spread across domains); the call returns
+    only after every task has finished.
+
+    If tasks raise, the exception of the {e lowest} input index is
+    re-raised on the caller with its original backtrace — the same
+    exception a sequential left-to-right run would have surfaced
+    first — after all other tasks have completed.  [f] must not call
+    {!map} on the same executor it is running under. *)
+
+val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map}, passing each element's index. *)

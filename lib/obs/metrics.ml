@@ -30,16 +30,86 @@ let histogram name =
     Hashtbl.replace histograms name h;
     h
 
-let add c n = c.count <- c.count + n
-let incr c = add c 1
-let value c = c.count
+(* Domain-local redirection.  The registry above is owned by the main
+   domain; when a task runs under [buffered] (on any domain), its bumps
+   land in a private buffer keyed by metric name instead of the shared
+   records, so worker domains never touch shared mutable state.  The
+   indirection is one DLS load plus an option test per bump. *)
+type buffer = {
+  bc : (string, int ref) Hashtbl.t;
+  bh : (string, floatarray) Hashtbl.t;
+}
 
-let observe h v =
-  let cells = h.cells in
+let local_key : buffer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let observe_cells cells v =
   Float.Array.set cells 0 (Float.Array.get cells 0 +. 1.0);
   Float.Array.set cells 1 (Float.Array.get cells 1 +. v);
   if v < Float.Array.get cells 2 then Float.Array.set cells 2 v;
   if v > Float.Array.get cells 3 then Float.Array.set cells 3 v
+
+let add c n =
+  match Domain.DLS.get local_key with
+  | None -> c.count <- c.count + n
+  | Some b ->
+    (match Hashtbl.find_opt b.bc c.c_name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace b.bc c.c_name (ref n))
+
+let incr c = add c 1
+let value c = c.count
+
+let observe h v =
+  match Domain.DLS.get local_key with
+  | None -> observe_cells h.cells v
+  | Some b ->
+    let cells =
+      match Hashtbl.find_opt b.bh h.h_name with
+      | Some cells -> cells
+      | None ->
+        let cells = Float.Array.create 4 in
+        empty_cells cells;
+        Hashtbl.replace b.bh h.h_name cells;
+        cells
+    in
+    observe_cells cells v
+
+let buffered f =
+  let b = { bc = Hashtbl.create 8; bh = Hashtbl.create 8 } in
+  let prev = Domain.DLS.get local_key in
+  Domain.DLS.set local_key (Some b);
+  let v =
+    Fun.protect ~finally:(fun () -> Domain.DLS.set local_key prev) f
+  in
+  (v, b)
+
+let flush b =
+  (* [add]/the cell merge below re-check the redirection, so flushing
+     inside an enclosing [buffered] scope folds into that outer buffer:
+     buffers nest like the tasks that filled them *)
+  Hashtbl.iter (fun name r -> add (counter name) !r) b.bc;
+  Hashtbl.iter
+    (fun name src ->
+      let merge dst =
+        Float.Array.set dst 0 (Float.Array.get dst 0 +. Float.Array.get src 0);
+        Float.Array.set dst 1 (Float.Array.get dst 1 +. Float.Array.get src 1);
+        if Float.Array.get src 2 < Float.Array.get dst 2 then
+          Float.Array.set dst 2 (Float.Array.get src 2);
+        if Float.Array.get src 3 > Float.Array.get dst 3 then
+          Float.Array.set dst 3 (Float.Array.get src 3)
+      in
+      match Domain.DLS.get local_key with
+      | None -> merge (histogram name).cells
+      | Some outer ->
+        (match Hashtbl.find_opt outer.bh name with
+        | Some dst -> merge dst
+        | None ->
+          let dst = Float.Array.create 4 in
+          empty_cells dst;
+          Hashtbl.replace outer.bh name dst;
+          merge dst))
+    b.bh
 
 type histogram_stats = {
   count : int;

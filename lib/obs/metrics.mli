@@ -3,28 +3,65 @@
     Counters and histograms are registered once (usually at module
     initialization, next to the code they meter) and bumped on the hot
     path; a bump is a couple of loads and stores, never an allocation,
-    so metering stays on even in production builds.  The registry is
-    process-global and single-threaded, like the pipeline itself.
+    so metering stays on even in production builds.
 
     Canonical metric names are dotted paths owned by the emitting
     subsystem: [lr.iterations], [lr.step_size], [ilp.nodes],
     [maze.expansions], [negotiation.ripup_rounds], [pao.tier.lr], … —
-    see DESIGN.md §7 for the full taxonomy. *)
+    see DESIGN.md §7 for the full taxonomy.
+
+    {2 Parallel execution}
+
+    The registry itself is owned by the main domain and is not safe to
+    bump from several domains at once.  Code that runs under an [Exec]
+    pool wraps each task in {!buffered}, which redirects that task's
+    bumps — through the same cached {!counter}/{!histogram} handles —
+    into a private, domain-local buffer; the caller merges the buffers
+    back with {!flush} at join, in whatever order makes the run
+    deterministic. *)
 
 type counter
+(** A monotonically increasing integer metric. *)
+
 type histogram
+(** A sample distribution (count/sum/min/max, no binning). *)
 
 val counter : string -> counter
 (** Find-or-create; the same name always yields the same counter. *)
 
 val histogram : string -> histogram
+(** Find-or-create, like {!counter}. *)
 
 val add : counter -> int -> unit
+(** Bump by [n]; allocation-free. *)
+
 val incr : counter -> unit
+(** [add c 1]. *)
+
 val value : counter -> int
+(** Current value in the global registry (buffered bumps not yet
+    {!flush}ed are invisible here). *)
 
 val observe : histogram -> float -> unit
 (** Record one sample (count/sum/min/max, no binning). *)
+
+type buffer
+(** A detached batch of metric bumps, private to the task that
+    produced it. *)
+
+val buffered : (unit -> 'a) -> 'a * buffer
+(** [buffered f] runs [f] with every {!add}/{!incr}/{!observe} made
+    {e on the calling domain} redirected into a fresh buffer, and
+    returns [f]'s result with that buffer.  The previous redirection
+    (none, usually) is restored afterwards, also on exceptions — the
+    exception propagates and the buffer is dropped.  {!value},
+    {!snapshot} and {!reset} always address the global registry. *)
+
+val flush : buffer -> unit
+(** Fold a buffer into the registry (or, when called inside an
+    enclosing {!buffered} scope, into that scope's buffer — buffers
+    nest like the tasks that filled them).  Call it from the domain
+    that owns the registry, once per buffer. *)
 
 type histogram_stats = {
   count : int;

@@ -61,43 +61,51 @@ let chrome oc =
         flush oc);
   }
 
-(* [on] mirrors "a non-null sink is installed" so the disabled check on
-   the hot path is one immediate load, no physical comparison *)
-let active = ref null
-let on = ref false
+(* The sink and nesting depth are domain-local: a freshly spawned
+   worker domain starts silent even while the main domain is tracing,
+   so parallel tasks never write to a shared channel.  Workers that
+   should be heard run under [buffered] and the caller [replay]s their
+   events at join.  [on] mirrors "a non-null sink is installed" so the
+   disabled check on the hot path is one load and one test. *)
+type state = { mutable active : sink; mutable on : bool; mutable depth : int }
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { active = null; on = false; depth = 0 })
 
 let set_sink s =
-  active := s;
-  on := s != null
+  let st = Domain.DLS.get state_key in
+  st.active <- s;
+  st.on <- s != null
 
 let clear_sink () =
-  active := null;
-  on := false
+  let st = Domain.DLS.get state_key in
+  st.active <- null;
+  st.on <- false
 
-let enabled () = !on
+let enabled () = (Domain.DLS.get state_key).on
 
 let with_sink s f =
-  let prev_active = !active and prev_on = !on in
+  let st = Domain.DLS.get state_key in
+  let prev_active = st.active and prev_on = st.on in
   set_sink s;
   Fun.protect
     ~finally:(fun () ->
       s.flush ();
-      active := prev_active;
-      on := prev_on)
+      st.active <- prev_active;
+      st.on <- prev_on)
     f
 
-let depth = ref 0
-
 let with_span name f =
-  if not !on then f ()
+  let st = Domain.DLS.get state_key in
+  if not st.on then f ()
   else begin
-    let d = !depth in
-    depth := d + 1;
+    let d = st.depth in
+    st.depth <- d + 1;
     let t0 = Clock.now () in
     let finish () =
       let dur = Clock.now () -. t0 in
-      depth := d;
-      !active.on_event { name; ts = t0; dur; depth = d }
+      st.depth <- d;
+      st.active.on_event { name; ts = t0; dur; depth = d }
     in
     match f () with
     | x ->
@@ -107,3 +115,16 @@ let with_span name f =
       finish ();
       raise e
   end
+
+let buffered f =
+  let sink, events = collect () in
+  let v = with_sink sink f in
+  (v, events ())
+
+let replay events =
+  let st = Domain.DLS.get state_key in
+  if st.on then
+    List.iter
+      (fun (e : event) ->
+        st.active.on_event { e with depth = e.depth + st.depth })
+      events

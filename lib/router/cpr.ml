@@ -3,6 +3,8 @@ type config = {
   pao : Pinaccess.Pin_access.config;
   cost : Rgrid.Cost.t;
   rules : Drc.Rules.t;
+  jobs : int;
+  parallel_init : bool;
 }
 
 let default_config =
@@ -11,6 +13,8 @@ let default_config =
     pao = Pinaccess.Pin_access.default_config;
     cost = Rgrid.Cost.default;
     rules = Drc.Rules.default;
+    jobs = 1;
+    parallel_init = false;
   }
 
 let run_with_pao ?(config = default_config) ?budget design pao =
@@ -18,8 +22,14 @@ let run_with_pao ?(config = default_config) ?budget design pao =
   let started = Pinaccess.Unix_time.now () -. pao.Pinaccess.Pin_access.elapsed in
   let grid = Rgrid.Grid.create design in
   let specs = Spec_builder.build grid ~pao:(Some pao) in
+  let negotiate ?pool () =
+    Negotiation.run ~cost:config.cost ~rules:config.rules ?budget ?pool grid
+      specs
+  in
   let result =
-    Negotiation.run ~cost:config.cost ~rules:config.rules ?budget grid specs
+    if config.parallel_init && config.jobs > 1 then
+      Exec.with_pool ~domains:config.jobs (fun pool -> negotiate ~pool ())
+    else negotiate ()
   in
   let drc_reroutes =
     Negotiation.drc_ripup ~cost:config.cost ?budget ~rules:config.rules grid
@@ -37,6 +47,6 @@ let run ?(config = default_config) ?budget ?pao_budget design =
   let pao_budget = match pao_budget with Some _ as b -> b | None -> budget in
   let pao =
     Pinaccess.Pin_access.optimize ~config:config.pao ?budget:pao_budget
-      ~kind:config.pao_kind design
+      ~j:config.jobs ~kind:config.pao_kind design
   in
   run_with_pao ~config ?budget design pao

@@ -10,6 +10,15 @@ type config = {
   pao : Pinaccess.Pin_access.config;
   cost : Rgrid.Cost.t;
   rules : Drc.Rules.t;
+  jobs : int;
+      (** domains for the parallel stages ([-j] on the CLI); 1 =
+          fully sequential.  Panels of the PAO stage fan out over
+          [jobs] domains with deterministic merge order. *)
+  parallel_init : bool;
+      (** feature flag: also batch independent nets of the
+          negotiation router's initial-route stage through the same
+          executor (identical routing, see {!Negotiation.run}).  Off
+          by default; requires [jobs > 1] to have any effect. *)
 }
 
 val default_config : config

@@ -141,6 +141,78 @@ let routing_order specs =
     order;
   order
 
+(* Parallel stage 1.  The independent stage routes with [pfac = 0], so
+   a search reads only static state (pins, intervals, blockages,
+   ownership) plus what earlier routes wrote *near their own bbox*:
+   route nodes and vias stay inside the net's search window, and the
+   cost model reads at most 2 grids beyond it (spacing probes ±2,
+   [via_forbidden] ±1).  Two nets whose windows inflated by that
+   radius are disjoint therefore cannot influence each other, whatever
+   order they commit in.  We walk the sequential routing order,
+   greedily growing a run of consecutive, pairwise-disjoint nets,
+   route the run concurrently (each domain on its own maze, metrics
+   and spans buffered, budget isolated), then commit the results in
+   order — which reproduces the sequential stage-1 routing exactly. *)
+let initial_route_parallel ?budget ~cost pool grid maze specs order ~apply =
+  let die = Netlist.Design.die (Grid.design grid) in
+  let margin_max =
+    List.fold_left max cost.Cost.bbox_margin cost.Cost.retry_margins
+  in
+  let influence net =
+    Geometry.Rect.inflate specs.(net).Net_router.bbox ~by:(margin_max + 2)
+      ~within:die
+  in
+  (* one maze per domain, reused across batches; the caller contributes
+     the maze it already owns *)
+  let maze_key = Domain.DLS.new_key (fun () -> Maze.create grid) in
+  Domain.DLS.set maze_key maze;
+  let trace_on = Obs.Trace.enabled () in
+  let compute net =
+    let sub = Option.map (fun b -> Pinaccess.Budget.isolated b ()) budget in
+    let task () =
+      Net_router.route ?budget:sub (Domain.DLS.get maze_key) ~cost ~pfac:0.0
+        specs.(net)
+    in
+    let (r, events), mbuf =
+      Obs.Metrics.buffered (fun () ->
+          if trace_on then Obs.Trace.buffered task else (task (), []))
+    in
+    (r, events, mbuf, sub)
+  in
+  let n = Array.length order in
+  let i = ref 0 in
+  while !i < n do
+    let batch = ref [ order.(!i) ] in
+    let regions = ref [ influence order.(!i) ] in
+    incr i;
+    let grow = ref true in
+    while !grow && !i < n do
+      let net = order.(!i) in
+      let r = influence net in
+      if List.exists (Geometry.Rect.overlaps r) !regions then grow := false
+      else begin
+        batch := net :: !batch;
+        regions := r :: !regions;
+        incr i
+      end
+    done;
+    let batch = Array.of_list (List.rev !batch) in
+    let results =
+      if Array.length batch = 1 then Array.map compute batch
+      else Exec.map pool compute batch
+    in
+    Array.iteri
+      (fun k (r, events, mbuf, sub) ->
+        Obs.Metrics.flush mbuf;
+        Obs.Trace.replay events;
+        (match (budget, sub) with
+        | Some b, Some s ->
+          Pinaccess.Budget.spend b (Pinaccess.Budget.work_spent s)
+        | _, _ -> ());
+        apply batch.(k) r)
+      results
+  done
+
 let overused_nets grid routes =
   let result = ref [] in
   Array.iteri
@@ -153,7 +225,7 @@ let overused_nets grid routes =
     routes;
   List.rev !result
 
-let run ?(cost = Cost.default) ?rules ?budget grid specs =
+let run ?(cost = Cost.default) ?rules ?budget ?pool grid specs =
   let maze = Maze.create grid in
   let design = Grid.design grid in
   let space = Grid.space grid in
@@ -205,7 +277,19 @@ let run ?(cost = Cost.default) ?rules ?budget grid specs =
       Drc.Check.blamed_nets violations
   in
   (* Stage 1: independent routing (no present-sharing term) *)
-  Array.iter (fun net -> route_net ~pfac:0.0 net) (routing_order specs);
+  let order = routing_order specs in
+  (match pool with
+  | Some pool when Exec.domains pool > 1 && Array.length specs > 1 ->
+    initial_route_parallel ?budget ~cost pool grid maze specs order
+      ~apply:(fun net r ->
+        incr total_reroutes;
+        Obs.Metrics.incr m_reroutes;
+        match r with
+        | Some r ->
+          apply_route grid r;
+          routes.(net) <- Some r
+        | None -> ())
+  | Some _ | None -> Array.iter (fun net -> route_net ~pfac:0.0 net) order);
   let initial_congestion = Grid.congested_nodes grid in
   (* Stage 2: rip-up and reroute with negotiation *)
   let iterations = ref 0 in

@@ -21,6 +21,7 @@ val run :
   ?cost:Rgrid.Cost.t ->
   ?rules:Drc.Rules.t ->
   ?budget:Pinaccess.Budget.t ->
+  ?pool:Exec.t ->
   Rgrid.Grid.t ->
   Net_router.spec array ->
   result
@@ -33,7 +34,15 @@ val run :
     and inside every maze search, so on exhaustion the engine stops
     rerouting and returns the best routing found so far (nets still
     conflicting are dropped as usual — the result stays short-free,
-    just with more unrouted nets). *)
+    just with more unrouted nets).
+
+    [pool] (when its domain count exceeds 1) parallelizes stage 1:
+    consecutive nets of the routing order whose inflated search
+    windows are pairwise disjoint — and therefore cannot influence one
+    another at [pfac = 0] — are routed concurrently and committed in
+    order, producing the exact sequential stage-1 routing.  Rip-up
+    (stage 2) negotiates through shared congestion state and stays
+    sequential. *)
 
 val apply_route : Rgrid.Grid.t -> Rgrid.Route.t -> unit
 (** Record a route's node usage and via pressure. *)

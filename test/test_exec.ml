@@ -1,0 +1,159 @@
+(* The parallel executor: joins, chunked scheduling, deterministic
+   error propagation, and the headline PR-3 guarantee — PAO and the
+   full CPR flow produce bit-identical results at any [-j]. *)
+
+module PA = Pinaccess.Pin_access
+module Eval = Metrics.Eval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_joins_all () =
+  let xs = Array.init 100 (fun i -> i) in
+  let expected = Array.map (fun i -> (i * 7) + 1) xs in
+  Exec.with_pool ~domains:4 (fun pool ->
+      let got = Exec.map pool (fun i -> (i * 7) + 1) xs in
+      check "map equals Array.map" true (got = expected);
+      (* the pool is reusable across calls *)
+      let again = Exec.map pool (fun i -> i - 3) xs in
+      check "second map on same pool" true
+        (again = Array.map (fun i -> i - 3) xs))
+
+let test_mapi_indices () =
+  let xs = Array.make 50 "x" in
+  Exec.with_pool ~domains:3 (fun pool ->
+      let got = Exec.mapi pool (fun i s -> Printf.sprintf "%s%d" s i) xs in
+      check "mapi passes the element index" true
+        (got = Array.init 50 (fun i -> Printf.sprintf "x%d" i)))
+
+let test_sequential_executor () =
+  let xs = Array.init 17 (fun i -> i) in
+  let got = Exec.map Exec.sequential (fun i -> i * i) xs in
+  check "sequential map" true (got = Array.map (fun i -> i * i) xs);
+  check_int "sequential reports one domain" 1 (Exec.domains Exec.sequential)
+
+(* Uneven sizes: every index must be computed exactly once, whatever
+   the chunking does at the ragged end. *)
+let test_uneven_chunks () =
+  List.iter
+    (fun n ->
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Exec.with_pool ~domains:4 (fun pool ->
+          let got =
+            Exec.mapi pool
+              (fun i () ->
+                Atomic.incr hits.(i);
+                i)
+              (Array.make n ())
+          in
+          check "results in order" true (got = Array.init n (fun i -> i)));
+      Array.iteri
+        (fun i h ->
+          check_int (Printf.sprintf "n=%d index %d computed once" n i) 1
+            (Atomic.get h))
+        hits)
+    [ 1; 2; 3; 7; 23; 64; 101 ]
+
+(* A worker exception re-raises at the join, and when several tasks
+   fail the lowest index wins — deterministic whatever the domain
+   interleaving was. *)
+let test_exception_propagation () =
+  let boom i =
+    Pinaccess.Cpr_error.Error
+      (Pinaccess.Cpr_error.Solver_failure
+         { solver = string_of_int i; reason = "boom" })
+  in
+  Exec.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "lowest failing index wins" (boom 37) (fun () ->
+          ignore
+            (Exec.mapi pool
+               (fun i () -> if i = 37 || i = 73 then raise (boom i) else i)
+               (Array.make 100 ()))))
+
+(* with_pool must shut the domains down even when the body raises. *)
+let test_with_pool_cleanup () =
+  (try
+     Exec.with_pool ~domains:2 (fun _ -> failwith "body blew up")
+   with Failure _ -> ());
+  (* a fresh pool still works afterwards *)
+  Exec.with_pool ~domains:2 (fun pool ->
+      check "pool after failed body" true
+        (Exec.map pool (fun i -> i + 1) [| 1; 2; 3 |] = [| 2; 3; 4 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local observability buffers                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_buffered_merge () =
+  let c = Obs.Metrics.counter "test_exec.buffered" in
+  let before = Obs.Metrics.value c in
+  let (), buf =
+    Obs.Metrics.buffered (fun () ->
+        Obs.Metrics.add c 5;
+        (* redirection is active: the global counter is untouched *)
+        check_int "buffered add invisible" before (Obs.Metrics.value c))
+  in
+  check_int "still invisible before flush" before (Obs.Metrics.value c);
+  Obs.Metrics.flush buf;
+  check_int "flush lands the increments" (before + 5) (Obs.Metrics.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel == sequential, bit for bit                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_design () =
+  Workloads.Suite.design ~scale:0.12 (Workloads.Suite.find "ecc")
+
+let test_pao_determinism () =
+  let design = small_design () in
+  let seq = PA.optimize ~kind:PA.Lr design in
+  let par = PA.optimize ~kind:PA.Lr ~j:4 design in
+  check "objective identical" true (seq.PA.objective = par.PA.objective);
+  check "panel reports identical" true (seq.PA.reports = par.PA.reports);
+  check "assignments identical" true (seq.PA.assignments = par.PA.assignments)
+
+let test_flow_determinism () =
+  let design = small_design () in
+  let seq = Eval.of_flow (Router.Cpr.run design) in
+  let par =
+    Eval.of_flow
+      (Router.Cpr.run
+         ~config:
+           { Router.Cpr.default_config with jobs = 4; parallel_init = true }
+         design)
+  in
+  check "routability identical" true
+    (seq.Eval.routability = par.Eval.routability);
+  check_int "via count identical" seq.Eval.via_count par.Eval.via_count;
+  check_int "wirelength identical" seq.Eval.wirelength par.Eval.wirelength
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map joins all tasks" `Quick test_map_joins_all;
+          Alcotest.test_case "mapi indices" `Quick test_mapi_indices;
+          Alcotest.test_case "sequential executor" `Quick
+            test_sequential_executor;
+          Alcotest.test_case "uneven chunk coverage" `Quick test_uneven_chunks;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "with_pool cleanup" `Quick test_with_pool_cleanup;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "metrics buffered merge" `Quick
+            test_metrics_buffered_merge;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "pao j=4 equals j=1" `Quick test_pao_determinism;
+          Alcotest.test_case "flow parallel-init equals sequential" `Quick
+            test_flow_determinism;
+        ] );
+    ]
