@@ -98,13 +98,17 @@ let circuits () =
   List.map (fun (id, _, _, _) -> Suite.find id) paper_table2
 
 (* --------------------------------------------------------------- *)
-(* Machine-readable telemetry (BENCH_PR3.json)                      *)
+(* Machine-readable telemetry (BENCH.json)                          *)
 (* --------------------------------------------------------------- *)
 
 (* Per-circuit summaries recorded by table2, written with the kernel
    counters at the end of every bench invocation so each PR leaves a
-   diffable perf record. *)
-let telemetry_file = "BENCH_PR3.json"
+   diffable perf record.  [scripts/bench_gate.py] diffs the quality
+   numbers against the committed [bench/BASELINE.json]. *)
+let telemetry_file = "BENCH.json"
+
+(* downstream tooling grew up on the PR-3 name; keep a mirror *)
+let legacy_telemetry_file = "BENCH_PR3.json"
 let bench_circuits : (string * (string * Eval.summary) list) list ref = ref []
 
 (* Per-circuit rows recorded by the [parallel] experiment: sequential
@@ -163,7 +167,6 @@ let write_telemetry ~ran =
   let json =
     Obj
       [
-        ("pr", num_int 3);
         ("bench", Str "cpr");
         ("scale", Num scale);
         ("jobs", num_int jobs);
@@ -174,11 +177,16 @@ let write_telemetry ~ran =
         ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
       ]
   in
-  let oc = open_out telemetry_file in
-  output_string oc (to_string_pretty json);
-  output_char oc '\n';
-  close_out oc;
-  pf "@.telemetry written to %s@." telemetry_file
+  let write file =
+    let oc = open_out file in
+    output_string oc (to_string_pretty json);
+    output_char oc '\n';
+    close_out oc
+  in
+  write telemetry_file;
+  write legacy_telemetry_file;
+  pf "@.telemetry written to %s (legacy mirror %s)@." telemetry_file
+    legacy_telemetry_file
 
 (* --------------------------------------------------------------- *)
 (* Table 2                                                          *)

@@ -1,0 +1,15 @@
+(** Independent solution certification and differential fuzzing.
+
+    The solvers and routers grade their own homework; this library is
+    the external examiner.  {!Certificate} (included here, so
+    [Audit.certify] works) re-verifies a pin access assignment from
+    scratch against Formula (1); {!Flow_audit} replays DRC and
+    electrical connectivity over a finished routing flow; {!Fuzz} runs
+    the seeded differential campaign that cross-checks every solver
+    against these auditors and shrinks failures to minimal repro
+    designs. *)
+
+include Certificate
+
+module Flow_audit = Flow_audit
+module Fuzz = Fuzz

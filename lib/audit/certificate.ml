@@ -1,0 +1,257 @@
+module I = Geometry.Interval
+module Design = Netlist.Design
+module Pin = Netlist.Pin
+module AI = Pinaccess.Access_interval
+module Problem = Pinaccess.Problem
+module Solution = Pinaccess.Solution
+module Objective = Pinaccess.Objective
+
+type reason =
+  | Duplicate_pin of Netlist.Pin.id
+  | Foreign_pin of Netlist.Pin.id
+  | Unassigned_pin of Netlist.Pin.id
+  | Uncovered_pin of { pin : Netlist.Pin.id; detail : string }
+  | Illegal_interval of { pin : Netlist.Pin.id; detail : string }
+  | Multiply_served of { pin : Netlist.Pin.id; count : int }
+  | Overlap_conflict of {
+      track : int;
+      net_a : Netlist.Net.id;
+      net_b : Netlist.Net.id;
+    }
+  | Objective_mismatch of { reported : float; recomputed : float }
+  | Dual_bound_violated of { reported : float; bound : float }
+
+let reason_to_string = function
+  | Duplicate_pin pin -> Printf.sprintf "pin %d assigned more than once" pin
+  | Foreign_pin pin -> Printf.sprintf "pin %d is not part of the instance" pin
+  | Unassigned_pin pin -> Printf.sprintf "pin %d has no interval" pin
+  | Uncovered_pin { pin; detail } ->
+    Printf.sprintf "interval does not cover pin %d: %s" pin detail
+  | Illegal_interval { pin; detail } ->
+    Printf.sprintf "illegal interval for pin %d: %s" pin detail
+  | Multiply_served { pin; count } ->
+    Printf.sprintf "(1b) violated: %d selected intervals serve pin %d" count pin
+  | Overlap_conflict { track; net_a; net_b } ->
+    Printf.sprintf "(1c) violated: nets %d and %d overlap on track %d" net_a
+      net_b track
+  | Objective_mismatch { reported; recomputed } ->
+    Printf.sprintf "objective mismatch: reported %.6f, recomputed %.6f"
+      reported recomputed
+  | Dual_bound_violated { reported; bound } ->
+    Printf.sprintf "dual bound violated: reported %.6f above bound %.6f"
+      reported bound
+
+type t = {
+  problem : Problem.t;
+  assignment : (Netlist.Pin.id * AI.t) list;
+  reported_objective : float;
+  dual_bound : float option;
+}
+
+let of_solution ?dual_bound (sol : Solution.t) =
+  let problem = sol.Solution.problem in
+  let assignment =
+    Array.to_list
+      (Array.mapi
+         (fun slot id ->
+           (problem.Problem.pin_ids.(slot), problem.Problem.intervals.(id)))
+         sol.Solution.assignment)
+  in
+  {
+    problem;
+    assignment;
+    reported_objective = Solution.objective sol;
+    dual_bound;
+  }
+
+(* physical identity of an interval: per-panel dense ids are not unique
+   across panels, so distinctness is judged on what the metal is *)
+let physical_compare (a : AI.t) (b : AI.t) =
+  let c = Int.compare a.AI.net b.AI.net in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.AI.track b.AI.track in
+    if c <> 0 then c else I.compare a.AI.span b.AI.span
+
+(* The core examiner, shared by the problem-level and design-level
+   entry points.  [expected] is the exact pin set that must be covered;
+   everything else is re-derived from [design] geometry alone. *)
+let examine ~tolerance ~weighting ~design ~expected ~assignment ~reported
+    ~dual_bound =
+  let faults = ref [] in
+  let fault r = faults := r :: !faults in
+  let expected_set = Hashtbl.create (Array.length expected) in
+  Array.iter (fun pid -> Hashtbl.replace expected_set pid ()) expected;
+  (* 1. one interval per pin: no duplicates, no foreign pins, full
+     coverage of the expected pin set *)
+  let seen = Hashtbl.create (Array.length expected) in
+  List.iter
+    (fun (pid, _) ->
+      if Hashtbl.mem seen pid then fault (Duplicate_pin pid)
+      else begin
+        Hashtbl.replace seen pid ();
+        if not (Hashtbl.mem expected_set pid) then fault (Foreign_pin pid)
+      end)
+    assignment;
+  Array.iter
+    (fun pid -> if not (Hashtbl.mem seen pid) then fault (Unassigned_pin pid))
+    expected;
+  (* 2. coverage: the interval is the pin's metal, re-derived from pin
+     geometry (not from the interval's own pin list) *)
+  let die_tracks = Design.height design - 1 in
+  let die_cols = Design.width design - 1 in
+  List.iter
+    (fun (pid, (iv : AI.t)) ->
+      if Hashtbl.mem expected_set pid then begin
+        let pin = Design.pin design pid in
+        if iv.AI.net <> pin.Pin.net then
+          fault
+            (Uncovered_pin
+               {
+                 pin = pid;
+                 detail =
+                   Printf.sprintf "interval net %d, pin net %d" iv.AI.net
+                     pin.Pin.net;
+               })
+        else if not (Pin.covers_track pin iv.AI.track) then
+          fault
+            (Uncovered_pin
+               {
+                 pin = pid;
+                 detail =
+                   Printf.sprintf "pin does not reach track %d" iv.AI.track;
+               })
+        else if not (I.contains iv.AI.span pin.Pin.x) then
+          fault
+            (Uncovered_pin
+               {
+                 pin = pid;
+                 detail =
+                   Printf.sprintf "pin column %d outside span %s" pin.Pin.x
+                     (I.to_string iv.AI.span);
+               });
+        (* 3. legality: on the die, inside the net bounding box,
+           clear of M2 blockages (the generation clipping rules) *)
+        let illegal detail = fault (Illegal_interval { pin = pid; detail }) in
+        if iv.AI.track < 0 || iv.AI.track > die_tracks then
+          illegal (Printf.sprintf "track %d off the die" iv.AI.track)
+        else if I.lo iv.AI.span < 0 || I.hi iv.AI.span > die_cols then
+          illegal (Printf.sprintf "span %s off the die" (I.to_string iv.AI.span))
+        else begin
+          let bbox = Design.net_bbox design iv.AI.net in
+          if not (I.contains_interval (Geometry.Rect.xs bbox) iv.AI.span) then
+            illegal
+              (Printf.sprintf "span %s outside net bbox %s"
+                 (I.to_string iv.AI.span)
+                 (I.to_string (Geometry.Rect.xs bbox)));
+          List.iter
+            (fun blocked ->
+              if I.overlaps blocked iv.AI.span then
+                illegal
+                  (Printf.sprintf "span %s overlaps blockage %s on track %d"
+                     (I.to_string iv.AI.span) (I.to_string blocked) iv.AI.track))
+            (Design.m2_blockages_on_track design iv.AI.track)
+        end
+      end)
+    assignment;
+  (* distinct selected intervals by physical identity, with the pins
+     assigned to each *)
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (pid, (iv : AI.t)) ->
+      let key = (iv.AI.net, iv.AI.track, I.lo iv.AI.span, I.hi iv.AI.span) in
+      let iv0, pins =
+        Option.value ~default:(iv, []) (Hashtbl.find_opt table key)
+      in
+      Hashtbl.replace table key (iv0, pid :: pins))
+    assignment;
+  let distinct =
+    Hashtbl.fold (fun _ v acc -> v :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> physical_compare a b)
+  in
+  (* 4. formulation (1b): a pin may be served by at most one distinct
+     selected interval (an interval serves every pin on its pin list,
+     selected atomically in the ILP) *)
+  let served = Hashtbl.create (Array.length expected) in
+  List.iter
+    (fun ((iv : AI.t), _) ->
+      List.iter
+        (fun pid ->
+          if Hashtbl.mem expected_set pid then
+            Hashtbl.replace served pid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt served pid)))
+        iv.AI.pins)
+    distinct;
+  Hashtbl.iter
+    (fun pid count ->
+      if count > 1 then fault (Multiply_served { pin = pid; count }))
+    served;
+  (* 5. conflict-freeness, the hard invariant: brute-force O(n²)
+     pairwise overlap over distinct selected intervals — deliberately
+     not the sweep the solvers used to build their cliques *)
+  let arr = Array.of_list (List.map fst distinct) in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.AI.net <> b.AI.net && AI.overlaps a b then
+        fault
+          (Overlap_conflict
+             { track = a.AI.track; net_a = a.AI.net; net_b = b.AI.net })
+    done
+  done;
+  (* 6. objective (1a): f(len) once per pin the interval is assigned to *)
+  let recomputed =
+    List.fold_left
+      (fun acc ((iv : AI.t), pins) ->
+        acc
+        +. (Objective.f weighting (AI.length iv)
+           *. float_of_int (List.length pins)))
+      0.0 distinct
+  in
+  let scale v w = tolerance *. Float.max 1.0 (Float.max (Float.abs v) (Float.abs w)) in
+  if Float.abs (reported -. recomputed) > scale reported recomputed then
+    fault (Objective_mismatch { reported; recomputed });
+  (* 7. dual bound sandwich: recomputed ≤ reported ≤ L(λ) *)
+  (match dual_bound with
+  | Some bound when reported > bound +. scale reported bound ->
+    fault (Dual_bound_violated { reported; bound })
+  | Some _ | None -> ());
+  List.rev !faults
+
+let violations ?(tolerance = 1e-6) t =
+  examine ~tolerance
+    ~weighting:t.problem.Problem.config.Pinaccess.Interval_gen.weighting
+    ~design:t.problem.Problem.design ~expected:t.problem.Problem.pin_ids
+    ~assignment:t.assignment ~reported:t.reported_objective
+    ~dual_bound:t.dual_bound
+
+let certify ?tolerance t =
+  match violations ?tolerance t with [] -> Ok () | r :: _ -> Error r
+
+let upper_bound (problem : Problem.t) =
+  let weighting = problem.Problem.config.Pinaccess.Interval_gen.weighting in
+  let intervals = problem.Problem.intervals in
+  Array.fold_left
+    (fun acc candidates ->
+      acc
+      +. Array.fold_left
+           (fun best id ->
+             Float.max best (Objective.f weighting (AI.length intervals.(id))))
+           0.0 candidates)
+    0.0 problem.Problem.pin_candidates
+
+let certify_pin_access ?(tolerance = 1e-6)
+    ?(weighting = Pinaccess.Objective.default)
+    (pao : Pinaccess.Pin_access.t) =
+  let design = pao.Pinaccess.Pin_access.design in
+  let expected =
+    Array.map (fun (p : Pin.t) -> p.Pin.id) (Design.pins design)
+  in
+  match
+    examine ~tolerance ~weighting ~design ~expected
+      ~assignment:pao.Pinaccess.Pin_access.assignments
+      ~reported:pao.Pinaccess.Pin_access.objective ~dual_bound:None
+  with
+  | [] -> Ok ()
+  | r :: _ -> Error r

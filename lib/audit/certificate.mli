@@ -1,0 +1,100 @@
+(** Independent certification of pin access solutions.
+
+    The solvers in [lib/core] validate their own output; this module is
+    the external examiner.  Given an assignment of one access interval
+    per pin it re-derives every claim of Formula (1) from scratch,
+    trusting only the design geometry:
+
+    - {b coverage}: each pin appears exactly once and its interval
+      covers the pin (same net, pin track, pin column inside the span);
+    - {b legality}: every interval lies on the die, inside its net's
+      bounding box, and clear of M2 routing blockages — the clipping
+      rules of interval generation, re-checked;
+    - {b conflict-freeness}: no two selected intervals of different
+      nets overlap, re-derived by a brute-force O(n²) pairwise sweep
+      (deliberately independent of {!Pinaccess.Conflict}'s linear
+      clique detection);
+    - {b formulation (1b)}: no pin is served by two distinct selected
+      intervals;
+    - {b objective (1a)}: the reported objective equals
+      [Σ f(len I) · pins(I)] recomputed over distinct selected
+      intervals with [f(I) = √len];
+    - {b dual bound}: when the certificate carries a solver-claimed
+      upper bound [L(λ)], the sandwich
+      [recomputed ≤ reported ≤ L(λ)] must hold within tolerance.
+
+    Checks run in the order above and {!certify} reports the first
+    violated invariant as a typed {!reason}; {!violations} returns all
+    of them. *)
+
+(** Why a certificate was rejected.  Constructors are ordered by the
+    check sequence; each carries enough context to locate the defect. *)
+type reason =
+  | Duplicate_pin of Netlist.Pin.id
+      (** the pin is assigned more than one interval *)
+  | Foreign_pin of Netlist.Pin.id
+      (** the assignment names a pin outside the certified instance *)
+  | Unassigned_pin of Netlist.Pin.id
+      (** an instance pin has no interval at all *)
+  | Uncovered_pin of { pin : Netlist.Pin.id; detail : string }
+      (** the assigned interval does not cover its pin (wrong net,
+          wrong track, or the pin column is outside the span) *)
+  | Illegal_interval of { pin : Netlist.Pin.id; detail : string }
+      (** the interval leaves the die or net bounding box, or overlaps
+          an M2 blockage *)
+  | Multiply_served of { pin : Netlist.Pin.id; count : int }
+      (** constraint (1b): more than one distinct selected interval
+          claims to serve the pin *)
+  | Overlap_conflict of {
+      track : int;
+      net_a : Netlist.Net.id;
+      net_b : Netlist.Net.id;
+    }
+      (** constraint (1c) at clearance 0: two selected intervals of
+          different nets overlap on a track *)
+  | Objective_mismatch of { reported : float; recomputed : float }
+  | Dual_bound_violated of { reported : float; bound : float }
+
+val reason_to_string : reason -> string
+
+(** A claim to be verified: the instance, the assignment, and the
+    numbers the solver reported about it. *)
+type t = {
+  problem : Pinaccess.Problem.t;
+  assignment : (Netlist.Pin.id * Pinaccess.Access_interval.t) list;
+  reported_objective : float;
+  dual_bound : float option;
+      (** the solver's claimed upper bound on the optimum, e.g.
+          {!Pinaccess.Lagrangian.dual_bound} or the ILP root LP bound *)
+}
+
+val of_solution : ?dual_bound:float -> Pinaccess.Solution.t -> t
+(** Certificate for a solver {!Pinaccess.Solution.t}, with the reported
+    objective taken from {!Pinaccess.Solution.objective}. *)
+
+val certify : ?tolerance:float -> t -> (unit, reason) result
+(** Run every check and return the first violated invariant.
+    [tolerance] (default [1e-6]) is relative to the magnitude of the
+    compared objectives. *)
+
+val violations : ?tolerance:float -> t -> reason list
+(** All violated invariants, in check order. *)
+
+val upper_bound : Pinaccess.Problem.t -> float
+(** A certified upper bound on the optimum of Formula (1), independent
+    of both solvers: relax constraint (1c) entirely and pick each
+    pin's most profitable candidate, [Σ_j max_{i∈S_j} f(len I_i)].
+    Every feasible objective — and any honest reported objective — must
+    lie at or below this value. *)
+
+val certify_pin_access :
+  ?tolerance:float ->
+  ?weighting:Pinaccess.Objective.weighting ->
+  Pinaccess.Pin_access.t ->
+  (unit, reason) result
+(** Certify a whole-design {!Pinaccess.Pin_access.t} result: the same
+    checks as {!certify} applied to the design-wide assignment (every
+    design pin must be covered), with the objective recomputed under
+    [weighting] (default the paper's [Sqrt_length]).  Intervals are
+    compared by physical identity (net, track, span) since per-panel
+    interval ids are not globally unique. *)

@@ -1,0 +1,61 @@
+module Flow = Router.Flow
+
+type issue =
+  | Short of { detail : string }
+  | Violation_miscount of { kind : string; recorded : int; replayed : int }
+  | Clean_mismatch of { net : Netlist.Net.id; recorded : bool }
+  | Electrical of Router.Verify.issue
+
+let issue_to_string = function
+  | Short { detail } -> Printf.sprintf "short in final routes: %s" detail
+  | Violation_miscount { kind; recorded; replayed } ->
+    Printf.sprintf "%s violations: flow reported %d, replay found %d" kind
+      recorded replayed
+  | Clean_mismatch { net; recorded } ->
+    Printf.sprintf "net %d: flow marked it %s, replay disagrees" net
+      (if recorded then "clean" else "dirty")
+  | Electrical i -> "electrical: " ^ Router.Verify.issue_to_string i
+
+let kinds = [ Drc.Check.Line_end_gap; Drc.Check.Cut_alignment; Drc.Check.Via_spacing ]
+
+let count_kind violations kind =
+  List.length
+    (List.filter (fun (v : Drc.Check.violation) -> v.Drc.Check.kind = kind)
+       violations)
+
+let run (flow : Flow.t) =
+  let issues = ref [] in
+  let issue i = issues := i :: !issues in
+  (* 1. re-extract the final metal; a short here means the routes never
+     formed a legal layout, which voids every downstream claim *)
+  match Drc.Extract.of_routes flow.Flow.design flow.Flow.routes with
+  | exception Invalid_argument detail ->
+    [ Short { detail } ]
+  | layout ->
+    (* 2. replay the full DRC deck under the recorded rules *)
+    let replayed = Drc.Check.run flow.Flow.rules layout in
+    List.iter
+      (fun kind ->
+        let recorded = count_kind flow.Flow.violations kind in
+        let found = count_kind replayed kind in
+        if recorded <> found then
+          issue
+            (Violation_miscount
+               {
+                 kind = Drc.Check.kind_to_string kind;
+                 recorded;
+                 replayed = found;
+               }))
+      kinds;
+    (* 3. re-derive the clean verdicts: connected and not blamed *)
+    let blamed = Drc.Check.blamed_nets replayed in
+    Array.iteri
+      (fun net recorded ->
+        let rederived =
+          Option.is_some flow.Flow.routes.(net) && not (List.mem net blamed)
+        in
+        if recorded <> rederived then issue (Clean_mismatch { net; recorded }))
+      flow.Flow.clean;
+    (* 4. clean nets must be electrically sound *)
+    List.iter (fun i -> issue (Electrical i)) (Router.Verify.check_flow flow);
+    List.rev !issues

@@ -1,0 +1,38 @@
+(** Independent audit of a finished routing flow.
+
+    {!Router.Flow.finish} computes the DRC verdicts and per-net [clean]
+    flags the evaluation metrics are built on; this module replays that
+    bookkeeping from the raw routes and flags every divergence:
+
+    - the final metal is re-extracted from the routes and must be
+      short-free;
+    - the full DRC deck ({!Drc.Check.run}) is re-run on the re-extracted
+      layout under the rules the flow recorded, and the per-kind
+      violation counts must match what the flow reported;
+    - the [clean] flag of every net is re-derived (connected and not
+      blamed by the replayed DRC) and must match;
+    - every clean net must be electrically sound: one connected
+      component reaching every pin ({!Router.Verify.check_flow}), so
+      the routability the paper reports counts only truly routed nets.
+
+    An empty issue list means the flow's claims survive independent
+    re-derivation. *)
+
+type issue =
+  | Short of { detail : string }
+      (** re-extraction found two nets on one grid — the routes are not
+          even a legal layout *)
+  | Violation_miscount of { kind : string; recorded : int; replayed : int }
+      (** the flow reported a different number of DRC violations of
+          this kind than an independent re-run finds *)
+  | Clean_mismatch of { net : Netlist.Net.id; recorded : bool }
+      (** the flow's [clean] flag for the net disagrees with the
+          re-derived verdict ([recorded] is the flow's claim) *)
+  | Electrical of Router.Verify.issue
+      (** a net counted as routed is not electrically connected *)
+
+val issue_to_string : issue -> string
+
+val run : Router.Flow.t -> issue list
+(** All divergences between the flow's claims and the independent
+    replay, in deterministic order; [[]] certifies the flow clean. *)

@@ -1,0 +1,278 @@
+module Design = Netlist.Design
+module Net = Netlist.Net
+module Pin = Netlist.Pin
+module PA = Pinaccess.Pin_access
+module Problem = Pinaccess.Problem
+module Solution = Pinaccess.Solution
+module Generator = Workloads.Generator
+module Rng = Workloads.Rng
+
+type config = {
+  iterations : int;
+  seed : int64;
+  tolerance : float;
+  max_nets : int;
+  ilp : bool;
+  routing : bool;
+  parallel : bool;
+  ilp_nodes : int;
+  shrink_rounds : int;
+}
+
+let default_config =
+  {
+    iterations = 200;
+    seed = 0xC0FFEEL;
+    tolerance = 1e-6;
+    max_nets = 24;
+    ilp = true;
+    routing = true;
+    parallel = true;
+    ilp_nodes = 200_000;
+    shrink_rounds = 80;
+  }
+
+type failure = {
+  case : int;
+  case_seed : int64;
+  reason : string;
+  shrunk_reason : string;
+  design : Netlist.Design.t;
+  shrink_steps : int;
+}
+
+type outcome = { cases : int; skipped : int; failure : failure option }
+
+let scale tolerance a b =
+  tolerance *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+(* One invariant: run [f], turn a certificate rejection or an escaped
+   solver exception into a named failure. *)
+let invariant name f =
+  match f () with
+  | Ok v -> Ok v
+  | Error detail -> Error (Printf.sprintf "%s: %s" name detail)
+  | exception e -> Error (Printf.sprintf "%s: exception %s" name (Printexc.to_string e))
+
+let ( let* ) = Result.bind
+
+let of_cert = function
+  | Ok () -> Ok ()
+  | Error r -> Error (Certificate.reason_to_string r)
+
+let check_panels config design =
+  let gen = PA.default_config.PA.gen in
+  let result = ref (Ok ()) in
+  let panels = Design.num_panels design in
+  (try
+     for panel = 0 to panels - 1 do
+       let problem = Problem.build_panel gen design ~panel in
+       if Problem.num_pins problem > 0 then begin
+         let ub = Certificate.upper_bound problem in
+         (* the ladder's last rung: Theorem 1 says shrinking every pin
+            to its minimum interval is always feasible — certify it *)
+         let minimum =
+           Solution.make problem
+             ~assignment:
+               (Array.init (Problem.num_pins problem) (fun slot ->
+                    Problem.minimum_interval problem ~slot))
+         in
+         let check sol name =
+           match
+             Certificate.certify ~tolerance:config.tolerance
+               (Certificate.of_solution ~dual_bound:ub sol)
+           with
+           | Ok () -> ()
+           | Error r ->
+             result :=
+               Error
+                 (Printf.sprintf "panel %d %s: %s" panel name
+                    (Certificate.reason_to_string r));
+             raise Exit
+         in
+         check minimum "minimum-tier";
+         let lr = Pinaccess.Lagrangian.solve problem in
+         if Solution.is_conflict_free lr.Pinaccess.Lagrangian.solution then
+           check lr.Pinaccess.Lagrangian.solution "LR"
+       end
+     done
+   with Exit -> ());
+  !result
+
+let check_design config design =
+  let* lr =
+    invariant "lr-optimize" (fun () ->
+        let lr = PA.optimize ~kind:PA.Lr design in
+        PA.validate lr;
+        let* () =
+          of_cert (Certificate.certify_pin_access ~tolerance:config.tolerance lr)
+        in
+        Ok lr)
+  in
+  let* () = invariant "panel-certificates" (fun () -> check_panels config design) in
+  let* () =
+    if not config.ilp then Ok ()
+    else
+      invariant "ilp-vs-lr" (fun () ->
+          let budget = Pinaccess.Budget.start ~work_units:config.ilp_nodes () in
+          let ilp = PA.optimize ~budget ~kind:PA.Ilp design in
+          PA.validate ilp;
+          let* () = of_cert (Certificate.certify_pin_access ~tolerance:config.tolerance ilp) in
+          (* the sandwich only binds when every panel was served by the
+             exact solver running to proven optimality *)
+          if ilp.PA.degraded then Ok ()
+          else if
+            ilp.PA.objective
+            < lr.PA.objective -. scale config.tolerance ilp.PA.objective lr.PA.objective
+          then
+            Error
+              (Printf.sprintf
+                 "proven-optimal ILP objective %.6f below LR feasible %.6f"
+                 ilp.PA.objective lr.PA.objective)
+          else Ok ())
+  in
+  let* () =
+    if not config.parallel then Ok ()
+    else
+      invariant "parallel-determinism" (fun () ->
+          let par = PA.optimize ~kind:PA.Lr ~j:2 design in
+          if par.PA.objective <> lr.PA.objective then
+            Error
+              (Printf.sprintf "objective diverged: seq %.9f, -j2 %.9f"
+                 lr.PA.objective par.PA.objective)
+          else if par.PA.reports <> lr.PA.reports then
+            Error "panel reports diverged"
+          else if par.PA.assignments <> lr.PA.assignments then
+            Error "assignments diverged"
+          else Ok ())
+  in
+  let* () =
+    if not config.routing then Ok ()
+    else
+      let audit name flow =
+        invariant name (fun () ->
+            match Flow_audit.run flow with
+            | [] -> Ok ()
+            | i :: _ -> Error (Flow_audit.issue_to_string i))
+      in
+      let* () = audit "cpr-flow" (Router.Cpr.run design) in
+      audit "sequential-flow" (Router.Sequential.run design)
+  in
+  Ok ()
+
+(* ----------------------------------------------------------------- *)
+(* Shrinking                                                          *)
+(* ----------------------------------------------------------------- *)
+
+(* Rebuild a sub-design of [design] keeping only [nets] (re-densifying
+   ids through the Builder) and [blockages]. *)
+let rebuild design ~nets ~blockages =
+  let specs =
+    List.map
+      (fun (net : Net.t) ->
+        ( net.Net.name,
+          List.map
+            (fun (p : Pin.t) ->
+              { Netlist.Builder.x = p.Pin.x; tracks = p.Pin.tracks })
+            (Design.net_pins design net.Net.id) ))
+      nets
+  in
+  Netlist.Builder.design ~name:(Design.name design) ~width:(Design.width design)
+    ~height:(Design.height design) ~row_height:(Design.row_height design)
+    ~nets:specs ~blockages ()
+
+let shrink config design =
+  let evals = ref config.shrink_rounds in
+  let steps = ref 0 in
+  let fails d =
+    !evals > 0
+    && begin
+         decr evals;
+         Result.is_error (check_design config d)
+       end
+  in
+  if not (fails design) then (design, 0)
+  else begin
+    let nets = ref (Array.to_list (Design.nets design)) in
+    let blockages = ref (Design.blockages design) in
+    let candidate nets' blockages' =
+      match rebuild design ~nets:nets' ~blockages:blockages' with
+      | d -> if fails d then Some d else None
+      | exception _ -> None
+    in
+    let adopt nets' blockages' =
+      match candidate nets' blockages' with
+      | Some _ ->
+        incr steps;
+        nets := nets';
+        blockages := blockages';
+        true
+      | None -> false
+    in
+    (* ddmin over the net list: try dropping ever-smaller chunks *)
+    let rec reduce chunk =
+      let n = List.length !nets in
+      if chunk >= 1 && n > 1 then begin
+        let dropped_some = ref false in
+        let pos = ref 0 in
+        while !pos < List.length !nets && List.length !nets > 1 do
+          let keep =
+            List.filteri
+              (fun i _ -> i < !pos || i >= !pos + chunk)
+              !nets
+          in
+          if keep <> [] && adopt keep !blockages then dropped_some := true
+          else pos := !pos + chunk
+        done;
+        if chunk > 1 || !dropped_some then
+          reduce (max 1 (min (chunk / 2) (List.length !nets / 2)))
+      end
+    in
+    reduce (max 1 (List.length !nets / 2));
+    (* then the blockages: all at once, else one at a time *)
+    if !blockages <> [] && not (adopt !nets []) then
+      List.iter
+        (fun b ->
+          let keep = List.filter (fun b' -> b' != b) !blockages in
+          ignore (adopt !nets keep : bool))
+        !blockages;
+    (rebuild design ~nets:!nets ~blockages:!blockages, !steps)
+  end
+
+let run ?(progress = fun _ -> ()) config =
+  let rng = Rng.create config.seed in
+  let rec go case skipped =
+    if case > config.iterations then
+      { cases = config.iterations; skipped; failure = None }
+    else begin
+      let case_seed = Rng.next rng in
+      let params =
+        Generator.random_params ~max_nets:config.max_nets ~seed:case_seed ()
+      in
+      match Generator.generate params with
+      | exception Invalid_argument _ ->
+        (* the die could not host the drawn pin count — not a solver
+           defect, just an infertile case *)
+        progress case;
+        go (case + 1) (skipped + 1)
+      | design ->
+        (match check_design config design with
+        | Ok () ->
+          progress case;
+          go (case + 1) skipped
+        | Error reason ->
+          let shrunk, shrink_steps = shrink config design in
+          let shrunk_reason =
+            match check_design config shrunk with
+            | Error r -> r
+            | Ok () -> reason
+          in
+          {
+            cases = case;
+            skipped;
+            failure =
+              Some { case; case_seed; reason; shrunk_reason; design = shrunk; shrink_steps };
+          })
+    end
+  in
+  go 1 0

@@ -1,0 +1,72 @@
+(** Seeded differential fuzzing over generated designs.
+
+    Each case draws a small random design from
+    {!Workloads.Generator.random_params} and cross-examines every
+    solver and flow in the repo against the independent checkers:
+
+    - the LR pin access result, the ILP result (under a deterministic
+      node budget) and the shrink-to-minimum assignment must all pass
+      {!Certificate.certify} / {!Certificate.certify_pin_access};
+    - per panel, both solver objectives must stay at or below the
+      certified solver-independent {!Certificate.upper_bound}, and the
+      proven-optimal ILP objective must dominate the feasible LR
+      objective (the cross-solver sandwich);
+    - a parallel [~j:2] LR run must be bit-identical to the sequential
+      run (objective, reports and assignments);
+    - the CPR and sequential routing flows must both certify clean
+      under {!Flow_audit.run}.
+
+    On a violation the failing design is shrunk — delta-debugging over
+    its nets, then its blockages — to a minimal design that still
+    fails, ready to be written as a {!Netlist.Design_io} file. *)
+
+type config = {
+  iterations : int;  (** cases to run *)
+  seed : int64;  (** master seed; per-case seeds derive from it *)
+  tolerance : float;  (** relative tolerance for objective comparisons *)
+  max_nets : int;  (** upper bound on generated net count per case *)
+  ilp : bool;  (** run the ILP cross-check (the slowest invariant) *)
+  routing : bool;  (** run and audit the CPR and sequential flows *)
+  parallel : bool;  (** check [~j:2] determinism *)
+  ilp_nodes : int;
+      (** deterministic branch-and-bound node budget per ILP run; the
+          comparison is skipped (never failed) when the budget expires
+          before optimality is proven *)
+  shrink_rounds : int;  (** cap on candidate evaluations while shrinking *)
+}
+
+val default_config : config
+(** 200 iterations, seed [0xC0FFEE], tolerance [1e-6], every invariant
+    enabled. *)
+
+type failure = {
+  case : int;  (** 1-based index of the failing case *)
+  case_seed : int64;  (** seed that regenerates the original design *)
+  reason : string;  (** first violated invariant on the original design *)
+  shrunk_reason : string;  (** violated invariant on the shrunk design *)
+  design : Netlist.Design.t;  (** the shrunk minimal repro *)
+  shrink_steps : int;  (** successful reduction steps *)
+}
+
+type outcome = {
+  cases : int;  (** cases executed (= iterations unless a case failed) *)
+  skipped : int;  (** cases whose generation was infeasible *)
+  failure : failure option;
+}
+
+val check_design : config -> Netlist.Design.t -> (unit, string) result
+(** Run every enabled invariant on one design; [Error] names the first
+    violated one.  Unexpected solver exceptions are reported as
+    failures, not re-raised. *)
+
+val shrink :
+  config -> Netlist.Design.t -> Netlist.Design.t * int
+(** Delta-debug a failing design to a smaller one that still fails
+    {!check_design} (nets first, then blockages), returning the shrunk
+    design and the number of successful reduction steps.  The input
+    design is returned unchanged when it does not fail. *)
+
+val run : ?progress:(int -> unit) -> config -> outcome
+(** Run the campaign, stopping at (and shrinking) the first failure.
+    [progress] is called with the 1-based case index after each
+    completed case. *)

@@ -32,6 +32,15 @@ type result = {
   history : iterate list;
 }
 
+let dual_bound r =
+  match r.history with
+  | [] -> None
+  | history ->
+    Some
+      (List.fold_left
+         (fun acc it -> Float.min acc it.relaxed_objective)
+         infinity history)
+
 let max_gains (problem : Problem.t) ~gains =
   let intervals = problem.Problem.intervals in
   let n = Array.length intervals in

@@ -47,6 +47,16 @@ type result = {
   history : iterate list;  (** per-iteration trace, oldest first *)
 }
 
+val dual_bound : result -> float option
+(** The solver's claimed Lagrangian upper bound on the optimum: the
+    smallest relaxed objective over the subgradient history, [None]
+    when no iteration ran.  Claimed, not certified: the relaxed
+    subproblems are solved by the greedy [maxGains], which is exact
+    only when every interval serves a single pin — an independent
+    audit should treat this as the solver's self-reported bound and
+    pair it with a bound it derives itself (e.g.
+    [Audit.upper_bound]). *)
+
 val solve : ?config:config -> ?budget:Budget.t -> Problem.t -> result
 (** [budget] is checked once per subgradient iteration (one work unit
     each); on expiry the best-so-far iterate is refined and returned —

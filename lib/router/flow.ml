@@ -13,6 +13,7 @@ type t = {
   total_reroutes : int;
   violations : Drc.Check.violation list;
   extension : Drc.Line_end.stats;
+  rules : Drc.Rules.t;
   pao : Pinaccess.Pin_access.t option;
   elapsed : float;
 }
@@ -83,6 +84,7 @@ let finish ?(rules = Drc.Rules.default) ~grid ~pao ~initial_congestion
     total_reroutes;
     violations;
     extension;
+    rules;
     pao;
     elapsed = Pinaccess.Unix_time.now () -. started;
   }

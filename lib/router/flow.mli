@@ -14,6 +14,9 @@ type t = {
   total_reroutes : int;
   violations : Drc.Check.violation list;
   extension : Drc.Line_end.stats;
+  rules : Drc.Rules.t;
+      (** the rule deck the DRC verdicts were computed under, recorded
+          so an external audit can replay the exact same checks *)
   pao : Pinaccess.Pin_access.t option;
   elapsed : float;  (** cpu seconds for the whole flow *)
 }

@@ -35,6 +35,34 @@ let default_params =
 let with_size ?(params = default_params) ~name ~nets ~width ~height ~seed () =
   { params with name; num_nets = nets; width; height; seed }
 
+let random_params ?(max_nets = 24) ~seed () =
+  let rng = Rng.create seed in
+  let rows = 1 + Rng.int rng 3 in
+  let width = Rng.in_range rng ~lo:16 ~hi:48 in
+  (* cap demand at ~1/3 of the pin-site slots so generation never has
+     to grow the die and stays in the quick-to-route regime *)
+  let cap = max 2 (width * rows / 3) in
+  let nets = max 2 (min (min max_nets cap) (2 + Rng.int rng cap)) in
+  let degree_weights =
+    match Rng.int rng 3 with
+    | 0 -> [ (2, 1.0) ]
+    | 1 -> [ (2, 0.7); (3, 0.3) ]
+    | _ -> [ (2, 0.6); (3, 0.25); (4, 0.15) ]
+  in
+  {
+    default_params with
+    name = Printf.sprintf "fuzz-%Lx" seed;
+    width;
+    height = rows * default_params.row_height;
+    num_nets = nets;
+    degree_weights;
+    locality_rows = rows;
+    locality_cols = max 4 (width / 2);
+    blockage_per_row = float_of_int (Rng.int rng 4) *. 0.5;
+    span_mean = (if Rng.float rng < 0.5 then Some (2 + Rng.int rng 8) else None);
+    seed;
+  }
+
 type site = {
   sx : int;
   srow : int;

@@ -32,6 +32,14 @@ val default_params : params
 val with_size :
   ?params:params -> name:string -> nets:int -> width:int -> height:int -> seed:int64 -> unit -> params
 
+val random_params : ?max_nets:int -> seed:int64 -> unit -> params
+(** Small randomized parameters for differential fuzzing, derived
+    deterministically from [seed]: 1–3 rows, 16–48 columns, a net count
+    kept well under the die's pin-site capacity (at most [max_nets],
+    default 24), varied degree distributions, blockage densities and
+    span targets.  The same seed always yields the same params, so a
+    failing fuzz case is reproducible from its seed alone. *)
+
 val generate : params -> Netlist.Design.t
 (** @raise Invalid_argument when the die cannot host the requested
     pin count. *)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff BENCH.json against the committed baseline.
+
+Gates only the deterministic quality metrics (routability, via count,
+wirelength) per circuit and flow -- the whole pipeline is bit-identical
+across runs and machines, so these should only drift when the code
+changes them.  Wall-clock and CPU numbers are machine-dependent and are
+reported but never gated.
+
+A metric fails the gate when it moves in the *worse* direction (lower
+routability, more vias, more wirelength) by more than the relative
+tolerance.  Improvements are reported as notes.
+
+Usage:
+    scripts/bench_gate.py [--current BENCH.json]
+                          [--baseline bench/BASELINE.json]
+                          [--rtol 0.01]
+
+Exit codes: 0 gate passes, 1 regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+FLOWS = ("seq", "ncr", "cpr")
+# metric name -> +1 if bigger is better, -1 if smaller is better
+METRICS = {"routability": +1, "via_count": -1, "wirelength": -1}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench gate: cannot read {path}: {e}")
+
+
+def by_id(doc, path):
+    circuits = doc.get("circuits") or sys.exit(f"bench gate: no circuits in {path}")
+    return {c["id"]: c["flows"] for c in circuits}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", default="BENCH.json")
+    ap.add_argument("--baseline", default="bench/BASELINE.json")
+    ap.add_argument(
+        "--rtol",
+        type=float,
+        default=0.01,
+        help="relative tolerance before a worse-direction move fails (default 1%%)",
+    )
+    args = ap.parse_args()
+
+    base = by_id(load(args.baseline), args.baseline)
+    cur = by_id(load(args.current), args.current)
+
+    failures, notes = [], []
+    for cid, base_flows in sorted(base.items()):
+        if cid not in cur:
+            failures.append(f"{cid}: circuit missing from {args.current}")
+            continue
+        for flow in FLOWS:
+            for metric, better in METRICS.items():
+                b = base_flows[flow][metric]
+                c = cur[cid][flow][metric]
+                if b == c:
+                    continue
+                rel = (c - b) / max(abs(b), 1e-9)
+                tag = f"{cid}.{flow}.{metric}: {b} -> {c} ({rel:+.2%})"
+                if rel * better < -args.rtol:
+                    failures.append(tag)
+                else:
+                    notes.append(tag)
+
+    for cid in sorted(set(cur) - set(base)):
+        notes.append(f"{cid}: new circuit, not in baseline")
+
+    if notes:
+        print("bench gate: drift within tolerance / improvements:")
+        for n in notes:
+            print(f"  note  {n}")
+    if failures:
+        print("bench gate: QUALITY REGRESSION vs committed baseline:", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL  {f}", file=sys.stderr)
+        print(
+            "If the regression is intended, regenerate bench/BASELINE.json "
+            "(see .github/workflows/README.md) and commit it with an "
+            "explanation.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate: OK ({len(base)} circuits, rtol {args.rtol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
