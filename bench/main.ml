@@ -106,9 +106,6 @@ let circuits () =
    diffable perf record.  [scripts/bench_gate.py] diffs the quality
    numbers against the committed [bench/BASELINE.json]. *)
 let telemetry_file = "BENCH.json"
-
-(* downstream tooling grew up on the PR-3 name; keep a mirror *)
-let legacy_telemetry_file = "BENCH_PR3.json"
 let bench_circuits : (string * (string * Eval.summary) list) list ref = ref []
 
 (* Per-circuit rows recorded by the [parallel] experiment: sequential
@@ -126,6 +123,21 @@ type parallel_row = {
 }
 
 let parallel_rows : parallel_row list ref = ref []
+
+(* Per-circuit rows recorded by the [eco] experiment: cold solve vs
+   incremental re-optimization over a 5%-dirty edit stream. *)
+type eco_row = {
+  eco_id : string;
+  eco_cold_wall : float;
+  eco_steps : int;
+  eco_incremental_wall : float;
+  eco_scratch_wall : float;
+  eco_speedup : float;
+  eco_hit_rate : float;
+  eco_warm_started : int;
+}
+
+let eco_rows : eco_row list ref = ref []
 
 let write_telemetry ~ran =
   let open Obs.Json in
@@ -164,6 +176,22 @@ let write_telemetry ~ran =
           ])
       !parallel_rows
   in
+  let eco =
+    List.rev_map
+      (fun r ->
+        Obj
+          [
+            ("id", Str r.eco_id);
+            ("cold_pao_wall", Num r.eco_cold_wall);
+            ("steps", num_int r.eco_steps);
+            ("incremental_wall", Num r.eco_incremental_wall);
+            ("scratch_wall", Num r.eco_scratch_wall);
+            ("speedup", Num r.eco_speedup);
+            ("hit_rate", Num r.eco_hit_rate);
+            ("warm_started", num_int r.eco_warm_started);
+          ])
+      !eco_rows
+  in
   let json =
     Obj
       [
@@ -174,6 +202,7 @@ let write_telemetry ~ran =
         ("experiments", List (List.map (fun e -> Str e) ran));
         ("circuits", List circuits);
         ("parallel", List parallel);
+        ("eco", List eco);
         ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
       ]
   in
@@ -184,9 +213,7 @@ let write_telemetry ~ran =
     close_out oc
   in
   write telemetry_file;
-  write legacy_telemetry_file;
-  pf "@.telemetry written to %s (legacy mirror %s)@." telemetry_file
-    legacy_telemetry_file
+  pf "@.telemetry written to %s@." telemetry_file
 
 (* --------------------------------------------------------------- *)
 (* Table 2                                                          *)
@@ -660,6 +687,90 @@ let parallel_exp () =
   pf "columns converge on one core and separate once domains > 1.@."
 
 (* --------------------------------------------------------------- *)
+(* ECO — incremental re-optimization vs from-scratch                *)
+(* --------------------------------------------------------------- *)
+
+(* The ECO engine promises that re-optimizing after a small edit costs
+   a fraction of a cold solve: clean panels come straight out of the
+   content-addressed panel cache and dirty panels warm-start the LR
+   from their cached multipliers.  Each step moves pins in ~5% of the
+   panels; the incremental PAO wall is then compared against a full
+   [PA.optimize] of the same post-edit design.  CI asserts that the
+   recorded rows are well-formed (hit rate in [0,1], positive speedup);
+   the >=3x factor is the expected shape, not a gate, to keep the
+   smoke run flake-free on loaded runners. *)
+let eco_exp () =
+  section "ECO — incremental re-optimization at 5% dirty panels";
+  pf "(each step moves pins in ~5%% of the panels; incremental = panel@.";
+  pf " cache + warm-started LR on dirty panels, scratch = PA.optimize)@.@.";
+  let steps = 6 and dirty_fraction = 0.05 in
+  let rows =
+    List.map
+      (fun c ->
+        let design = Suite.design ~scale c in
+        let engine, cold_wall = wall (fun () -> Eco.Engine.create design) in
+        let batches =
+          Workloads.Eco_stream.local_moves ~seed:31L ~steps ~dirty_fraction
+            design
+        in
+        let inc = ref 0.0 and scr = ref 0.0 and warm = ref 0 in
+        List.iter
+          (fun batch ->
+            let r = Eco.Engine.apply engine batch in
+            inc := !inc +. r.Eco.Engine.pao_wall;
+            warm := !warm + r.Eco.Engine.warm_started;
+            let _, w =
+              wall (fun () ->
+                  PA.optimize ~kind:PA.Lr (Eco.Engine.design engine))
+            in
+            scr := !scr +. w)
+          batches;
+        let n = List.length batches in
+        let speedup = if n = 0 then 1.0 else !scr /. Float.max 1e-9 !inc in
+        let hit_rate = Eco.Engine.cache_hit_rate engine in
+        eco_rows :=
+          {
+            eco_id = c.Suite.id;
+            eco_cold_wall = cold_wall;
+            eco_steps = n;
+            eco_incremental_wall = !inc;
+            eco_scratch_wall = !scr;
+            eco_speedup = speedup;
+            eco_hit_rate = hit_rate;
+            eco_warm_started = !warm;
+          }
+          :: !eco_rows;
+        pf "  %s done@." c.Suite.id;
+        [
+          c.Suite.id;
+          Report.fixed 2 cold_wall;
+          string_of_int n;
+          Report.fixed 3 !inc;
+          Report.fixed 3 !scr;
+          Report.fixed 1 speedup;
+          Report.fixed 3 hit_rate;
+          string_of_int !warm;
+        ])
+      (circuits ())
+  in
+  pf "@.%s@."
+    (Report.table
+       ~header:
+         [
+           "Ckt";
+           "cold(s)";
+           "steps";
+           "inc(s)";
+           "scratch(s)";
+           "speedup";
+           "hit rate";
+           "warm";
+         ]
+       rows);
+  pf "@.Expected shape: speedup well above 3x at 5%% dirty — the cache@.";
+  pf "serves ~95%% of the panels and the dirty rest warm-start.@."
+
+(* --------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -671,6 +782,7 @@ let experiments =
     ("ablation-step", ablation_step);
     ("ablation-ub", ablation_ub);
     ("parallel", parallel_exp);
+    ("eco", eco_exp);
     ("kernels", kernels);
   ]
 

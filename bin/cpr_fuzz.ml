@@ -5,14 +5,16 @@
      dune exec bin/cpr_fuzz.exe -- --iterations 200 --seed 7
      dune exec bin/cpr_fuzz.exe -- --iterations 2000 --out repro.design
      dune exec bin/cpr_fuzz.exe -- --replay repro.design
+     dune exec bin/cpr_fuzz.exe -- --replay repro.design --deltas repro.design.deltas
 
    Exit codes: 0 all cases clean, 1 an invariant was violated (the
-   shrunken repro is written to --out), 124 usage errors. *)
+   shrunken repro is written to --out; an ECO failure also writes its
+   minimal delta stream next to it), 124 usage errors. *)
 
 open Cmdliner
 
 let run_campaign iterations seed tolerance max_nets no_ilp no_routing
-    no_parallel shrink_rounds out replay quiet =
+    no_parallel no_eco shrink_rounds out replay deltas quiet =
   let config =
     {
       Audit.Fuzz.default_config with
@@ -23,11 +25,29 @@ let run_campaign iterations seed tolerance max_nets no_ilp no_routing
       ilp = not no_ilp;
       routing = not no_routing;
       parallel = not no_parallel;
+      eco = not no_eco;
       shrink_rounds;
     }
   in
-  match replay with
-  | Some path ->
+  match (replay, deltas) with
+  | Some path, Some delta_path ->
+    (* re-run the ECO differential on a saved (design, deltas) repro *)
+    let design = Netlist.Design_io.load path in
+    let stream = Eco.Delta.load delta_path in
+    Format.printf "replaying %s + %s: %s, %d batches@." path delta_path
+      (Netlist.Design.stats design)
+      (List.length stream);
+    (match Audit.Eco_audit.check ~tolerance design stream with
+    | Ok () ->
+      Format.printf "ECO differential holds@.";
+      0
+    | Error reason ->
+      Format.printf "FAILURE: %s@." reason;
+      1)
+  | None, Some _ ->
+    Format.printf "--deltas requires --replay@.";
+    124
+  | Some path, None ->
     (* re-run the invariants on a saved (typically shrunken) design *)
     let design = Netlist.Design_io.load path in
     Format.printf "replaying %s: %s@." path (Netlist.Design.stats design);
@@ -38,7 +58,7 @@ let run_campaign iterations seed tolerance max_nets no_ilp no_routing
     | Error reason ->
       Format.printf "FAILURE: %s@." reason;
       1)
-  | None ->
+  | None, None ->
     let progress =
       if quiet then fun _ -> ()
       else fun case ->
@@ -62,14 +82,22 @@ let run_campaign iterations seed tolerance max_nets no_ilp no_routing
         (Netlist.Design.stats f.Audit.Fuzz.design);
       Netlist.Design_io.save out f.Audit.Fuzz.design;
       Format.printf "  written to %s (replay with --replay %s)@." out out;
+      if f.Audit.Fuzz.deltas <> [] then begin
+        let delta_out = out ^ ".deltas" in
+        Eco.Delta.save delta_out f.Audit.Fuzz.deltas;
+        Format.printf
+          "  minimal delta stream written to %s (replay with --replay %s \
+           --deltas %s)@."
+          delta_out out delta_out
+      end;
       1)
 
 let run_campaign iterations seed tolerance max_nets no_ilp no_routing
-    no_parallel shrink_rounds out replay quiet =
+    no_parallel no_eco shrink_rounds out replay deltas quiet =
   match
     Pinaccess.Cpr_error.protect (fun () ->
         run_campaign iterations seed tolerance max_nets no_ilp no_routing
-          no_parallel shrink_rounds out replay quiet)
+          no_parallel no_eco shrink_rounds out replay deltas quiet)
   with
   | Ok n -> Ok n
   | Error e -> Error (`Msg (Pinaccess.Cpr_error.to_string e))
@@ -120,6 +148,12 @@ let no_parallel =
     value & flag
     & info [ "no-parallel" ] ~doc:"Skip the -j 2 determinism check.")
 
+let no_eco =
+  Arg.(
+    value & flag
+    & info [ "no-eco" ]
+        ~doc:"Skip the incremental-vs-scratch ECO differential.")
+
 let shrink_rounds =
   Arg.(
     value & opt positive_int 80
@@ -138,6 +172,14 @@ let replay =
     & info [ "replay" ]
         ~doc:"Re-run the invariants on a saved design instead of fuzzing.")
 
+let deltas =
+  Arg.(
+    value & opt (some file) None
+    & info [ "deltas" ]
+        ~doc:
+          "With --replay: re-run only the ECO differential on this saved \
+           delta stream against the replayed design.")
+
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
 
 let cmd =
@@ -151,8 +193,11 @@ let cmd =
          with the CPR and sequential flows, and cross-checks all of them \
          against the independent audit layer: certificates re-derived from \
          scratch, DRC and connectivity replays, solver-independent objective \
-         bounds, and bit-identical parallel execution. The first violation \
-         is shrunk to a minimal failing design and saved for replay.";
+         bounds, bit-identical parallel execution, and an incremental ECO \
+         replay that must stay certificate-identical to from-scratch \
+         re-optimization. The first violation is shrunk to a minimal \
+         failing design (plus a minimal delta stream for ECO failures) and \
+         saved for replay.";
     ]
   in
   Cmd.v
@@ -160,6 +205,7 @@ let cmd =
     Term.(
       term_result
         (const run_campaign $ iterations $ seed $ tolerance $ max_nets $ no_ilp
-       $ no_routing $ no_parallel $ shrink_rounds $ out $ replay $ quiet))
+       $ no_routing $ no_parallel $ no_eco $ shrink_rounds $ out $ replay
+       $ deltas $ quiet))
 
 let () = exit (Cmd.eval' cmd)

@@ -12,4 +12,5 @@
 include Certificate
 
 module Flow_audit = Flow_audit
+module Eco_audit = Eco_audit
 module Fuzz = Fuzz

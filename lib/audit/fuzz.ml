@@ -17,6 +17,9 @@ type config = {
   parallel : bool;
   ilp_nodes : int;
   shrink_rounds : int;
+  eco : bool;
+  eco_steps : int;
+  eco_edits : int;
 }
 
 let default_config =
@@ -30,6 +33,9 @@ let default_config =
     parallel = true;
     ilp_nodes = 200_000;
     shrink_rounds = 80;
+    eco = true;
+    eco_steps = 3;
+    eco_edits = 2;
   }
 
 type failure = {
@@ -38,6 +44,7 @@ type failure = {
   reason : string;
   shrunk_reason : string;
   design : Netlist.Design.t;
+  deltas : Eco.Delta.t list list;
   shrink_steps : int;
 }
 
@@ -99,6 +106,14 @@ let check_panels config design =
    with Exit -> ());
   !result
 
+(* The case's delta stream derives from the design text, so it
+   regenerates identically for the original design and for every
+   candidate the shrinker proposes. *)
+let eco_stream config design =
+  Workloads.Eco_stream.random
+    ~seed:(Eco_audit.stream_seed design)
+    ~steps:config.eco_steps ~edits_per_step:config.eco_edits design
+
 let check_design config design =
   let* lr =
     invariant "lr-optimize" (fun () ->
@@ -157,6 +172,13 @@ let check_design config design =
       in
       let* () = audit "cpr-flow" (Router.Cpr.run design) in
       audit "sequential-flow" (Router.Sequential.run design)
+  in
+  let* () =
+    if not config.eco then Ok ()
+    else
+      invariant "eco-differential" (fun () ->
+          Eco_audit.check ~tolerance:config.tolerance design
+            (eco_stream config design))
   in
   Ok ()
 
@@ -267,11 +289,31 @@ let run ?(progress = fun _ -> ()) config =
             | Error r -> r
             | Ok () -> reason
           in
+          (* when the surviving violation is the ECO differential, also
+             ddmin the delta stream so the repro is (design, deltas) *)
+          let deltas, delta_steps =
+            if
+              config.eco
+              && String.starts_with ~prefix:"eco-differential" shrunk_reason
+            then
+              Eco_audit.shrink_stream ~tolerance:config.tolerance
+                ~rounds:config.shrink_rounds shrunk (eco_stream config shrunk)
+            else ([], 0)
+          in
           {
             cases = case;
             skipped;
             failure =
-              Some { case; case_seed; reason; shrunk_reason; design = shrunk; shrink_steps };
+              Some
+                {
+                  case;
+                  case_seed;
+                  reason;
+                  shrunk_reason;
+                  design = shrunk;
+                  deltas;
+                  shrink_steps = shrink_steps + delta_steps;
+                };
           })
     end
   in

@@ -14,11 +14,16 @@
     - a parallel [~j:2] LR run must be bit-identical to the sequential
       run (objective, reports and assignments);
     - the CPR and sequential routing flows must both certify clean
-      under {!Flow_audit.run}.
+      under {!Flow_audit.run};
+    - a seeded ECO delta stream replayed through {!Eco.Engine} must
+      stay certificate-identical to from-scratch re-optimization
+      ({!Eco_audit.check}).
 
     On a violation the failing design is shrunk — delta-debugging over
     its nets, then its blockages — to a minimal design that still
-    fails, ready to be written as a {!Netlist.Design_io} file. *)
+    fails, ready to be written as a {!Netlist.Design_io} file; an ECO
+    failure additionally ddmins its delta stream to a minimal
+    [(design, deltas)] repro. *)
 
 type config = {
   iterations : int;  (** cases to run *)
@@ -33,6 +38,9 @@ type config = {
           comparison is skipped (never failed) when the budget expires
           before optimality is proven *)
   shrink_rounds : int;  (** cap on candidate evaluations while shrinking *)
+  eco : bool;  (** run the ECO incremental-vs-scratch differential *)
+  eco_steps : int;  (** batches per ECO stream *)
+  eco_edits : int;  (** edits per batch *)
 }
 
 val default_config : config
@@ -45,6 +53,10 @@ type failure = {
   reason : string;  (** first violated invariant on the original design *)
   shrunk_reason : string;  (** violated invariant on the shrunk design *)
   design : Netlist.Design.t;  (** the shrunk minimal repro *)
+  deltas : Eco.Delta.t list list;
+      (** the shrunk delta stream when the violation is the ECO
+          differential ([[]] otherwise) — replaying it against [design]
+          reproduces the failure *)
   shrink_steps : int;  (** successful reduction steps *)
 }
 

@@ -30,7 +30,10 @@ type result = {
   shrinks : int;
   budget_expired : bool;
   history : iterate list;
+  multipliers : float array;
 }
+
+let multipliers r = r.multipliers
 
 let dual_bound r =
   match r.history with
@@ -80,14 +83,33 @@ let max_gains (problem : Problem.t) ~gains =
   assert (!remaining = 0);
   assignment
 
-let solve ?(config = default_config) ?budget (problem : Problem.t) =
+let solve ?(config = default_config) ?budget ?warm_start (problem : Problem.t)
+    =
   let budget = Budget.of_option budget in
   let intervals = problem.Problem.intervals in
   let cliques = problem.Problem.cliques in
   let n = Array.length intervals in
   let profits = problem.Problem.profits in
-  let lambda = Array.make (Array.length cliques) 0.0 in
+  let lambda =
+    match warm_start with
+    | None -> Array.make (Array.length cliques) 0.0
+    | Some w ->
+      if Array.length w <> Array.length cliques then
+        invalid_arg
+          (Printf.sprintf
+             "Lagrangian.solve: warm_start has %d multipliers, problem has \
+              %d cliques"
+             (Array.length w) (Array.length cliques));
+      Array.map (Float.max 0.0) w
+  in
   let penalties = Array.make n 0.0 in
+  Array.iteri
+    (fun m (clique : Conflict.clique) ->
+      if lambda.(m) <> 0.0 then
+        Array.iter
+          (fun id -> penalties.(id) <- penalties.(id) +. lambda.(m))
+          clique.Conflict.members)
+    cliques;
   let gains = Array.make n 0.0 in
   let chosen = Array.make n false in
   let best_assignment = ref None in
@@ -190,4 +212,5 @@ let solve ?(config = default_config) ?budget (problem : Problem.t) =
     shrinks;
     budget_expired;
     history = List.rev !history;
+    multipliers = lambda;
   }

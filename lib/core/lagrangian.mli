@@ -45,7 +45,15 @@ type result = {
           criteria (UB, plateau or zero violations); the solution is
           the refined best-so-far iterate *)
   history : iterate list;  (** per-iteration trace, oldest first *)
+  multipliers : float array;
+      (** final multiplier vector [λ], one per clique in
+          [Problem.cliques] order — the state a later solve of a
+          similar problem can warm-start from *)
 }
+
+val multipliers : result -> float array
+(** [multipliers r] is the final multiplier vector of the solve (the
+    [multipliers] field; exposed as a function for pipelining). *)
 
 val dual_bound : result -> float option
 (** The solver's claimed Lagrangian upper bound on the optimum: the
@@ -57,10 +65,24 @@ val dual_bound : result -> float option
     pair it with a bound it derives itself (e.g.
     [Audit.upper_bound]). *)
 
-val solve : ?config:config -> ?budget:Budget.t -> Problem.t -> result
+val solve :
+  ?config:config ->
+  ?budget:Budget.t ->
+  ?warm_start:float array ->
+  Problem.t ->
+  result
 (** [budget] is checked once per subgradient iteration (one work unit
     each); on expiry the best-so-far iterate is refined and returned —
-    the solver never raises on exhaustion. *)
+    the solver never raises on exhaustion.
+
+    [warm_start] initializes the multiplier vector (and the derived
+    per-interval penalties) from a previous solve's [multipliers]
+    instead of zeros — one entry per clique in [Problem.cliques] order,
+    clamped to [>= 0].  Raises [Invalid_argument] on a length mismatch.
+    Warm-starting from the converged multipliers of a nearby problem
+    typically re-converges in far fewer subgradient iterations; the
+    result is still a valid (refined, conflict-free) solution either
+    way, though not necessarily the same optimum a cold solve finds. *)
 
 val max_gains : Problem.t -> gains:float array -> int array
 (** One greedy subproblem solve (Algorithm 1, [maxGains]): per pin

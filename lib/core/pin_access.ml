@@ -100,17 +100,18 @@ let ilp_tier config ~budget (problem : Problem.t) =
   in
   (r.Ilp.solution, 0, r.Ilp.proven_optimal, Tier_ilp)
 
-let lr_tier config ~budget (problem : Problem.t) =
+let lr_tier ?warm_start config ~budget (problem : Problem.t) =
   Obs.Trace.with_span "pao.tier.lr" @@ fun () ->
   Fault.trip Fault.Lr;
-  let r = Lagrangian.solve ~config:config.lr ~budget problem in
+  let r = Lagrangian.solve ~config:config.lr ~budget ?warm_start problem in
   (r.Lagrangian.solution, r.Lagrangian.iterations,
-   not r.Lagrangian.budget_expired, Tier_lr)
+   not r.Lagrangian.budget_expired, Tier_lr, r.Lagrangian.multipliers)
 
 let minimum_tier (problem : Problem.t) =
-  (minimum_solution problem, 0, true, Tier_minimum)
+  (minimum_solution problem, 0, true, Tier_minimum, [||])
 
-let solve_problem config ~budget kind ~panel (problem : Problem.t) =
+let solve_problem ?warm_start config ~budget kind ~panel
+    (problem : Problem.t) =
   Obs.Trace.with_span "pao.panel" @@ fun () ->
   let tiers =
     if Budget.exhausted budget then [ fun _ -> minimum_tier problem ]
@@ -118,13 +119,15 @@ let solve_problem config ~budget kind ~panel (problem : Problem.t) =
       match kind with
       | Ilp ->
         [
-          (fun () -> ilp_tier config ~budget problem);
-          (fun () -> lr_tier config ~budget problem);
+          (fun () ->
+            let s, it, c, t = ilp_tier config ~budget problem in
+            (s, it, c, t, [||]));
+          (fun () -> lr_tier ?warm_start config ~budget problem);
           (fun _ -> minimum_tier problem);
         ]
       | Lr ->
         [
-          (fun () -> lr_tier config ~budget problem);
+          (fun () -> lr_tier ?warm_start config ~budget problem);
           (fun _ -> minimum_tier problem);
         ]
   in
@@ -134,7 +137,9 @@ let solve_problem config ~budget kind ~panel (problem : Problem.t) =
     | f :: rest ->
       (try f () with e when Cpr_error.recoverable e -> attempt rest)
   in
-  let solution, lr_iterations, complete, served_by = attempt tiers in
+  let solution, lr_iterations, complete, served_by, multipliers =
+    attempt tiers
+  in
   Obs.Metrics.incr (tier_counter served_by);
   if served_by <> tier_of_kind kind || not complete then
     Obs.Metrics.incr m_degraded;
@@ -159,7 +164,7 @@ let solve_problem config ~budget kind ~panel (problem : Problem.t) =
            (problem.Problem.pin_ids.(slot), problem.Problem.intervals.(id)))
          solution.Solution.assignment)
   in
-  (assignments, objective, report)
+  (assignments, objective, report, multipliers)
 
 (* Give each remaining panel an equal slice of what is left, so an
    early pathological panel cannot starve the rest of the design. *)
@@ -187,7 +192,9 @@ let solve_sequential config ~budget kind problems =
       else begin
         let sliced = panel_budget budget ~panels_left:!panels_left in
         decr panels_left;
-        let a, o, r = solve_problem config ~budget:sliced kind ~panel problem in
+        let a, o, r, _ =
+          solve_problem config ~budget:sliced kind ~panel problem
+        in
         (List.rev_append a acc_a, acc_o +. o, r :: acc_r)
       end)
     ([], 0.0, []) problems
@@ -229,7 +236,7 @@ let solve_parallel config ~budget ~j kind live =
   in
   let acc_a = ref [] and acc_o = ref 0.0 and acc_r = ref [] in
   Array.iteri
-    (fun i (((a, o, r), events), mbuf) ->
+    (fun i (((a, o, r, _), events), mbuf) ->
       Obs.Metrics.flush mbuf;
       Obs.Trace.replay events;
       Budget.spend budget (Budget.work_spent slices.(i));
@@ -272,6 +279,14 @@ let optimize ?(config = default_config) ?budget ?j ~kind design =
         (panel, build_panel config design ~panel))
   in
   run ~config ?budget ?j ~kind design problems
+
+(* Single-panel entry point for incremental callers (lib/eco): same
+   degradation ladder as [optimize], but on one already-built problem,
+   optionally warm-starting the LR tier from cached multipliers. *)
+let solve_panel ?(config = default_config) ?budget ?warm_start ~kind ~panel
+    problem =
+  let budget = Budget.of_option budget in
+  solve_problem ?warm_start config ~budget kind ~panel problem
 
 let optimize_combined ?(config = default_config) ?budget ~kind design ~panels =
   let problem =

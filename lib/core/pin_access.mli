@@ -90,6 +90,30 @@ val optimize_combined :
 (** Solve the given panels as a single instance (used by the Fig. 6
     sweep, where instance size is the experiment variable). *)
 
+val build_panel : config -> Netlist.Design.t -> panel:int -> Problem.t
+(** Build one panel's assignment problem (interval generation + conflict
+    sweep) exactly as [optimize] does internally.
+    @raise Cpr_error.Error ([Infeasible_panel]) when a pin of the panel
+    has no access interval at all (blocked primary track). *)
+
+val solve_panel :
+  ?config:config ->
+  ?budget:Budget.t ->
+  ?warm_start:float array ->
+  kind:solver_kind ->
+  panel:int ->
+  Problem.t ->
+  (Netlist.Pin.id * Access_interval.t) list * float * panel_report * float array
+(** Run the degradation ladder on one already-built problem, returning
+    [(assignments, objective, report, multipliers)].  With
+    [warm_start:None] this is exactly the per-panel step of {!optimize}
+    (bit-identical output); [warm_start] seeds the LR tier's multiplier
+    vector (one entry per [Problem.cliques] clique) from a previous
+    solve, typically re-converging in far fewer iterations.
+    [multipliers] is the LR tier's final vector ([[||]] when another
+    tier served the panel).  The single-panel entry point of the
+    incremental engine ([Eco.Engine]). *)
+
 val interval_of_pin : t -> Netlist.Pin.id -> Access_interval.t option
 
 val validate : ?complete:bool -> t -> unit

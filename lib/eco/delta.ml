@@ -1,0 +1,364 @@
+module I = Geometry.Interval
+module B = Netlist.Builder
+module Design = Netlist.Design
+module Blockage = Netlist.Blockage
+
+type pin_ref = { at_x : int; at_track : int }
+type pin_shape = { x : int; tracks : I.t }
+
+type t =
+  | Add_pin of { net : string; shape : pin_shape }
+  | Remove_pin of pin_ref
+  | Move_pin of { from_ : pin_ref; shape : pin_shape }
+  | Add_net of { name : string; pins : pin_shape list }
+  | Remove_net of string
+  | Add_blockage of Blockage.t
+  | Remove_blockage of Blockage.t
+  | Set_clearance of int
+
+exception Invalid of { index : int option; reason : string }
+exception Parse_error of { line : int; reason : string }
+
+let invalid ?index fmt =
+  Printf.ksprintf (fun reason -> raise (Invalid { index; reason })) fmt
+
+let parse_error ~line fmt =
+  Printf.ksprintf (fun reason -> raise (Parse_error { line; reason })) fmt
+
+let error_to_string = function
+  | Invalid { index = Some i; reason } ->
+    Printf.sprintf "invalid delta #%d: %s" i reason
+  | Invalid { index = None; reason } -> Printf.sprintf "invalid delta: %s" reason
+  | Parse_error { line; reason } when line > 0 ->
+    Printf.sprintf "malformed delta stream (line %d): %s" line reason
+  | Parse_error { reason; _ } ->
+    Printf.sprintf "malformed delta stream: %s" reason
+  | _ -> invalid_arg "Delta.error_to_string: not a Delta error"
+
+(* {2 Serialization} *)
+
+let shape_to_string { x; tracks } =
+  Printf.sprintf "%d %d %d" x (I.lo tracks) (I.hi tracks)
+
+let line_of = function
+  | Add_pin { net; shape } ->
+    Printf.sprintf "add_pin %s %s" net (shape_to_string shape)
+  | Remove_pin { at_x; at_track } ->
+    Printf.sprintf "remove_pin %d %d" at_x at_track
+  | Move_pin { from_ = { at_x; at_track }; shape } ->
+    Printf.sprintf "move_pin %d %d %s" at_x at_track (shape_to_string shape)
+  | Add_net { name; pins } ->
+    Printf.sprintf "add_net %s %s" name
+      (String.concat " "
+         (List.map
+            (fun { x; tracks } ->
+              Printf.sprintf "%d:%d:%d" x (I.lo tracks) (I.hi tracks))
+            pins))
+  | Remove_net name -> Printf.sprintf "remove_net %s" name
+  | Add_blockage b ->
+    Printf.sprintf "add_blockage %s %d %d %d"
+      (Blockage.layer_to_string b.Blockage.layer)
+      b.Blockage.track (I.lo b.Blockage.span) (I.hi b.Blockage.span)
+  | Remove_blockage b ->
+    Printf.sprintf "remove_blockage %s %d %d %d"
+      (Blockage.layer_to_string b.Blockage.layer)
+      b.Blockage.track (I.lo b.Blockage.span) (I.hi b.Blockage.span)
+  | Set_clearance n -> Printf.sprintf "set_clearance %d" n
+
+let pp fmt d = Format.pp_print_string fmt (line_of d)
+
+let to_string deltas =
+  String.concat "" (List.map (fun d -> line_of d ^ "\n") deltas)
+
+let batches_to_string batches =
+  String.concat "step\n" (List.map to_string batches)
+
+let int_of ~line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error ~line "not an integer: %S" s
+
+let span_of ~line lo hi =
+  let lo = int_of ~line lo and hi = int_of ~line hi in
+  if lo > hi then parse_error ~line "empty span %d..%d" lo hi;
+  I.make ~lo ~hi
+
+let shape_of ~line x lo hi =
+  { x = int_of ~line x; tracks = span_of ~line lo hi }
+
+let layer_of ~line = function
+  | "M2" -> Blockage.M2
+  | "M3" -> Blockage.M3
+  | s -> parse_error ~line "unknown layer %S (expected M2 or M3)" s
+
+let blockage_of ~line layer track lo hi =
+  Blockage.make ~layer:(layer_of ~line layer) ~track:(int_of ~line track)
+    ~span:(span_of ~line lo hi)
+
+let packed_shape_of ~line s =
+  match String.split_on_char ':' s with
+  | [ x; lo; hi ] -> shape_of ~line x lo hi
+  | _ -> parse_error ~line "expected <x>:<lo>:<hi>, got %S" s
+
+(* a line is a delta, a [step] separator, or noise (comment/blank) *)
+type parsed = Delta of t | Step | Noise
+
+let parse_line ~line l =
+  let l =
+    match String.index_opt l '#' with
+    | Some i -> String.sub l 0 i
+    | None -> l
+  in
+  match
+    String.split_on_char ' ' (String.trim l)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Noise
+  | [ "step" ] -> Step
+  | [ "add_pin"; net; x; lo; hi ] ->
+    Delta (Add_pin { net; shape = shape_of ~line x lo hi })
+  | [ "remove_pin"; x; t ] ->
+    Delta (Remove_pin { at_x = int_of ~line x; at_track = int_of ~line t })
+  | [ "move_pin"; x; t; x'; lo; hi ] ->
+    Delta
+      (Move_pin
+         {
+           from_ = { at_x = int_of ~line x; at_track = int_of ~line t };
+           shape = shape_of ~line x' lo hi;
+         })
+  | "add_net" :: name :: (_ :: _ as pins) ->
+    Delta (Add_net { name; pins = List.map (packed_shape_of ~line) pins })
+  | [ "remove_net"; name ] -> Delta (Remove_net name)
+  | [ "add_blockage"; layer; track; lo; hi ] ->
+    Delta (Add_blockage (blockage_of ~line layer track lo hi))
+  | [ "remove_blockage"; layer; track; lo; hi ] ->
+    Delta (Remove_blockage (blockage_of ~line layer track lo hi))
+  | [ "set_clearance"; n ] ->
+    let n = int_of ~line n in
+    if n < 0 then parse_error ~line "negative clearance %d" n;
+    Delta (Set_clearance n)
+  | keyword :: _ -> parse_error ~line "unrecognized delta %S" keyword
+
+let batches_of_string s =
+  let batch = ref [] and batches = ref [] in
+  let flush () =
+    if !batch <> [] then batches := List.rev !batch :: !batches;
+    batch := []
+  in
+  List.iteri
+    (fun i l ->
+      match parse_line ~line:(i + 1) l with
+      | Noise -> ()
+      | Step -> flush ()
+      | Delta d -> batch := d :: !batch)
+    (String.split_on_char '\n' s);
+  flush ();
+  List.rev !batches
+
+let of_string s =
+  match batches_of_string s with
+  | [] -> []
+  | [ batch ] -> batch
+  | _ ->
+    parse_error ~line:0
+      "multi-batch stream (contains 'step'); use batches_of_string"
+
+let save path batches =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (batches_to_string batches))
+  with Sys_error reason -> raise (Parse_error { line = 0; reason })
+
+let load path =
+  try In_channel.with_open_text path In_channel.input_all |> batches_of_string
+  with Sys_error reason -> raise (Parse_error { line = 0; reason })
+
+(* {2 Application}
+
+   A design decomposes into the same spec [Netlist.Builder] consumes:
+   named nets of pin shapes plus blockages.  Deltas edit that spec;
+   the builder re-validates and re-densifies ids on rebuild. *)
+
+type spec = {
+  name : string;
+  width : int;
+  height : int;
+  row_height : int;
+  nets : (string * B.pin_spec list) list;  (* net-id order *)
+  blockages : Blockage.t list;
+}
+
+let spec_of_design d =
+  {
+    name = Design.name d;
+    width = Design.width d;
+    height = Design.height d;
+    row_height = Design.row_height d;
+    nets =
+      Array.to_list (Design.nets d)
+      |> List.map (fun (n : Netlist.Net.t) ->
+             ( n.Netlist.Net.name,
+               List.map
+                 (fun pid ->
+                   let p = Design.pin d pid in
+                   { B.x = p.Netlist.Pin.x; B.tracks = p.Netlist.Pin.tracks })
+                 n.Netlist.Net.pins ));
+    blockages = Design.blockages d;
+  }
+
+let rebuild ?index spec =
+  try
+    B.design ~name:spec.name ~width:spec.width ~height:spec.height
+      ~row_height:spec.row_height ~nets:spec.nets ~blockages:spec.blockages ()
+  with Design.Invalid reason -> invalid ?index "rebuild rejected: %s" reason
+
+let covers (p : B.pin_spec) { at_x; at_track } =
+  p.B.x = at_x && I.contains p.B.tracks at_track
+
+let shape_overlaps (a : B.pin_spec) (b : B.pin_spec) =
+  a.B.x = b.B.x && I.overlaps a.B.tracks b.B.tracks
+
+(* eager geometry checks, so [apply_all] can blame the right delta
+   instead of surfacing everything at the final rebuild *)
+let check_shape ?index spec (shape : pin_shape) =
+  let { x; tracks } = shape in
+  if x < 0 || x >= spec.width then invalid ?index "pin column %d off die" x;
+  if I.lo tracks < 0 || I.hi tracks >= spec.height then
+    invalid ?index "pin tracks %d..%d off die" (I.lo tracks) (I.hi tracks);
+  if I.lo tracks / spec.row_height <> I.hi tracks / spec.row_height then
+    invalid ?index "pin tracks %d..%d straddle a panel boundary" (I.lo tracks)
+      (I.hi tracks);
+  let as_spec = { B.x; B.tracks = tracks } in
+  List.iter
+    (fun (net, pins) ->
+      List.iter
+        (fun p ->
+          if shape_overlaps p as_spec then
+            invalid ?index "pin %d:%d..%d overlaps a pin of net %s" x
+              (I.lo tracks) (I.hi tracks) net)
+        pins)
+    spec.nets
+
+let find_pin ?index spec r =
+  match
+    List.concat_map
+      (fun (net, pins) ->
+        List.filter_map
+          (fun p -> if covers p r then Some (net, p) else None)
+          pins)
+      spec.nets
+  with
+  | [ hit ] -> hit
+  | [] -> invalid ?index "no pin at (%d, %d)" r.at_x r.at_track
+  | _ :: _ -> invalid ?index "ambiguous pin reference (%d, %d)" r.at_x r.at_track
+
+let remove_pin spec (net, (p : B.pin_spec)) =
+  let nets =
+    List.filter_map
+      (fun (n, pins) ->
+        if n <> net then Some (n, pins)
+        else
+          match List.filter (fun q -> q <> p) pins with
+          | [] -> None (* last pin gone: the net goes with it *)
+          | pins -> Some (n, pins))
+      spec.nets
+  in
+  { spec with nets }
+
+let add_pin ?index spec net (shape : pin_shape) =
+  if not (List.mem_assoc net spec.nets) then
+    invalid ?index "no net named %s" net;
+  check_shape ?index spec shape;
+  let nets =
+    List.map
+      (fun (n, pins) ->
+        if n = net then (n, pins @ [ { B.x = shape.x; B.tracks = shape.tracks } ])
+        else (n, pins))
+      spec.nets
+  in
+  { spec with nets }
+
+let check_blockage ?index spec (b : Blockage.t) =
+  let width, height = (spec.width, spec.height) in
+  let bad fmt = invalid ?index fmt in
+  match b.Blockage.layer with
+  | Blockage.M2 ->
+    if b.Blockage.track < 0 || b.Blockage.track >= height then
+      bad "M2 blockage track %d off die" b.Blockage.track;
+    if I.lo b.Blockage.span < 0 || I.hi b.Blockage.span >= width then
+      bad "M2 blockage span %d..%d off die" (I.lo b.Blockage.span)
+        (I.hi b.Blockage.span)
+  | Blockage.M3 ->
+    if b.Blockage.track < 0 || b.Blockage.track >= width then
+      bad "M3 blockage column %d off die" b.Blockage.track;
+    if I.lo b.Blockage.span < 0 || I.hi b.Blockage.span >= height then
+      bad "M3 blockage span %d..%d off die" (I.lo b.Blockage.span)
+        (I.hi b.Blockage.span)
+
+let apply_spec ?index spec delta =
+  match delta with
+  | Add_pin { net; shape } -> add_pin ?index spec net shape
+  | Remove_pin r -> remove_pin spec (find_pin ?index spec r)
+  | Move_pin { from_; shape } ->
+    let net, p = find_pin ?index spec from_ in
+    let spec = remove_pin spec (net, p) in
+    if not (List.mem_assoc net spec.nets) then
+      (* moving the net's only pin: re-create the net around it *)
+      let spec = { spec with nets = spec.nets @ [ (net, []) ] } in
+      add_pin ?index spec net shape
+    else add_pin ?index spec net shape
+  | Add_net { name; pins } ->
+    if List.mem_assoc name spec.nets then
+      invalid ?index "net %s already exists" name;
+    if pins = [] then invalid ?index "new net %s has no pins" name;
+    List.fold_left
+      (fun spec shape -> add_pin ?index spec name shape)
+      { spec with nets = spec.nets @ [ (name, []) ] }
+      pins
+  | Remove_net name ->
+    if not (List.mem_assoc name spec.nets) then
+      invalid ?index "no net named %s" name;
+    { spec with nets = List.remove_assoc name spec.nets }
+  | Add_blockage b ->
+    check_blockage ?index spec b;
+    if List.mem b spec.blockages then
+      invalid ?index "blockage already present: %s"
+        (Format.asprintf "%a" Blockage.pp b);
+    { spec with blockages = spec.blockages @ [ b ] }
+  | Remove_blockage b ->
+    if not (List.mem b spec.blockages) then
+      invalid ?index "no such blockage: %s"
+        (Format.asprintf "%a" Blockage.pp b);
+    let rec drop_first = function
+      | [] -> []
+      | x :: rest -> if x = b then rest else x :: drop_first rest
+    in
+    { spec with blockages = drop_first spec.blockages }
+  | Set_clearance n ->
+    if n < 0 then invalid ?index "negative clearance %d" n;
+    spec
+
+(* [add_pin] appends to the net's pin list, but [Builder] keeps pin
+   declaration order — while [remove_pin] of an empty net reorders
+   nothing.  Net order: existing nets keep their relative order, new
+   nets append, which matches how ids re-densify. *)
+
+let apply design delta =
+  rebuild (apply_spec (spec_of_design design) delta)
+
+let apply_all design deltas =
+  let spec, _ =
+    List.fold_left
+      (fun (spec, i) delta -> (apply_spec ~index:i spec delta, i + 1))
+      (spec_of_design design, 0)
+      deltas
+  in
+  rebuild spec
+
+let apply_config (cfg : Pinaccess.Interval_gen.config) = function
+  | Set_clearance clearance -> { cfg with Pinaccess.Interval_gen.clearance }
+  | Add_pin _ | Remove_pin _ | Move_pin _ | Add_net _ | Remove_net _
+  | Add_blockage _ | Remove_blockage _ ->
+    cfg

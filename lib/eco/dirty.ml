@@ -1,0 +1,109 @@
+module I = Geometry.Interval
+module Rect = Geometry.Rect
+module Design = Netlist.Design
+module Pin = Netlist.Pin
+module Net = Netlist.Net
+module Blockage = Netlist.Blockage
+
+type t = { panels : int list; rects : Geometry.Rect.t list }
+
+let clean t = t.panels = [] && t.rects = []
+
+(* Marking happens against a specific design state: location references
+   in a batch mean "at this point of the replay", so each delta is
+   resolved against the design it was written for and the design it
+   produced. *)
+
+let mark_panel ~panels design p =
+  if p >= 0 && p < Design.num_panels design then Hashtbl.replace panels p ()
+
+let mark_track ~panels design track =
+  mark_panel ~panels design (Design.panel_of_track design track)
+
+let mark_net_by_name ~panels design name =
+  Array.iter
+    (fun (n : Net.t) ->
+      if n.Net.name = name then
+        List.iter
+          (fun pid ->
+            let p = Design.pin design pid in
+            mark_track ~panels design (Pin.primary_track p))
+          n.Net.pins)
+    (Design.nets design)
+
+let net_name_of_pin design { Delta.at_x; at_track } =
+  let found = ref None in
+  Array.iter
+    (fun (p : Pin.t) ->
+      if p.Pin.x = at_x && Pin.covers_track p at_track then
+        found := Some (Design.net design p.Pin.net).Net.name)
+    (Design.pins design);
+  !found
+
+let mark_shape ~panels design ({ Delta.x = _; tracks } : Delta.pin_shape) =
+  mark_track ~panels design (I.lo tracks)
+
+let all_panels ~panels design =
+  for p = 0 to Design.num_panels design - 1 do
+    Hashtbl.replace panels p ()
+  done
+
+let mark_blockage ~panels ~rects design (b : Blockage.t) =
+  match b.Blockage.layer with
+  | Blockage.M2 -> mark_track ~panels design b.Blockage.track
+  | Blockage.M3 ->
+    (* no panel goes dirty — interval generation never reads M3 — but
+       routing under the blockage's footprint must be reconsidered *)
+    rects :=
+      Rect.make ~xs:(I.point b.Blockage.track) ~ys:b.Blockage.span :: !rects
+
+let compute ~before deltas =
+  let panels = Hashtbl.create 16 and rects = ref [] in
+  let mark_delta design delta =
+    match delta with
+    | Delta.Add_pin { net; shape } ->
+      mark_net_by_name ~panels design net;
+      mark_shape ~panels design shape
+    | Delta.Remove_pin r -> (
+      mark_track ~panels design r.Delta.at_track;
+      match net_name_of_pin design r with
+      | Some name -> mark_net_by_name ~panels design name
+      | None -> () (* apply will reject the delta *))
+    | Delta.Move_pin { from_; shape } -> (
+      mark_track ~panels design from_.Delta.at_track;
+      mark_shape ~panels design shape;
+      match net_name_of_pin design from_ with
+      | Some name -> mark_net_by_name ~panels design name
+      | None -> ())
+    | Delta.Add_net { name; pins } ->
+      mark_net_by_name ~panels design name;
+      List.iter (mark_shape ~panels design) pins
+    | Delta.Remove_net name -> mark_net_by_name ~panels design name
+    | Delta.Add_blockage b | Delta.Remove_blockage b ->
+      mark_blockage ~panels ~rects design b
+    | Delta.Set_clearance _ -> all_panels ~panels design
+  in
+  (* two-sided marking: [before] each delta (old location, old net
+     extent) and [after] it (new location, new net extent) *)
+  let after, _ =
+    List.fold_left
+      (fun (design, i) delta ->
+        mark_delta design delta;
+        let design' =
+          try Delta.apply design delta
+          with Delta.Invalid { reason; _ } ->
+            raise (Delta.Invalid { index = Some i; reason })
+        in
+        mark_delta design' delta;
+        (design', i + 1))
+      (before, 0) deltas
+  in
+  let dirty_panels =
+    Hashtbl.fold (fun p () acc -> p :: acc) panels [] |> List.sort Int.compare
+  in
+  let band p =
+    Rect.make
+      ~xs:(I.make ~lo:0 ~hi:(Design.width after - 1))
+      ~ys:(Design.panel_tracks after p)
+  in
+  (after, { panels = dirty_panels; rects = List.map band dirty_panels @ !rects })

@@ -1,0 +1,369 @@
+module I = Geometry.Interval
+module Rect = Geometry.Rect
+module Design = Netlist.Design
+module Pin = Netlist.Pin
+module Net = Netlist.Net
+module PA = Pinaccess.Pin_access
+module AI = Pinaccess.Access_interval
+module Grid = Rgrid.Grid
+module Route = Rgrid.Route
+
+type config = {
+  pao : PA.config;
+  kind : PA.solver_kind;
+  warm_start : bool;
+  routing : bool;
+  cost : Rgrid.Cost.t;
+  rules : Drc.Rules.t;
+  max_cache_entries : int;
+}
+
+let default_config =
+  {
+    pao = PA.default_config;
+    kind = PA.Lr;
+    warm_start = true;
+    routing = false;
+    cost = Rgrid.Cost.default;
+    rules = Drc.Rules.default;
+    max_cache_entries = 4096;
+  }
+
+type step_report = {
+  deltas : int;
+  dirty_panels : int list;
+  panels : int;
+  cache_hits : int;
+  solved : int;
+  warm_started : int;
+  frozen_nets : int;
+  rerouted_nets : int;
+  pao_wall : float;
+  route_wall : float;
+  objective : float;
+}
+
+type t = {
+  mutable config : config;
+  cache : Panel_cache.t;
+  mutable design : Design.t;
+  mutable pao : PA.t;
+  mutable flow : Router.Flow.t option;
+  mutable panel_keys : string array;  (* "" for empty panels *)
+  cold_pao_wall : float;
+  cold_route_wall : float;
+}
+
+type pao_stats = {
+  mutable hits : int;
+  mutable solved : int;
+  mutable warm : int;
+}
+
+(* The per-panel walk of [PA.optimize], with the cache in front: clean
+   panels (key unchanged) re-serve their stored solution; dirty panels
+   re-solve, seeded from the previous entry's multipliers when warm
+   starting is on.  Accumulation mirrors [optimize]'s sequential fold
+   exactly (panel-ascending, [acc +. o]) so with warm starting off the
+   result is equivalent to a from-scratch run. *)
+let solve_pao_stage ~cache ~(config : config) ~prev_key design stats =
+  Obs.Trace.with_span "eco.pao" @@ fun () ->
+  let started = Pinaccess.Unix_time.now () in
+  let num_panels = Design.num_panels design in
+  let keys = Array.make num_panels "" in
+  let assignments = ref [] in
+  let reports = ref [] in
+  let objective = ref 0.0 in
+  for panel = 0 to num_panels - 1 do
+    if Design.pins_of_panel design panel <> [] then begin
+      let key =
+        Panel_cache.key ~config:config.pao ~kind:config.kind design ~panel
+      in
+      keys.(panel) <- key;
+      match Panel_cache.find cache key with
+      | Some entry ->
+        stats.hits <- stats.hits + 1;
+        let asg, report = Panel_cache.materialize entry design ~panel in
+        assignments := List.rev_append asg !assignments;
+        reports := report :: !reports;
+        objective := !objective +. report.PA.objective
+      | None ->
+        stats.solved <- stats.solved + 1;
+        let problem = PA.build_panel config.pao design ~panel in
+        let warm =
+          if not config.warm_start then None
+          else
+            match Option.bind (prev_key panel) (Panel_cache.peek cache) with
+            | Some prev when Array.length prev.Panel_cache.multipliers > 0 ->
+              stats.warm <- stats.warm + 1;
+              Some (Panel_cache.warm_start_for prev problem)
+            | _ -> None
+        in
+        let asg, obj, report, multipliers =
+          PA.solve_panel ~config:config.pao ?warm_start:warm ~kind:config.kind
+            ~panel problem
+        in
+        Panel_cache.store cache key
+          (Panel_cache.entry_of_solution ~problem ~assignments:asg ~report
+             ~multipliers design ~panel);
+        assignments := List.rev_append asg !assignments;
+        reports := report :: !reports;
+        objective := !objective +. obj
+    end
+  done;
+  let reports = List.rev !reports in
+  let pao =
+    {
+      PA.design;
+      kind = config.kind;
+      assignments = List.rev !assignments;
+      objective = !objective;
+      reports;
+      degraded = List.exists (fun (r : PA.panel_report) -> r.PA.degraded) reports;
+      elapsed = Pinaccess.Unix_time.now () -. started;
+    }
+  in
+  PA.validate pao;
+  (pao, keys)
+
+let cpr_config (config : config) =
+  {
+    Router.Cpr.pao_kind = config.kind;
+    pao = config.pao;
+    cost = config.cost;
+    rules = config.rules;
+    jobs = 1;
+    parallel_init = false;
+  }
+
+(* Incremental routing: freeze every route the edit provably did not
+   disturb and negotiate only the rest around them.  A route is frozen
+   iff its net survives by name (unambiguously), was clean, kept the
+   same pin shapes and the same per-pin interval assignment, its search
+   window stays clear of every dirty rect, and its metal is still
+   passable on the new grid. *)
+let route_incremental (config : config) ~before ~(old_pao : PA.t)
+    ~(old_flow : Router.Flow.t) ~dirty_rects design new_pao =
+  Obs.Trace.with_span "eco.route" @@ fun () ->
+  let started = Pinaccess.Unix_time.now () in
+  let grid = Grid.create design in
+  let specs = Router.Spec_builder.build grid ~pao:(Some new_pao) in
+  let n = Array.length specs in
+  let frozen = Array.make n false in
+  let initial = Array.make n None in
+  let space = Grid.space grid in
+  let same_space =
+    Design.width before = Design.width design
+    && Design.height before = Design.height design
+  in
+  if same_space then begin
+    (* nets correspond by name; an ambiguous (duplicated) name never
+       freezes *)
+    let old_of_name =
+      let tbl = Hashtbl.create 64 and dup = Hashtbl.create 4 in
+      Array.iter
+        (fun (net : Net.t) ->
+          if Hashtbl.mem tbl net.Net.name then Hashtbl.replace dup net.Net.name ()
+          else Hashtbl.add tbl net.Net.name net.Net.id)
+        (Design.nets before);
+      fun name ->
+        if Hashtbl.mem dup name then None else Hashtbl.find_opt tbl name
+    in
+    let shape_list d id =
+      Design.net_pins d id
+      |> List.map (fun (p : Pin.t) ->
+             (p.Pin.x, I.lo p.Pin.tracks, I.hi p.Pin.tracks))
+      |> List.sort compare
+    in
+    (* assigned (track, span) per pin, keyed by physical shape — ids are
+       re-densified across rebuilds, shapes are stable and unique *)
+    let slot_map (pao : PA.t) =
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun (pid, (iv : AI.t)) ->
+          let p = Design.pin pao.PA.design pid in
+          Hashtbl.replace tbl
+            (p.Pin.x, I.lo p.Pin.tracks, I.hi p.Pin.tracks)
+            (iv.AI.track, I.lo iv.AI.span, I.hi iv.AI.span))
+        pao.PA.assignments;
+      tbl
+    in
+    let old_slots = slot_map old_pao and new_slots = slot_map new_pao in
+    let new_pin_at = Hashtbl.create 256 in
+    Array.iter
+      (fun (p : Pin.t) ->
+        Hashtbl.replace new_pin_at
+          (p.Pin.x, I.lo p.Pin.tracks, I.hi p.Pin.tracks)
+          p.Pin.id)
+      (Design.pins design);
+    (* the window the route was found in, plus slack for spacing and
+       line-end interactions reaching past its edge; retry margins are
+       irrelevant here — they only widen searches for nets that failed
+       to route, and a freeze candidate has a route *)
+    let margin = config.cost.Rgrid.Cost.bbox_margin + 2 in
+    let die = Design.die design in
+    let claimed = Hashtbl.create 1024 in
+    Array.iteri
+      (fun nn (spec : Router.Net_router.spec) ->
+        match old_of_name (Design.net design nn).Net.name with
+        | None -> ()
+        | Some on -> (
+          match old_flow.Router.Flow.routes.(on) with
+          | Some old_route
+            when old_flow.Router.Flow.clean.(on)
+                 && shape_list before on = shape_list design nn
+                 && List.for_all
+                      (fun sh ->
+                        match
+                          ( Hashtbl.find_opt old_slots sh,
+                            Hashtbl.find_opt new_slots sh )
+                        with
+                        | Some a, Some b -> a = b
+                        | _ -> false)
+                      (shape_list design nn)
+                 && not
+                      (List.exists
+                         (Rect.overlaps
+                            (Rect.inflate spec.Router.Net_router.bbox
+                               ~by:margin ~within:die))
+                         dirty_rects) ->
+            let remap_ok = ref true in
+            let pin_vias =
+              List.map
+                (fun (pid, x, y) ->
+                  let p = Design.pin before pid in
+                  match
+                    Hashtbl.find_opt new_pin_at
+                      (p.Pin.x, I.lo p.Pin.tracks, I.hi p.Pin.tracks)
+                  with
+                  | Some np -> (np, x, y)
+                  | None ->
+                    remap_ok := false;
+                    (pid, x, y))
+                old_route.Route.pin_vias
+            in
+            let nodes = old_route.Route.nodes in
+            let fits =
+              List.for_all
+                (fun node ->
+                  (not (Grid.blocked grid node))
+                  && (let o = Grid.owner grid node in
+                      o = -1 || o = nn)
+                  &&
+                  match Hashtbl.find_opt claimed node with
+                  | Some net -> net = nn
+                  | None -> true)
+                nodes
+            in
+            if !remap_ok && fits then begin
+              List.iter (fun node -> Hashtbl.replace claimed node nn) nodes;
+              frozen.(nn) <- true;
+              initial.(nn) <- Some (Route.make ~space ~net:nn ~nodes ~pin_vias)
+            end
+          | _ -> ()))
+      specs
+  end;
+  let result =
+    Router.Negotiation.run ~cost:config.cost ~rules:config.rules ~frozen
+      ~initial grid specs
+  in
+  let drc =
+    Router.Negotiation.drc_ripup ~cost:config.cost ~rules:config.rules ~frozen
+      grid
+      ~spec_of:(fun net -> Some specs.(net))
+      ~routes:result.Router.Negotiation.routes ~rounds:2
+  in
+  let reused = Array.fold_left (fun k f -> if f then k + 1 else k) 0 frozen in
+  let flow =
+    Router.Flow.finish ~rules:config.rules ~reused ~grid ~pao:(Some new_pao)
+      ~initial_congestion:result.Router.Negotiation.initial_congestion
+      ~ripup_iterations:result.Router.Negotiation.ripup_iterations
+      ~total_reroutes:(result.Router.Negotiation.total_reroutes + drc)
+      ~started result.Router.Negotiation.routes
+  in
+  (flow, reused, result.Router.Negotiation.total_reroutes + drc)
+
+let create ?(config = default_config) design =
+  Obs.Trace.with_span "eco.create" @@ fun () ->
+  let cache = Panel_cache.create ~max_entries:config.max_cache_entries () in
+  let stats = { hits = 0; solved = 0; warm = 0 } in
+  let pao, panel_keys =
+    solve_pao_stage ~cache ~config ~prev_key:(fun _ -> None) design stats
+  in
+  let flow, cold_route_wall =
+    if config.routing then begin
+      let f = Router.Cpr.run_with_pao ~config:(cpr_config config) design pao in
+      (Some f, f.Router.Flow.elapsed -. pao.PA.elapsed)
+    end
+    else (None, 0.0)
+  in
+  {
+    config;
+    cache;
+    design;
+    pao;
+    flow;
+    panel_keys;
+    cold_pao_wall = pao.PA.elapsed;
+    cold_route_wall;
+  }
+
+let apply t deltas =
+  Obs.Trace.with_span "eco.apply" @@ fun () ->
+  let before = t.design in
+  let after, dirty = Dirty.compute ~before deltas in
+  let gen =
+    List.fold_left Delta.apply_config t.config.pao.PA.gen deltas
+  in
+  let config = { t.config with pao = { t.config.pao with PA.gen } } in
+  let stats = { hits = 0; solved = 0; warm = 0 } in
+  let prev_key panel =
+    if panel < Array.length t.panel_keys && t.panel_keys.(panel) <> "" then
+      Some t.panel_keys.(panel)
+    else None
+  in
+  let pao, panel_keys = solve_pao_stage ~cache:t.cache ~config ~prev_key after stats in
+  let flow, frozen_nets, rerouted_nets, route_wall =
+    if not config.routing then (None, 0, 0, 0.0)
+    else
+      match t.flow with
+      | Some old_flow ->
+        let f, reused, rerouted =
+          route_incremental config ~before ~old_pao:t.pao ~old_flow
+            ~dirty_rects:dirty.Dirty.rects after pao
+        in
+        (Some f, reused, rerouted, f.Router.Flow.elapsed)
+      | None ->
+        let f = Router.Cpr.run_with_pao ~config:(cpr_config config) after pao in
+        ( Some f,
+          0,
+          f.Router.Flow.total_reroutes,
+          f.Router.Flow.elapsed -. pao.PA.elapsed )
+  in
+  t.design <- after;
+  t.config <- config;
+  t.pao <- pao;
+  t.flow <- flow;
+  t.panel_keys <- panel_keys;
+  {
+    deltas = List.length deltas;
+    dirty_panels = dirty.Dirty.panels;
+    panels = stats.hits + stats.solved;
+    cache_hits = stats.hits;
+    solved = stats.solved;
+    warm_started = stats.warm;
+    frozen_nets;
+    rerouted_nets;
+    pao_wall = pao.PA.elapsed;
+    route_wall;
+    objective = pao.PA.objective;
+  }
+
+let design t = t.design
+let pao t = t.pao
+let flow t = t.flow
+let gen_config t = t.config.pao.PA.gen
+let cache_hit_rate t = Panel_cache.hit_rate t.cache
+let cache_size t = Panel_cache.size t.cache
+let cold_pao_wall t = t.cold_pao_wall
+let cold_route_wall t = t.cold_route_wall

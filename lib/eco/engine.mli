@@ -1,0 +1,81 @@
+(** The incremental re-optimization engine.
+
+    An engine owns a design and its current optimization state (pin
+    access assignment, optionally a routed flow) and re-optimizes after
+    each batch of {!Delta} edits, reusing everything the edit did not
+    disturb:
+
+    - clean panels are served from the content-addressed {!Panel_cache}
+      (a hit requires a byte-identical assignment problem);
+    - dirty panels re-solve, warm-starting
+      {!Pinaccess.Lagrangian.solve} from the panel's previous
+      multipliers instead of zeros (clique signatures that survived the
+      edit keep their λ);
+    - routing rips up only nets whose pins or selected intervals
+      changed, or whose search window meets a {!Dirty} rect; every
+      other clean route is frozen and re-committed, contributing
+      congestion as a fixed obstacle
+      ({!Router.Negotiation.run}'s [frozen]/[initial]).
+
+    With [warm_start = false] the engine's pin access output is
+    bit-identical to a from-scratch {!Pinaccess.Pin_access.optimize}
+    of the edited design (the fuzz differential exploits this); with
+    warm starting it is certified equivalent, not bit-equal — LR may
+    stop at a different conflict-free optimum. *)
+
+type config = {
+  pao : Pinaccess.Pin_access.config;
+  kind : Pinaccess.Pin_access.solver_kind;
+  warm_start : bool;  (** warm-start dirty panels (default [true]) *)
+  routing : bool;
+      (** maintain a routed {!Router.Flow.t} incrementally (default
+          [false]: pin access only) *)
+  cost : Rgrid.Cost.t;
+  rules : Drc.Rules.t;
+  max_cache_entries : int;
+}
+
+val default_config : config
+
+type step_report = {
+  deltas : int;
+  dirty_panels : int list;  (** from {!Dirty.compute} *)
+  panels : int;  (** non-empty panels visited *)
+  cache_hits : int;
+  solved : int;  (** panels re-solved ([panels - cache_hits]) *)
+  warm_started : int;  (** re-solves seeded from cached multipliers *)
+  frozen_nets : int;  (** routes carried over untouched ([routing]) *)
+  rerouted_nets : int;  (** reroute attempts the negotiation made *)
+  pao_wall : float;
+  route_wall : float;  (** [0.] when [routing] is off *)
+  objective : float;
+}
+
+type t
+
+val create : ?config:config -> Netlist.Design.t -> t
+(** Cold start: solve every panel from scratch (populating the cache),
+    route if configured.
+    @raise Pinaccess.Cpr_error.Error as [optimize] would. *)
+
+val apply : t -> Delta.t list -> step_report
+(** Apply one batch atomically and re-optimize incrementally.
+    @raise Delta.Invalid when the batch does not fit the current
+    design (the engine state is unchanged in that case). *)
+
+val design : t -> Netlist.Design.t
+val pao : t -> Pinaccess.Pin_access.t
+val flow : t -> Router.Flow.t option
+val gen_config : t -> Pinaccess.Interval_gen.config
+(** The current rule deck (tracks [Set_clearance] deltas). *)
+
+val cache_hit_rate : t -> float
+(** Cumulative, over the engine's lifetime (cold solve included). *)
+
+val cache_size : t -> int
+val cold_pao_wall : t -> float
+(** Wall-clock seconds of the cold pin access solve in {!create}. *)
+
+val cold_route_wall : t -> float
+(** Wall-clock seconds of the cold routing in {!create}; [0.] when
+    routing is off. *)

@@ -1,0 +1,256 @@
+module I = Geometry.Interval
+module Design = Netlist.Design
+module Pin = Netlist.Pin
+module PA = Pinaccess.Pin_access
+module AI = Pinaccess.Access_interval
+module Problem = Pinaccess.Problem
+module Conflict = Pinaccess.Conflict
+
+type slot = { track : int; span : I.t; minimum : bool }
+
+type entry = {
+  slots : slot array;
+  intervals : int;
+  cliques : int;
+  objective : float;
+  lr_iterations : int;
+  proven_optimal : bool;
+  served_by : PA.tier;
+  degraded : bool;
+  multipliers : (int * int * int * float) array;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  max_entries : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(max_entries = 4096) () =
+  {
+    table = Hashtbl.create 256;
+    order = Queue.create ();
+    max_entries = max 1 max_entries;
+    hits = 0;
+    misses = 0;
+  }
+
+let size t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let n = t.hits + t.misses in
+  if n = 0 then 0.0 else float_of_int t.hits /. float_of_int n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    Some e
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let peek t k = Hashtbl.find_opt t.table k
+
+let store t k e =
+  if not (Hashtbl.mem t.table k) then begin
+    while Hashtbl.length t.table >= t.max_entries do
+      match Queue.take_opt t.order with
+      | Some victim -> Hashtbl.remove t.table victim
+      | None -> Hashtbl.reset t.table (* unreachable: order covers table *)
+    done;
+    Queue.add k t.order
+  end;
+  Hashtbl.replace t.table k e
+
+let canonical_pins design ~panel =
+  let pins = Array.of_list (Design.pins_of_panel design panel) in
+  Array.sort
+    (fun (a : Pin.t) b ->
+      let c = Int.compare a.Pin.x b.Pin.x in
+      if c <> 0 then c else Int.compare (I.lo a.Pin.tracks) (I.lo b.Pin.tracks))
+    pins;
+  pins
+
+(* The digest covers, in a canonical order, every input of the panel's
+   assignment problem: rule deck + solver config, die width, pins with
+   panel-local net indices (names excluded on purpose), full net
+   bounding boxes (interval generation clips to them), and the M2
+   blockage spans on the panel's tracks. *)
+let key ~(config : PA.config) ~kind design ~panel =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let gen = config.PA.gen in
+  add "gen:%s,%s,%d,%d;"
+    (Pinaccess.Objective.weighting_to_string gen.Pinaccess.Interval_gen.weighting)
+    (match gen.Pinaccess.Interval_gen.m2_bbox_margin with
+    | None -> "full-bbox"
+    | Some k -> string_of_int k)
+    gen.Pinaccess.Interval_gen.max_per_pin gen.Pinaccess.Interval_gen.clearance;
+  let lr = config.PA.lr in
+  add "kind:%s;lr:%d,%h,%s,%b,%s,%b;"
+    (PA.solver_kind_to_string kind)
+    lr.Pinaccess.Lagrangian.max_iterations lr.Pinaccess.Lagrangian.alpha
+    (match lr.Pinaccess.Lagrangian.constant_step with
+    | None -> "decay"
+    | Some s -> Printf.sprintf "%h" s)
+    lr.Pinaccess.Lagrangian.full_subgradient
+    (match lr.Pinaccess.Lagrangian.plateau_exit with
+    | None -> "none"
+    | Some p -> string_of_int p)
+    config.PA.ilp_warm_start;
+  add "die:%d,%d;" (Design.width design) (Design.row_height design);
+  let pins = canonical_pins design ~panel in
+  (* panel-local net indices by first appearance in canonical order *)
+  let local = Hashtbl.create 16 in
+  let local_of net =
+    match Hashtbl.find_opt local net with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length local in
+      Hashtbl.add local net i;
+      i
+  in
+  Array.iter
+    (fun (p : Pin.t) ->
+      add "p:%d,%d,%d,%d;" p.Pin.x (I.lo p.Pin.tracks) (I.hi p.Pin.tracks)
+        (local_of p.Pin.net))
+    pins;
+  (* each present net's full bbox, in local-index order *)
+  let by_local =
+    Hashtbl.fold (fun net idx acc -> (idx, net) :: acc) local []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (idx, net) ->
+      let bbox = Design.net_bbox design net in
+      add "n:%d,%d,%d,%d,%d;" idx
+        (I.lo (Geometry.Rect.xs bbox))
+        (I.hi (Geometry.Rect.xs bbox))
+        (I.lo (Geometry.Rect.ys bbox))
+        (I.hi (Geometry.Rect.ys bbox)))
+    by_local;
+  let tracks = Design.panel_tracks design panel in
+  for track = I.lo tracks to I.hi tracks do
+    List.iter
+      (fun span -> add "b:%d,%d,%d;" track (I.lo span) (I.hi span))
+      (Design.m2_blockages_on_track design track)
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let entry_of_solution ~(problem : Problem.t) ~assignments
+    ~(report : PA.panel_report) ~multipliers design ~panel =
+  let pins = canonical_pins design ~panel in
+  let slots =
+    Array.map
+      (fun (p : Pin.t) ->
+        match List.assoc_opt p.Pin.id assignments with
+        | Some (iv : AI.t) ->
+          {
+            track = iv.AI.track;
+            span = iv.AI.span;
+            minimum = iv.AI.kind = AI.Minimum;
+          }
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Panel_cache.entry_of_solution: pin %d of panel %d unassigned"
+               p.Pin.id panel))
+      pins
+  in
+  let cliques = problem.Problem.cliques in
+  if Array.length multipliers <> 0 && Array.length multipliers <> Array.length cliques
+  then
+    invalid_arg "Panel_cache.entry_of_solution: multiplier/clique mismatch";
+  let sigs =
+    if Array.length multipliers = 0 then [||]
+    else
+      Array.mapi
+        (fun m (c : Conflict.clique) ->
+          ( c.Conflict.track,
+            I.lo c.Conflict.common,
+            I.hi c.Conflict.common,
+            multipliers.(m) ))
+        cliques
+  in
+  {
+    slots;
+    intervals = report.PA.intervals;
+    cliques = report.PA.cliques;
+    objective = report.PA.objective;
+    lr_iterations = report.PA.lr_iterations;
+    proven_optimal = report.PA.proven_optimal;
+    served_by = report.PA.served_by;
+    degraded = report.PA.degraded;
+    multipliers = sigs;
+  }
+
+let materialize entry design ~panel =
+  let pins = canonical_pins design ~panel in
+  if Array.length pins <> Array.length entry.slots then
+    invalid_arg
+      (Printf.sprintf
+         "Panel_cache.materialize: %d pins in panel %d, entry has %d slots"
+         (Array.length pins) panel (Array.length entry.slots));
+  (* same-net pins selecting the same (track, span) share one interval,
+     as the deduplicating generator produces *)
+  let groups = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (p : Pin.t) ->
+      let s = entry.slots.(i) in
+      let gkey = (p.Pin.net, s.track, I.lo s.span, I.hi s.span) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups gkey) in
+      Hashtbl.replace groups gkey ((p, s) :: cur))
+    pins;
+  let next_id = ref 0 in
+  let assignments =
+    Hashtbl.fold
+      (fun (net, track, _, _) members acc ->
+        let members = List.rev members in
+        let _, (s : slot) = List.hd members in
+        let id = !next_id in
+        incr next_id;
+        let iv =
+          AI.make ~id ~net
+            ~pins:(List.map (fun ((p : Pin.t), _) -> p.Pin.id) members)
+            ~track ~span:s.span
+            ~kind:(if s.minimum then AI.Minimum else AI.Regular)
+        in
+        List.fold_left
+          (fun acc ((p : Pin.t), _) -> (p.Pin.id, iv) :: acc)
+          acc members)
+      groups []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let report =
+    {
+      PA.panel;
+      pins = Array.length pins;
+      intervals = entry.intervals;
+      cliques = entry.cliques;
+      objective = entry.objective;
+      lr_iterations = entry.lr_iterations;
+      proven_optimal = entry.proven_optimal;
+      served_by = entry.served_by;
+      degraded = entry.degraded;
+    }
+  in
+  (assignments, report)
+
+let warm_start_for entry (problem : Problem.t) =
+  let by_sig = Hashtbl.create 64 in
+  Array.iter
+    (fun (track, lo, hi, lambda) -> Hashtbl.replace by_sig (track, lo, hi) lambda)
+    entry.multipliers;
+  Array.map
+    (fun (c : Conflict.clique) ->
+      Option.value ~default:0.0
+        (Hashtbl.find_opt by_sig
+           ( c.Conflict.track,
+             I.lo c.Conflict.common,
+             I.hi c.Conflict.common )))
+    problem.Problem.cliques

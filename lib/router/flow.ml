@@ -15,6 +15,7 @@ type t = {
   extension : Drc.Line_end.stats;
   rules : Drc.Rules.t;
   pao : Pinaccess.Pin_access.t option;
+  reused_routes : int;
   elapsed : float;
 }
 
@@ -28,8 +29,8 @@ let fill_nodes space (fill : Drc.Line_end.fill) =
         Node.pack space ~layer:Layer.M3 ~x:fill.Drc.Line_end.track ~y:pos
       | Layer.M1 -> assert false)
 
-let finish ?(rules = Drc.Rules.default) ~grid ~pao ~initial_congestion
-    ~ripup_iterations ~total_reroutes ~started routes =
+let finish ?(rules = Drc.Rules.default) ?(reused = 0) ~grid ~pao
+    ~initial_congestion ~ripup_iterations ~total_reroutes ~started routes =
   let design = Grid.design grid in
   let space = Grid.space grid in
   let layout = Drc.Extract.of_routes design routes in
@@ -86,6 +87,7 @@ let finish ?(rules = Drc.Rules.default) ~grid ~pao ~initial_congestion
     extension;
     rules;
     pao;
+    reused_routes = reused;
     elapsed = Pinaccess.Unix_time.now () -. started;
   }
 

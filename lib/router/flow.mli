@@ -18,11 +18,15 @@ type t = {
       (** the rule deck the DRC verdicts were computed under, recorded
           so an external audit can replay the exact same checks *)
   pao : Pinaccess.Pin_access.t option;
+  reused_routes : int;
+      (** nets whose previous route was frozen and carried over by an
+          incremental (ECO) run; [0] for from-scratch flows *)
   elapsed : float;  (** cpu seconds for the whole flow *)
 }
 
 val finish :
   ?rules:Drc.Rules.t ->
+  ?reused:int ->
   grid:Rgrid.Grid.t ->
   pao:Pinaccess.Pin_access.t option ->
   initial_congestion:int ->
@@ -32,7 +36,8 @@ val finish :
   Rgrid.Route.t option array ->
   t
 (** Runs extension + DRC over the routes, pushes extension fills back
-    into the routes and the grid, and computes [clean]. *)
+    into the routes and the grid, and computes [clean].  [reused]
+    (default 0) records how many routes an incremental caller froze. *)
 
 val routed_count : t -> int
 (** Number of clean nets. *)

@@ -26,12 +26,15 @@ let retract_route grid (route : Rgrid.Route.t) =
     route.Rgrid.Route.nodes;
   List.iter (fun (x, y) -> Grid.remove_via grid ~x ~y) (Rgrid.Route.via_positions ~space route)
 
-let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ~rules grid
-    ~spec_of ~routes ~rounds =
+let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ?frozen ~rules
+    grid ~spec_of ~routes ~rounds =
   let design = Grid.design grid in
   let space = Grid.space grid in
   let maze = Maze.create grid in
   let reroutes = ref 0 in
+  let is_frozen net =
+    match frozen with Some f -> f.(net) | None -> false
+  in
   let exhausted () =
     match budget with
     | None -> false
@@ -46,9 +49,10 @@ let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ~rules grid
           match route with
           | Some (r : Rgrid.Route.t) ->
             if
-              List.exists
-                (fun node -> Grid.overused grid node)
-                r.Rgrid.Route.nodes
+              (not (is_frozen net))
+              && List.exists
+                   (fun node -> Grid.overused grid node)
+                   r.Rgrid.Route.nodes
             then begin
               retract_route grid r;
               routes.(net) <- None
@@ -65,7 +69,11 @@ let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ~rules grid
     drop_overused ();
     let layout = Drc.Extract.of_routes design routes in
     let violations = Drc.Check.run rules layout in
-    match Drc.Check.blamed_nets violations with
+    match
+      List.filter
+        (fun net -> not (is_frozen net))
+        (Drc.Check.blamed_nets violations)
+    with
     | [] -> continue_ := false
     | blamed ->
       List.iter
@@ -213,24 +221,43 @@ let initial_route_parallel ?budget ~cost pool grid maze specs order ~apply =
       results
   done
 
-let overused_nets grid routes =
+let overused_nets ?(is_frozen = fun _ -> false) grid routes =
   let result = ref [] in
   Array.iteri
     (fun net route ->
-      match route with
-      | Some (r : Rgrid.Route.t) ->
-        if List.exists (fun node -> Grid.overused grid node) r.Rgrid.Route.nodes then
-          result := net :: !result
-      | None -> result := net :: !result)
+      if not (is_frozen net) then
+        match route with
+        | Some (r : Rgrid.Route.t) ->
+          if List.exists (fun node -> Grid.overused grid node) r.Rgrid.Route.nodes then
+            result := net :: !result
+        | None -> result := net :: !result)
     routes;
   List.rev !result
 
-let run ?(cost = Cost.default) ?rules ?budget ?pool grid specs =
+let run ?(cost = Cost.default) ?rules ?budget ?pool ?frozen ?initial grid
+    specs =
   let maze = Maze.create grid in
   let design = Grid.design grid in
   let space = Grid.space grid in
   let n = Array.length specs in
   let routes : Rgrid.Route.t option array = Array.make n None in
+  let is_frozen net =
+    match frozen with Some f -> f.(net) | None -> false
+  in
+  (* pre-committed routes (an incremental caller's reused metal): their
+     usage and vias go on the grid up front, so stage 1 searches see
+     them as congestion exactly like earlier-committed routes *)
+  (match initial with
+  | Some init ->
+    Array.iteri
+      (fun net route ->
+        match route with
+        | Some r ->
+          apply_route grid r;
+          routes.(net) <- Some r
+        | None -> ())
+      init
+  | None -> ());
   let total_reroutes = ref 0 in
   let exhausted () =
     match budget with
@@ -276,10 +303,17 @@ let run ?(cost = Cost.default) ?rules ?budget ?pool grid specs =
         violations;
       Drc.Check.blamed_nets violations
   in
-  (* Stage 1: independent routing (no present-sharing term) *)
+  (* Stage 1: independent routing (no present-sharing term); nets that
+     arrived pre-routed via [initial] keep their metal *)
   let order = routing_order specs in
+  let order =
+    if Array.exists Option.is_some routes then
+      Array.of_seq
+        (Seq.filter (fun net -> routes.(net) = None) (Array.to_seq order))
+    else order
+  in
   (match pool with
-  | Some pool when Exec.domains pool > 1 && Array.length specs > 1 ->
+  | Some pool when Exec.domains pool > 1 && Array.length order > 1 ->
     initial_route_parallel ?budget ~cost pool grid maze specs order
       ~apply:(fun net r ->
         incr total_reroutes;
@@ -293,9 +327,21 @@ let run ?(cost = Cost.default) ?rules ?budget ?pool grid specs =
   let initial_congestion = Grid.congested_nodes grid in
   (* Stage 2: rip-up and reroute with negotiation *)
   let iterations = ref 0 in
-  let continue_ = ref (initial_congestion > 0 || Array.exists Option.is_none routes)
+  let unfrozen_unrouted () =
+    let missing = ref false in
+    Array.iteri
+      (fun net route ->
+        if route = None && not (is_frozen net) then missing := true)
+      routes;
+    !missing
   in
-  let blamed = ref (if initial_congestion = 0 then drc_victims () else []) in
+  let continue_ = ref (initial_congestion > 0 || unfrozen_unrouted ()) in
+  let blamed =
+    ref
+      (if initial_congestion = 0 then
+         List.filter (fun net -> not (is_frozen net)) (drc_victims ())
+       else [])
+  in
   if !blamed <> [] then continue_ := true;
   while
     !continue_
@@ -311,22 +357,26 @@ let run ?(cost = Cost.default) ?rules ?budget ?pool grid specs =
     in
     Grid.add_history grid ~increment:cost.Cost.history_increment;
     let victims =
-      List.sort_uniq Int.compare (overused_nets grid routes @ !blamed)
+      List.sort_uniq Int.compare
+        (overused_nets ~is_frozen grid routes @ !blamed)
     in
     List.iter (fun net -> route_net ~pfac net) victims;
-    blamed := drc_victims ();
+    blamed := List.filter (fun net -> not (is_frozen net)) (drc_victims ());
     continue_ :=
-      Grid.congested_nodes grid > 0
-      || Array.exists Option.is_none routes
-      || !blamed <> []
+      Grid.congested_nodes grid > 0 || unfrozen_unrouted () || !blamed <> []
   done;
-  (* Drop still-conflicting nets: keep earlier ids, fail later ones. *)
+  (* Drop still-conflicting nets: keep earlier ids, fail later ones.
+     Frozen routes are never dropped — overuse on a frozen node always
+     has an unfrozen sharer (frozen routes are mutually consistent),
+     and dropping that sharer clears it. *)
   if Grid.congested_nodes grid > 0 then
     Array.iteri
       (fun net route ->
         match route with
         | Some (r : Rgrid.Route.t) ->
-          if List.exists (fun node -> Grid.overused grid node) r.Rgrid.Route.nodes
+          if
+            (not (is_frozen net))
+            && List.exists (fun node -> Grid.overused grid node) r.Rgrid.Route.nodes
           then begin
             retract_route grid r;
             routes.(net) <- None

@@ -22,6 +22,8 @@ val run :
   ?rules:Drc.Rules.t ->
   ?budget:Pinaccess.Budget.t ->
   ?pool:Exec.t ->
+  ?frozen:bool array ->
+  ?initial:Rgrid.Route.t option array ->
   Rgrid.Grid.t ->
   Net_router.spec array ->
   result
@@ -29,6 +31,18 @@ val run :
     for DRC violations, bumps history on the offending grids and adds
     the blamed nets to the victims — the paper's combined congestion +
     manufacturing-constraint rip-up.
+
+    [initial] pre-commits routes before stage 1 (an incremental
+    caller's reused metal): their usage and vias are applied up front
+    and stage 1 skips those nets.  [frozen] marks nets (by id) whose
+    routes must survive untouched: they are never ripped up, never
+    blamed into the DRC victims and never dropped, but their metal
+    contributes congestion and history like any other committed route —
+    fixed obstacles the negotiation routes around.  A frozen net should
+    arrive with an [initial] route; the caller must guarantee frozen
+    routes are mutually overlap-free (e.g. they come from one previous
+    consistent flow).  Both default to "none" — without them [run] is
+    exactly the from-scratch negotiation.
 
     [budget] bounds the work: it is checked before each rip-up round
     and inside every maze search, so on exhaustion the engine stops
@@ -53,6 +67,7 @@ val drc_ripup :
   ?cost:Rgrid.Cost.t ->
   ?own:bool ->
   ?budget:Pinaccess.Budget.t ->
+  ?frozen:bool array ->
   rules:Drc.Rules.t ->
   Rgrid.Grid.t ->
   spec_of:(int -> Net_router.spec option) ->
@@ -63,7 +78,9 @@ val drc_ripup :
     routes, bump history on every violation grid, and reroute the
     blamed nets (at a high present-sharing factor) up to [rounds]
     times.  [own] re-claims exclusive ownership of committed metal
-    (the sequential baseline's hard-blocking mode).  Returns the number
-    of reroute attempts.  [routes] is updated in place; a net whose
-    reroute fails becomes unrouted.  [budget] is checked before each
-    round; exhaustion stops the rip-up with the routes as they stand. *)
+    (the sequential baseline's hard-blocking mode).  [frozen] nets are
+    exempt from blame, rip-up and overuse dropping, as in {!run}.
+    Returns the number of reroute attempts.  [routes] is updated in
+    place; a net whose reroute fails becomes unrouted.  [budget] is
+    checked before each round; exhaustion stops the rip-up with the
+    routes as they stand. *)

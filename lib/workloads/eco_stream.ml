@@ -1,0 +1,283 @@
+module I = Geometry.Interval
+module Design = Netlist.Design
+module Pin = Netlist.Pin
+module Net = Netlist.Net
+module Blockage = Netlist.Blockage
+module Delta = Eco.Delta
+
+(* A column is usable for pin metal at [tracks] if no existing pin
+   overlaps it and none of its tracks is M2-blocked there — the latter
+   keeps interval generation from ever seeing a pin whose access
+   tracks are walled off (Pin_unreachable). *)
+let shape_free design ~x ~tracks =
+  x >= 0
+  && x < Design.width design
+  && I.lo tracks >= 0
+  && I.hi tracks < Design.height design
+  && Design.panel_of_track design (I.lo tracks)
+     = Design.panel_of_track design (I.hi tracks)
+  && Array.for_all
+       (fun (p : Pin.t) ->
+         p.Pin.x <> x || not (I.overlaps p.Pin.tracks tracks))
+       (Design.pins design)
+  &&
+  let ok = ref true in
+  for t = I.lo tracks to I.hi tracks do
+    if
+      List.exists
+        (fun span -> I.contains span x)
+        (Design.m2_blockages_on_track design t)
+    then ok := false
+  done;
+  !ok
+
+let random_pin (rng : Rng.t) design =
+  let pins = Design.pins design in
+  if Array.length pins = 0 then None else Some pins.(Rng.int rng (Array.length pins))
+
+(* Move a pin to a nearby free column, keeping its track span (and
+   therefore its panel). *)
+let propose_move rng design =
+  match random_pin rng design with
+  | None -> None
+  | Some p ->
+    let x = p.Pin.x + Rng.in_range rng ~lo:(-8) ~hi:8 in
+    if x <> p.Pin.x && shape_free design ~x ~tracks:p.Pin.tracks then
+      Some
+        (Delta.Move_pin
+           {
+             from_ = { Delta.at_x = p.Pin.x; at_track = I.lo p.Pin.tracks };
+             shape = { Delta.x; tracks = p.Pin.tracks };
+           })
+    else None
+
+let random_shape_near rng design ~x0 ~track0 =
+  let x = x0 + Rng.in_range rng ~lo:(-6) ~hi:6 in
+  let panel = Design.panel_of_track design track0 in
+  let ptracks = Design.panel_tracks design panel in
+  let len = Rng.in_range rng ~lo:1 ~hi:2 in
+  let lo =
+    min (max (I.lo ptracks) (track0 - 1)) (I.hi ptracks - len + 1)
+  in
+  let tracks = I.make ~lo ~hi:(lo + len - 1) in
+  if shape_free design ~x ~tracks then Some { Delta.x; tracks } else None
+
+let propose_add_pin rng design =
+  match random_pin rng design with
+  | None -> None
+  | Some p -> (
+    let net = (Design.net design p.Pin.net).Net.name in
+    match
+      random_shape_near rng design ~x0:p.Pin.x ~track0:(I.lo p.Pin.tracks)
+    with
+    | Some shape -> Some (Delta.Add_pin { net; shape })
+    | None -> None)
+
+let propose_remove_pin rng design =
+  (* keep the design non-trivial: only shrink nets of degree >= 2, and
+     never below 2 nets total *)
+  if Array.length (Design.nets design) < 2 then None
+  else
+    match random_pin rng design with
+    | Some p when List.length (Design.net_pins design p.Pin.net) >= 2 ->
+      Some (Delta.Remove_pin { Delta.at_x = p.Pin.x; at_track = I.lo p.Pin.tracks })
+    | _ -> None
+
+let fresh_name design rng =
+  let taken = Hashtbl.create 16 in
+  Array.iter
+    (fun (n : Net.t) -> Hashtbl.replace taken n.Net.name ())
+    (Design.nets design);
+  let rec go k =
+    if k > 1000 then None
+    else
+      let name = Printf.sprintf "eco%d" (Rng.int rng 100000) in
+      if Hashtbl.mem taken name then go (k + 1) else Some name
+  in
+  go 0
+
+let propose_add_net rng design =
+  match (random_pin rng design, fresh_name design rng) with
+  | Some anchor, Some name -> (
+    let x0 = anchor.Pin.x and track0 = I.lo anchor.Pin.tracks in
+    match random_shape_near rng design ~x0 ~track0 with
+    | None -> None
+    | Some first -> (
+      (* second pin nearby, not colliding with the first *)
+      let attempt () =
+        match
+          random_shape_near rng design ~x0:(first.Delta.x + Rng.in_range rng ~lo:(-6) ~hi:6) ~track0
+        with
+        | Some s
+          when s.Delta.x <> first.Delta.x
+               || not (I.overlaps s.Delta.tracks first.Delta.tracks) ->
+          Some s
+        | _ -> None
+      in
+      match attempt () with
+      | Some second -> Some (Delta.Add_net { name; pins = [ first; second ] })
+      | None -> Some (Delta.Add_net { name; pins = [ first ] })))
+  | _ -> None
+
+let propose_remove_net rng design =
+  let nets = Design.nets design in
+  if Array.length nets <= 4 then None
+  else Some (Delta.Remove_net nets.(Rng.int rng (Array.length nets)).Net.name)
+
+let propose_add_blockage rng design =
+  let m3 = Rng.float rng < 0.3 in
+  if m3 then begin
+    let track = Rng.int rng (Design.width design) in
+    let lo = Rng.int rng (Design.height design) in
+    let hi = min (Design.height design - 1) (lo + Rng.in_range rng ~lo:0 ~hi:4) in
+    Some
+      (Delta.Add_blockage
+         (Blockage.make ~layer:Blockage.M3 ~track ~span:(I.make ~lo ~hi)))
+  end
+  else begin
+    let track = Rng.int rng (Design.height design) in
+    let lo = Rng.int rng (Design.width design) in
+    let hi = min (Design.width design - 1) (lo + Rng.in_range rng ~lo:0 ~hi:5) in
+    let span = I.make ~lo ~hi in
+    (* never wall off a pin's access: the span must avoid every column
+       of every pin covering this track *)
+    let clear =
+      List.for_all
+        (fun (p : Pin.t) -> not (I.contains span p.Pin.x))
+        (Design.pins_on_track design track)
+      && List.for_all
+           (fun existing -> not (I.overlaps existing span))
+           (Design.m2_blockages_on_track design track)
+    in
+    if clear then
+      Some
+        (Delta.Add_blockage
+           (Blockage.make ~layer:Blockage.M2 ~track ~span))
+    else None
+  end
+
+let propose_remove_blockage rng design =
+  match Design.blockages design with
+  | [] -> None
+  | bs ->
+    let arr = Array.of_list bs in
+    Some (Delta.Remove_blockage arr.(Rng.int rng (Array.length arr)))
+
+let propose_set_clearance rng _design =
+  Some (Delta.Set_clearance (Rng.int rng 2))
+
+let propose rng design =
+  match
+    Rng.choose_weighted rng
+      [
+        (0, 0.40) (* move *);
+        (1, 0.15) (* add pin *);
+        (2, 0.10) (* remove pin *);
+        (3, 0.08) (* add net *);
+        (4, 0.05) (* remove net *);
+        (5, 0.12) (* add blockage *);
+        (6, 0.07) (* remove blockage *);
+        (7, 0.03) (* set clearance *);
+      ]
+  with
+  | 0 -> propose_move rng design
+  | 1 -> propose_add_pin rng design
+  | 2 -> propose_remove_pin rng design
+  | 3 -> propose_add_net rng design
+  | 4 -> propose_remove_net rng design
+  | 5 -> propose_add_blockage rng design
+  | 6 -> propose_remove_blockage rng design
+  | _ -> propose_set_clearance rng design
+
+let random ~seed ~steps ~edits_per_step design =
+  let rng = Rng.create seed in
+  let cur = ref design in
+  let batches = ref [] in
+  for _ = 1 to steps do
+    let batch = ref [] in
+    let edits = ref 0 in
+    let attempts = ref 0 in
+    while !edits < edits_per_step && !attempts < edits_per_step * 50 do
+      incr attempts;
+      match propose rng !cur with
+      | None -> ()
+      | Some d -> (
+        (* the generator's screens are heuristic; Delta.apply is the
+           authority, and a rejected proposal is simply dropped *)
+        match Delta.apply !cur d with
+        | next ->
+          cur := next;
+          batch := d :: !batch;
+          incr edits
+        | exception Delta.Invalid _ -> ())
+    done;
+    if !batch <> [] then batches := List.rev !batch :: !batches
+  done;
+  List.rev !batches
+
+(* Pins whose whole net lives inside one panel: moving one inside that
+   panel cannot dirty any other panel (the net bbox stays inside it). *)
+let panel_local_pins design ~panel =
+  let net_panels = Hashtbl.create 64 in
+  Array.iter
+    (fun (p : Pin.t) ->
+      let pl = Design.panel_of_track design (I.lo p.Pin.tracks) in
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt net_panels p.Pin.net)
+      in
+      if not (List.mem pl cur) then Hashtbl.replace net_panels p.Pin.net (pl :: cur))
+    (Design.pins design);
+  List.filter
+    (fun (p : Pin.t) ->
+      match Hashtbl.find_opt net_panels p.Pin.net with
+      | Some [ _ ] -> true
+      | _ -> false)
+    (Design.pins_of_panel design panel)
+
+let local_moves ~seed ~steps ~dirty_fraction design =
+  let rng = Rng.create seed in
+  let cur = ref design in
+  let batches = ref [] in
+  for _ = 1 to steps do
+    let num_panels = Design.num_panels !cur in
+    let k =
+      max 1
+        (int_of_float (Float.ceil (dirty_fraction *. float_of_int num_panels)))
+    in
+    let panels = Array.init num_panels Fun.id in
+    Rng.shuffle rng panels;
+    let batch = ref [] in
+    Array.iteri
+      (fun i panel ->
+        if i < k then begin
+          let candidates = Array.of_list (panel_local_pins !cur ~panel) in
+          if Array.length candidates > 0 then begin
+            let moved = ref false in
+            let attempts = ref 0 in
+            while (not !moved) && !attempts < 20 do
+              incr attempts;
+              let p = candidates.(Rng.int rng (Array.length candidates)) in
+              let x = p.Pin.x + Rng.in_range rng ~lo:(-8) ~hi:8 in
+              if x <> p.Pin.x && shape_free !cur ~x ~tracks:p.Pin.tracks then begin
+                let d =
+                  Delta.Move_pin
+                    {
+                      from_ =
+                        { Delta.at_x = p.Pin.x; at_track = I.lo p.Pin.tracks };
+                      shape = { Delta.x; tracks = p.Pin.tracks };
+                    }
+                in
+                match Delta.apply !cur d with
+                | next ->
+                  cur := next;
+                  batch := d :: !batch;
+                  moved := true
+                | exception Delta.Invalid _ -> ()
+              end
+            done
+          end
+        end)
+      panels;
+    if !batch <> [] then batches := List.rev !batch :: !batches
+  done;
+  List.rev !batches

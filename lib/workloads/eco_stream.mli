@@ -1,0 +1,33 @@
+(** Deterministic ECO delta-stream generators for benchmarking and
+    differential fuzzing of {!Eco.Engine}.
+
+    Both generators track the evolving design (each emitted delta is
+    applied before proposing the next), so every batch in the returned
+    stream is valid against the design state it will meet at replay
+    time.  Proposals that interval generation could reject later
+    (blocking a pin's access tracks, stacking pins) are screened out,
+    so replaying a stream never produces an infeasible panel. *)
+
+val random :
+  seed:int64 ->
+  steps:int ->
+  edits_per_step:int ->
+  Netlist.Design.t ->
+  Eco.Delta.t list list
+(** A mixed edit stream: mostly pin moves, plus pin/net insertions and
+    removals, M2/M3 blockage churn and the occasional clearance rule
+    flip — the fuzz campaign's workload.  Batches that end up empty
+    (every proposal rejected) are dropped; the same [seed] always
+    yields the same stream for the same input design. *)
+
+val local_moves :
+  seed:int64 ->
+  steps:int ->
+  dirty_fraction:float ->
+  Netlist.Design.t ->
+  Eco.Delta.t list list
+(** The benchmark's "5%-dirty" workload: each step moves one pin in
+    [ceil (dirty_fraction * num_panels)] distinct panels, choosing only
+    pins of panel-local nets and keeping each move inside its panel —
+    so a step dirties exactly those panels and every other panel is a
+    guaranteed cache hit. *)

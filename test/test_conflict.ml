@@ -165,6 +165,125 @@ let prop_linear_clique_count =
       in
       Array.length (Conflict.detect intervals) <= Array.length intervals)
 
+(* Spans are inclusive grid ranges: [0,1] and [2,3] share no column, so
+   they only conflict once the clearance inflation bridges the gap. *)
+let test_touching_not_overlapping () =
+  let intervals =
+    mk_intervals [ (0, 0, 0, 1, AI.Regular); (1, 0, 2, 3, AI.Regular) ]
+  in
+  check_int "adjacent spans are clean at clearance 0" 0
+    (Array.length (Conflict.detect ~clearance:0 intervals));
+  let cliques = Conflict.detect ~clearance:1 intervals in
+  check_int "adjacent spans conflict at clearance 1" 1 (Array.length cliques);
+  check "both members present" true
+    (Array.to_list cliques.(0).Conflict.members = [ 0; 1 ])
+
+let test_zero_length_minimums () =
+  (* two pins forced onto the same column: the point intervals overlap
+     in exactly one grid, the paper's worst-case L_m = 1 *)
+  let stacked =
+    mk_intervals [ (0, 0, 4, 4, AI.Minimum); (1, 0, 4, 4, AI.Minimum) ]
+  in
+  let cliques = Conflict.detect stacked in
+  check_int "coincident points form one clique" 1 (Array.length cliques);
+  check_int "L_m = 1 for a point overlap" 1
+    (I.length cliques.(0).Conflict.common);
+  (* adjacent point intervals: clean until the clearance bridges them *)
+  let adjacent =
+    mk_intervals [ (0, 0, 3, 3, AI.Minimum); (1, 0, 4, 4, AI.Minimum) ]
+  in
+  check_int "adjacent points clean at clearance 0" 0
+    (Array.length (Conflict.detect ~clearance:0 adjacent));
+  check_int "adjacent points conflict at clearance 1" 1
+    (Array.length (Conflict.detect ~clearance:1 adjacent));
+  (* a point swallowed by a regular interval still registers *)
+  let swallowed =
+    mk_intervals [ (0, 0, 0, 8, AI.Regular); (1, 0, 5, 5, AI.Minimum) ]
+  in
+  check_int "point inside a span conflicts" 1
+    (Array.length (Conflict.detect swallowed))
+
+let test_duplicate_endpoints () =
+  (* identical spans must collapse to a single maximal clique, not one
+     clique per distinct right edge *)
+  let triple =
+    mk_intervals
+      [
+        (0, 0, 0, 5, AI.Regular);
+        (1, 0, 0, 5, AI.Regular);
+        (2, 0, 0, 5, AI.Regular);
+      ]
+  in
+  let cliques = Conflict.detect triple in
+  check_int "identical spans give one clique" 1 (Array.length cliques);
+  check_int "with all three members" 3
+    (Array.length cliques.(0).Conflict.members);
+  check_int "common = the shared span" 6 (I.length cliques.(0).Conflict.common);
+  (* shared right edge, staggered left edges: still one maximal clique *)
+  let shared_hi =
+    mk_intervals [ (0, 0, 0, 6, AI.Regular); (1, 0, 4, 6, AI.Regular) ]
+  in
+  check_int "shared right edge gives one clique" 1
+    (Array.length (Conflict.detect shared_hi))
+
+let test_chain_not_merged () =
+  (* A-[0,2] B-[2,4] C-[4,6]: A and C never meet, so the sweep must
+     emit {A,B} and {B,C}, never a merged {A,B,C} *)
+  let intervals =
+    mk_intervals
+      [
+        (0, 0, 0, 2, AI.Regular);
+        (1, 0, 2, 4, AI.Regular);
+        (2, 0, 4, 6, AI.Regular);
+      ]
+  in
+  let cliques =
+    Conflict.detect intervals
+    |> Array.to_list
+    |> List.map (fun (c : Conflict.clique) -> Array.to_list c.Conflict.members)
+    |> List.sort compare
+  in
+  check "chain yields the two pair cliques" true
+    (cliques = [ [ 0; 1 ]; [ 1; 2 ] ])
+
+(* every pairwise (clearance-inflated) overlap must appear inside some
+   clique, and cliques must introduce no pair that does not overlap *)
+let prop_clique_pairs_match_pairwise clearance =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "clique pairs = pairwise overlaps (clearance %d)"
+         clearance)
+    ~count:500 random_track_intervals (fun spans ->
+      let intervals =
+        mk_intervals
+          (List.map (fun (lo, hi) -> (0, 0, lo, hi, AI.Regular)) spans)
+      in
+      let pair a b = if a < b then (a, b) else (b, a) in
+      let from_cliques =
+        Conflict.detect ~clearance intervals
+        |> Array.to_list
+        |> List.concat_map (fun (c : Conflict.clique) ->
+               let m = Array.to_list c.Conflict.members in
+               List.concat_map
+                 (fun a -> List.filter_map
+                    (fun b -> if a < b then Some (pair a b) else None) m)
+                 m)
+        |> List.sort_uniq compare
+      in
+      let brute = ref [] in
+      let n = Array.length intervals in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = intervals.(i) and b = intervals.(j) in
+          let inflate (iv : AI.t) =
+            I.make ~lo:(I.lo iv.AI.span) ~hi:(I.hi iv.AI.span + clearance)
+          in
+          if I.overlaps (inflate a) (inflate b) then
+            brute := pair a.AI.id b.AI.id :: !brute
+        done
+      done;
+      from_cliques = List.sort_uniq compare !brute)
+
 let test_pairwise_count () =
   let intervals =
     mk_intervals
@@ -189,8 +308,17 @@ let () =
           Alcotest.test_case "clearance inflation" `Quick test_clearance_inflation;
           Alcotest.test_case "dense ids" `Quick test_dense_ids_required;
           Alcotest.test_case "pairwise count" `Quick test_pairwise_count;
+          Alcotest.test_case "touching not overlapping" `Quick
+            test_touching_not_overlapping;
+          Alcotest.test_case "zero-length minimums" `Quick
+            test_zero_length_minimums;
+          Alcotest.test_case "duplicate endpoints" `Quick
+            test_duplicate_endpoints;
+          Alcotest.test_case "chain not merged" `Quick test_chain_not_merged;
           QCheck_alcotest.to_alcotest (prop_sweep_matches_brute_force 0);
           QCheck_alcotest.to_alcotest (prop_sweep_matches_brute_force 2);
           QCheck_alcotest.to_alcotest prop_linear_clique_count;
+          QCheck_alcotest.to_alcotest (prop_clique_pairs_match_pairwise 0);
+          QCheck_alcotest.to_alcotest (prop_clique_pairs_match_pairwise 1);
         ] );
     ]

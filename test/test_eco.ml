@@ -1,0 +1,475 @@
+(* The ECO subsystem end to end: the delta language round-trips and
+   applies with precise errors, the dirty index marks exactly the
+   dependent panels, cache keys hash content (never names), and the
+   incremental engine lands on the from-scratch answer — bit-identical
+   with warm starting off, certified equivalent with it on, routed
+   flows audited clean. *)
+
+module I = Geometry.Interval
+module B = Netlist.Builder
+module Design = Netlist.Design
+module Blockage = Netlist.Blockage
+module Delta = Eco.Delta
+module Dirty = Eco.Dirty
+module PC = Eco.Panel_cache
+module Engine = Eco.Engine
+module PA = Pinaccess.Pin_access
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fig3_design () =
+  B.design ~width:20 ~height:10
+    ~nets:
+      [
+        ("a", [ B.pin_span 6 ~lo:2 ~hi:4; B.pin_at 2 7; B.pin_at 17 6 ]);
+        ("b", [ B.pin_at 9 3; B.pin_at 9 8 ]);
+        ("c", [ B.pin_at 3 2; B.pin_at 13 2 ]);
+        ("d", [ B.pin_at 14 3; B.pin_at 15 8 ]);
+      ]
+    ()
+
+(* three panels (row_height 10): nets a/b/c are panel-local, x spans
+   panels 0 and 2 *)
+let multi_panel () =
+  B.design ~width:24 ~height:30
+    ~nets:
+      [
+        ("a", [ B.pin_at 2 2; B.pin_at 9 6 ]);
+        ("b", [ B.pin_at 4 12; B.pin_at 11 17 ]);
+        ("c", [ B.pin_at 6 22; B.pin_at 15 27 ]);
+        ("x", [ B.pin_at 18 4; B.pin_at 18 24 ]);
+      ]
+    ()
+
+let ecc ?(scale = 0.05) () =
+  Workloads.Suite.design ~scale (Workloads.Suite.find "ecc")
+
+let net_names design =
+  Design.nets design |> Array.to_list
+  |> List.map (fun (n : Netlist.Net.t) -> n.Netlist.Net.name)
+  |> List.sort compare
+
+let has_pin design ~x ~track =
+  Design.pins design
+  |> Array.exists (fun (p : Netlist.Pin.t) ->
+         p.Netlist.Pin.x = x && Netlist.Pin.covers_track p track)
+
+(* ------------------------------------------------------------------ *)
+(* Delta language                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let every_kind =
+  [
+    Delta.Add_pin
+      { net = "a"; shape = { Delta.x = 5; tracks = I.make ~lo:3 ~hi:4 } };
+    Delta.Remove_pin { Delta.at_x = 9; at_track = 6 };
+    Delta.Move_pin
+      {
+        from_ = { Delta.at_x = 2; at_track = 2 };
+        shape = { Delta.x = 3; tracks = I.point 2 };
+      };
+    Delta.Add_net
+      {
+        name = "fresh";
+        pins =
+          [
+            { Delta.x = 1; tracks = I.point 8 };
+            { Delta.x = 7; tracks = I.make ~lo:0 ~hi:1 };
+          ];
+      };
+    Delta.Remove_net "b";
+    Delta.Add_blockage
+      (Blockage.make ~layer:Blockage.M2 ~track:5 ~span:(I.make ~lo:0 ~hi:3));
+    Delta.Remove_blockage
+      (Blockage.make ~layer:Blockage.M3 ~track:2 ~span:(I.make ~lo:1 ~hi:2));
+    Delta.Set_clearance 1;
+  ]
+
+let test_round_trip () =
+  check "every kind survives to_string/of_string" true
+    (Delta.of_string (Delta.to_string every_kind) = every_kind);
+  let batches = [ every_kind; [ Delta.Set_clearance 0 ] ] in
+  check "batches survive the step separator" true
+    (Delta.batches_of_string (Delta.batches_to_string batches) = batches)
+
+let test_parse_tolerance () =
+  let text =
+    "# an ECO from the editor\n\n\
+     move_pin 2 2 3 2 2\n\
+     step\n\n\
+     step\n\
+     remove_net b\n\
+     step\n"
+  in
+  let batches = Delta.batches_of_string text in
+  check "comments, blanks and empty batches are dropped" true
+    (batches
+    = [
+        [
+          Delta.Move_pin
+            {
+              from_ = { Delta.at_x = 2; at_track = 2 };
+              shape = { Delta.x = 3; tracks = I.point 2 };
+            };
+        ];
+        [ Delta.Remove_net "b" ];
+      ])
+
+let test_parse_errors () =
+  let rejects text =
+    match Delta.of_string text with
+    | exception Delta.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted malformed %S" text
+  in
+  rejects "bogus 1 2";
+  rejects "move_pin 1";
+  rejects "add_blockage M4 0 0 1";
+  (* single-batch parser refuses multi-batch streams *)
+  rejects "set_clearance 1\nstep\nset_clearance 0"
+
+let test_apply_move () =
+  let design = fig3_design () in
+  let moved =
+    Delta.apply design
+      (Delta.Move_pin
+         {
+           from_ = { Delta.at_x = 9; at_track = 3 };
+           shape = { Delta.x = 10; tracks = I.point 3 };
+         })
+  in
+  check "pin left the old grid" false (has_pin moved ~x:9 ~track:3);
+  check "pin arrived at the new grid" true (has_pin moved ~x:10 ~track:3);
+  check "net names survive the rebuild" true
+    (net_names moved = net_names design)
+
+let test_apply_net_lifecycle () =
+  let design = fig3_design () in
+  let with_solo =
+    Delta.apply design
+      (Delta.Add_net
+         { name = "solo"; pins = [ { Delta.x = 1; tracks = I.point 1 } ] })
+  in
+  check "net added" true (List.mem "solo" (net_names with_solo));
+  (* removing a net's last pin drops the net with it *)
+  let emptied =
+    Delta.apply with_solo (Delta.Remove_pin { Delta.at_x = 1; at_track = 1 })
+  in
+  check "emptied net dropped" true (net_names emptied = net_names design)
+
+let test_apply_all_indexes_failures () =
+  let design = fig3_design () in
+  let batch =
+    [
+      Delta.Set_clearance 1;
+      (* fine *)
+      Delta.Remove_net "no-such-net";
+    ]
+  in
+  match Delta.apply_all design batch with
+  | exception Delta.Invalid { index; _ } ->
+    check "offending delta is indexed" true (index = Some 1)
+  | _ -> Alcotest.fail "unknown net accepted"
+
+let test_remove_blockage_exact_match () =
+  let b = Blockage.make ~layer:Blockage.M2 ~track:5 ~span:(I.make ~lo:0 ~hi:3)
+  in
+  let design = Delta.apply (fig3_design ()) (Delta.Add_blockage b) in
+  check_int "blockage added" 1 (List.length (Design.blockages design));
+  let near =
+    Blockage.make ~layer:Blockage.M2 ~track:5 ~span:(I.make ~lo:0 ~hi:2)
+  in
+  (match Delta.apply design (Delta.Remove_blockage near) with
+  | exception Delta.Invalid _ -> ()
+  | _ -> Alcotest.fail "inexact blockage removal accepted");
+  let removed = Delta.apply design (Delta.Remove_blockage b) in
+  check_int "exact removal works" 0 (List.length (Design.blockages removed))
+
+let test_clearance_is_config_only () =
+  let design = fig3_design () in
+  let after = Delta.apply design (Delta.Set_clearance 2) in
+  check "design untouched by a rule delta" true
+    (Design.stats after = Design.stats design);
+  let cfg =
+    Delta.apply_config Pinaccess.Interval_gen.default_config
+      (Delta.Set_clearance 2)
+  in
+  check_int "config picked up the clearance" 2
+    cfg.Pinaccess.Interval_gen.clearance
+
+(* ------------------------------------------------------------------ *)
+(* Dirty index                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let dirty_panels design deltas =
+  let _, d = Dirty.compute ~before:design deltas in
+  d.Dirty.panels
+
+let test_dirty_local_move () =
+  let d =
+    dirty_panels (multi_panel ())
+      [
+        Delta.Move_pin
+          {
+            from_ = { Delta.at_x = 2; at_track = 2 };
+            shape = { Delta.x = 3; tracks = I.point 2 };
+          };
+      ]
+  in
+  check "a panel-local move dirties only its panel" true (d = [ 0 ])
+
+let test_dirty_follows_net_bbox () =
+  (* net x has pins in panels 0 and 2: moving the panel-0 pin reshapes
+     the net bbox that clips candidates in panel 2 as well *)
+  let d =
+    dirty_panels (multi_panel ())
+      [
+        Delta.Move_pin
+          {
+            from_ = { Delta.at_x = 18; at_track = 4 };
+            shape = { Delta.x = 17; tracks = I.point 4 };
+          };
+      ]
+  in
+  check "both of the net's panels are dirty" true (d = [ 0; 2 ])
+
+let test_dirty_blockages () =
+  let design = multi_panel () in
+  let m3 =
+    [
+      Delta.Add_blockage
+        (Blockage.make ~layer:Blockage.M3 ~track:20
+           ~span:(I.make ~lo:3 ~hi:14));
+    ]
+  in
+  let _, d3 = Dirty.compute ~before:design m3 in
+  check "M3 blockages dirty no panel" true (d3.Dirty.panels = []);
+  check "but do dirty their routing footprint" true (d3.Dirty.rects <> []);
+  let m2 =
+    [
+      Delta.Add_blockage
+        (Blockage.make ~layer:Blockage.M2 ~track:13
+           ~span:(I.make ~lo:20 ~hi:23));
+    ]
+  in
+  check "an M2 blockage dirties its panel" true
+    (dirty_panels design m2 = [ 1 ])
+
+let test_dirty_rule_change () =
+  check "a clearance flip dirties every panel" true
+    (dirty_panels (multi_panel ()) [ Delta.Set_clearance 1 ] = [ 0; 1; 2 ]);
+  let _, d = Dirty.compute ~before:(multi_panel ()) [] in
+  check "an empty batch is clean" true (Dirty.clean d)
+
+(* ------------------------------------------------------------------ *)
+(* Panel cache keys                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let key ?(config = PA.default_config) design panel =
+  PC.key ~config ~kind:PA.Lr design ~panel
+
+let test_key_ignores_net_names () =
+  let renamed =
+    B.design ~width:24 ~height:30
+      ~nets:
+        [
+          ("alpha", [ B.pin_at 2 2; B.pin_at 9 6 ]);
+          ("beta", [ B.pin_at 4 12; B.pin_at 11 17 ]);
+          ("gamma", [ B.pin_at 6 22; B.pin_at 15 27 ]);
+          ("delta", [ B.pin_at 18 4; B.pin_at 18 24 ]);
+        ]
+      ()
+  in
+  let design = multi_panel () in
+  for panel = 0 to 2 do
+    check "renaming every net keeps the key" true
+      (key design panel = key renamed panel)
+  done
+
+let test_key_tracks_rule_deck () =
+  let design = multi_panel () in
+  let loose =
+    {
+      PA.default_config with
+      PA.gen =
+        { Pinaccess.Interval_gen.default_config with clearance = 1 };
+    }
+  in
+  check "a clearance change misses" false
+    (key design 0 = key ~config:loose design 0)
+
+let test_key_is_panel_local () =
+  let design = multi_panel () in
+  let moved =
+    Delta.apply design
+      (Delta.Move_pin
+         {
+           from_ = { Delta.at_x = 2; at_track = 2 };
+           shape = { Delta.x = 3; tracks = I.point 2 };
+         })
+  in
+  check "the edited panel's key changes" false (key design 0 = key moved 0);
+  check "untouched panels keep their keys" true
+    (key design 1 = key moved 1 && key design 2 = key moved 2)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_differential () =
+  (* the audit replays every batch: incremental certifies, from-scratch
+     certifies, and (warm starting off) the two agree bit for bit *)
+  let design = ecc () in
+  let stream =
+    Workloads.Eco_stream.random ~seed:7L ~steps:4 ~edits_per_step:2 design
+  in
+  check "fixture stream is non-trivial" true (stream <> []);
+  match Audit.Eco_audit.check design stream with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_engine_differential_warm () =
+  let design = ecc () in
+  let stream =
+    Workloads.Eco_stream.random ~seed:11L ~steps:3 ~edits_per_step:2 design
+  in
+  let config = { Engine.default_config with Engine.warm_start = true } in
+  match Audit.Eco_audit.check ~config design stream with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_stream_batches_apply () =
+  (* every batch a generator emits must apply cleanly in sequence *)
+  let design = ecc () in
+  let stream =
+    Workloads.Eco_stream.random ~seed:5L ~steps:5 ~edits_per_step:3 design
+  in
+  ignore (List.fold_left Delta.apply_all design stream)
+
+let test_engine_cache_accounting () =
+  let design = ecc () in
+  let engine = Engine.create design in
+  let stream =
+    Workloads.Eco_stream.local_moves ~seed:3L ~steps:2 ~dirty_fraction:0.2
+      design
+  in
+  List.iter
+    (fun batch ->
+      let r = Engine.apply engine batch in
+      check "hits + re-solves cover the panels" true
+        (r.Engine.cache_hits + r.Engine.solved = r.Engine.panels);
+      check "a local move leaves clean panels cached" true
+        (r.Engine.cache_hits > 0);
+      check "dirty panels re-solve" true (r.Engine.solved >= 1))
+    stream;
+  let rate = Engine.cache_hit_rate engine in
+  check "lifetime hit rate is a rate" true (rate >= 0.0 && rate <= 1.0);
+  check "and saw some hits" true (rate > 0.0)
+
+let test_engine_invalid_leaves_state () =
+  let design = fig3_design () in
+  let engine = Engine.create design in
+  let objective = (Engine.pao engine).PA.objective in
+  let size = Engine.cache_size engine in
+  (match Engine.apply engine [ Delta.Remove_net "no-such-net" ] with
+  | exception Delta.Invalid _ -> ()
+  | _ -> Alcotest.fail "invalid batch accepted");
+  check "objective unchanged after a rejected batch" true
+    ((Engine.pao engine).PA.objective = objective);
+  check_int "cache unchanged after a rejected batch" size
+    (Engine.cache_size engine);
+  check "design unchanged after a rejected batch" true
+    (Design.stats (Engine.design engine) = Design.stats design)
+
+let test_engine_routed () =
+  let design = ecc ~scale:0.1 () in
+  let config = { Engine.default_config with Engine.routing = true } in
+  let engine = Engine.create ~config design in
+  check "cold start routes" true (Engine.flow engine <> None);
+  let stream =
+    Workloads.Eco_stream.local_moves ~seed:13L ~steps:2 ~dirty_fraction:0.1
+      design
+  in
+  let frozen = ref 0 in
+  List.iter
+    (fun batch ->
+      let r = Engine.apply engine batch in
+      frozen := !frozen + r.Engine.frozen_nets;
+      match Engine.flow engine with
+      | None -> Alcotest.fail "flow dropped by an incremental step"
+      | Some flow ->
+        check "incremental flow audits clean" true
+          (Audit.Flow_audit.run flow = []))
+    stream;
+  check "clean routes were frozen across steps" true (!frozen > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Audit plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_seed_deterministic () =
+  check "seed derives from the design text" true
+    (Audit.Eco_audit.stream_seed (fig3_design ())
+    = Audit.Eco_audit.stream_seed (fig3_design ()));
+  check "different designs get different seeds" false
+    (Audit.Eco_audit.stream_seed (fig3_design ())
+    = Audit.Eco_audit.stream_seed (multi_panel ()))
+
+let test_shrink_keeps_clean_streams () =
+  let design = fig3_design () in
+  let stream = [ [ Delta.Set_clearance 1 ]; [ Delta.Set_clearance 0 ] ] in
+  let shrunk, steps = Audit.Eco_audit.shrink_stream design stream in
+  check "a passing stream is returned unchanged" true (shrunk = stream);
+  check_int "with zero reduction steps" 0 steps
+
+let () =
+  Alcotest.run "eco"
+    [
+      ( "delta",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "parse tolerance" `Quick test_parse_tolerance;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "move pin" `Quick test_apply_move;
+          Alcotest.test_case "net lifecycle" `Quick test_apply_net_lifecycle;
+          Alcotest.test_case "batch failure index" `Quick
+            test_apply_all_indexes_failures;
+          Alcotest.test_case "blockage exact match" `Quick
+            test_remove_blockage_exact_match;
+          Alcotest.test_case "clearance is config-only" `Quick
+            test_clearance_is_config_only;
+        ] );
+      ( "dirty",
+        [
+          Alcotest.test_case "local move" `Quick test_dirty_local_move;
+          Alcotest.test_case "net bbox" `Quick test_dirty_follows_net_bbox;
+          Alcotest.test_case "blockages" `Quick test_dirty_blockages;
+          Alcotest.test_case "rule change" `Quick test_dirty_rule_change;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "names excluded" `Quick test_key_ignores_net_names;
+          Alcotest.test_case "rule deck included" `Quick
+            test_key_tracks_rule_deck;
+          Alcotest.test_case "panel locality" `Quick test_key_is_panel_local;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "differential (cold)" `Quick
+            test_engine_differential;
+          Alcotest.test_case "differential (warm)" `Quick
+            test_engine_differential_warm;
+          Alcotest.test_case "streams apply" `Quick test_stream_batches_apply;
+          Alcotest.test_case "cache accounting" `Quick
+            test_engine_cache_accounting;
+          Alcotest.test_case "invalid batch is atomic" `Quick
+            test_engine_invalid_leaves_state;
+          Alcotest.test_case "routed increments" `Quick test_engine_routed;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "stream seed" `Quick test_stream_seed_deterministic;
+          Alcotest.test_case "shrink keeps clean" `Quick
+            test_shrink_keeps_clean_streams;
+        ] );
+    ]

@@ -134,6 +134,37 @@ let test_refine_repairs_conflicts () =
   check "repaired" true (Sol.is_conflict_free repaired);
   check "shrinks counted" true (shrinks > 0)
 
+let test_warm_start_fewer_iterations () =
+  (* a warm restart from the converged multipliers of the *same*
+     problem must re-converge strictly faster than the cold solve did *)
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let cold = LR.solve problem in
+  check "cold solve converges" true (cold.LR.best_violations = 0);
+  check "cold solve needs several iterations" true (cold.LR.iterations >= 2);
+  check "multiplier vector matches clique count" true
+    (Array.length (LR.multipliers cold) = Array.length problem.P.cliques);
+  let warm = LR.solve ~warm_start:(LR.multipliers cold) problem in
+  check "warm restart converges" true (warm.LR.best_violations = 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %d < cold %d iterations" warm.LR.iterations
+       cold.LR.iterations)
+    true
+    (warm.LR.iterations < cold.LR.iterations)
+
+let test_warm_start_length_mismatch () =
+  let d = fig3_design () in
+  let problem = P.build_panel cfg d ~panel:0 in
+  let bad = Array.make (Array.length problem.P.cliques + 1) 0.0 in
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument
+       (Printf.sprintf
+          "Lagrangian.solve: warm_start has %d multipliers, problem has %d \
+           cliques"
+          (Array.length bad)
+          (Array.length problem.P.cliques)))
+    (fun () -> ignore (LR.solve ~warm_start:bad problem))
+
 let test_objective_close_to_ilp () =
   let d = Workloads.Suite.design ~scale:0.08 (Workloads.Suite.find "ecc") in
   let problem = P.build_panel cfg d ~panel:0 in
@@ -164,6 +195,10 @@ let () =
           Alcotest.test_case "algorithm 1 literal" `Quick test_literal_algorithm1;
           Alcotest.test_case "solution accessors" `Quick test_solution_accessors;
           Alcotest.test_case "refine repairs" `Quick test_refine_repairs_conflicts;
+          Alcotest.test_case "warm start fewer iterations" `Quick
+            test_warm_start_fewer_iterations;
+          Alcotest.test_case "warm start length mismatch" `Quick
+            test_warm_start_length_mismatch;
           Alcotest.test_case "LR close to ILP" `Slow test_objective_close_to_ilp;
         ] );
     ]
