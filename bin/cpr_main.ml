@@ -130,9 +130,13 @@ let main circuit scale nets width height seed router pao budget jobs
   match eco with
   | Some path -> run_eco pao verbose path design
   | None ->begin
-  (* span sinks for the run: Chrome trace_event and/or JSONL stream *)
-  let trace_oc = Option.map open_out trace in
-  let metrics_oc = Option.map open_out metrics_out in
+  (* span sinks for the run: Chrome trace_event and/or JSONL stream.
+     Both stream into atomic pending files promoted on success, so an
+     interrupted run leaves no torn artifact at the requested path. *)
+  let trace_p = Option.map Obs.Fsio.open_atomic trace in
+  let metrics_p = Option.map Obs.Fsio.open_atomic metrics_out in
+  let trace_oc = Option.map Obs.Fsio.channel trace_p in
+  let metrics_oc = Option.map Obs.Fsio.channel metrics_p in
   let sinks =
     List.filter_map Fun.id
       [
@@ -154,10 +158,10 @@ let main circuit scale nets width height seed router pao budget jobs
         (fun line ->
           output_string oc line;
           output_char oc '\n')
-        (Obs.Metrics.jsonl (Obs.Metrics.snapshot ()));
-      close_out oc)
+        (Obs.Metrics.jsonl (Obs.Metrics.snapshot ())))
     metrics_oc;
-  Option.iter close_out trace_oc;
+  Option.iter Obs.Fsio.commit metrics_p;
+  Option.iter Obs.Fsio.commit trace_p;
   Option.iter (Format.printf "trace written to %s (Perfetto-loadable)@.") trace;
   Option.iter (Format.printf "metrics written to %s@.") metrics_out;
   let s = Metrics.Eval.of_flow flow in

@@ -1,0 +1,465 @@
+(* The crash-safe ECO service and its test harnesses:
+
+     cpr_serve serve --root state/        # speak the wire protocol on stdio
+     cpr_serve load  --root state/ --clients 4 --steps 50
+     cpr_serve soak  --root state/ --clients 4 --steps 50 --kill-after 30
+
+   [serve] is the daemon: requests on stdin, responses on stdout,
+   everything durable under --root.  [load] runs the in-process load
+   generator against a fresh broker and reports throughput and latency
+   percentiles.  [soak] spawns a real [serve] child over pipes, drives
+   it with edit streams, kill -9s it mid-flight, restarts it, and
+   verifies recovery: every acknowledged batch must survive, sessions
+   must resume exactly where the journal proves they stopped.
+
+   Exit codes: 0 clean, 1 a durability/consistency check failed,
+   124 usage errors. *)
+
+open Cmdliner
+module P = Serve.Protocol
+module Fault = Pinaccess.Fault
+
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | _ -> Error (`Msg "expected a positive integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let non_negative_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | _ -> Error (`Msg "expected a non-negative integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+(* -- shared flags ------------------------------------------------------ *)
+
+let root =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "root" ] ~docv:"DIR" ~doc:"Session state directory.")
+
+let jobs =
+  Arg.(
+    value & opt positive_int 1
+    & info [ "j"; "jobs" ] ~doc:"Solver pool domains (1 = inline).")
+
+let checkpoint_every =
+  Arg.(
+    value & opt positive_int 32
+    & info [ "checkpoint-every" ]
+        ~doc:"Checkpoint a session after this many committed batches.")
+
+let queue_cap =
+  Arg.(
+    value & opt positive_int 64
+    & info [ "queue-cap" ] ~doc:"Per-session submit queue capacity.")
+
+let global_cap =
+  Arg.(
+    value & opt positive_int 256
+    & info [ "global-cap" ] ~doc:"Global queued-batch admission limit.")
+
+let max_sessions =
+  Arg.(
+    value & opt positive_int 8
+    & info [ "max-sessions" ] ~doc:"Concurrently attached session limit.")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "deadline-ms" ] ~doc:"Default deadline for edits that carry none.")
+
+let max_retries =
+  Arg.(
+    value & opt non_negative_int 2
+    & info [ "max-retries" ] ~doc:"Per-batch solve retries before giving up.")
+
+let no_audit =
+  Arg.(
+    value & flag
+    & info [ "no-audit" ] ~doc:"Skip certification of recovered sessions.")
+
+let inject_worker =
+  Arg.(
+    value & opt non_negative_int 0
+    & info [ "inject-worker" ]
+        ~docv:"N"
+        ~doc:"Fail every Nth panel-solve task (0 = off) — supervision drill.")
+
+let inject_wal_append =
+  Arg.(
+    value & opt non_negative_int 0
+    & info [ "inject-wal-append" ]
+        ~docv:"N" ~doc:"Tear every Nth WAL record append (0 = off).")
+
+let inject_wal_commit =
+  Arg.(
+    value & opt non_negative_int 0
+    & info [ "inject-wal-commit" ]
+        ~docv:"N" ~doc:"Fail every Nth WAL commit marker (0 = off).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload stream seed.")
+
+let clients =
+  Arg.(value & opt positive_int 4 & info [ "clients" ] ~doc:"Client sessions.")
+
+let steps =
+  Arg.(
+    value & opt positive_int 25
+    & info [ "steps" ] ~doc:"Edit batches per client.")
+
+let edits_per_step =
+  Arg.(
+    value & opt positive_int 3
+    & info [ "edits-per-step" ] ~doc:"Deltas per batch.")
+
+let scale =
+  Arg.(
+    value & opt float 0.05
+    & info [ "scale" ] ~doc:"Suite circuit scale for the base design.")
+
+let install_faults ~worker ~wal_append ~wal_commit =
+  let counts = Hashtbl.create 4 in
+  let every point n =
+    n > 0
+    &&
+    let c = 1 + (try Hashtbl.find counts point with Not_found -> 0) in
+    Hashtbl.replace counts point c;
+    c mod n = 0
+  in
+  Fault.set_hook @@
+    fun p ->
+      match p with
+      | Fault.Worker when every p worker ->
+        failwith "injected worker-domain fault"
+      | Fault.Wal_append when every p wal_append ->
+        failwith "injected torn WAL write"
+      | Fault.Wal_commit when every p wal_commit ->
+        failwith "injected WAL commit failure"
+      | _ -> ()
+
+let server_config ~root ~jobs ~checkpoint_every ~queue_cap ~global_cap
+    ~max_sessions ~deadline_ms ~max_retries ~no_audit =
+  {
+    (Serve.Server.default_config ~root) with
+    Serve.Server.checkpoint_every;
+    queue_capacity = queue_cap;
+    global_capacity = global_cap;
+    max_sessions;
+    default_deadline_ms = deadline_ms;
+    max_retries;
+    on_backoff = Unix.sleepf;
+    audit_on_recover = not no_audit;
+    jobs;
+    now = Unix.gettimeofday;
+  }
+
+(* -- serve ------------------------------------------------------------- *)
+
+let run_serve root jobs checkpoint_every queue_cap global_cap max_sessions
+    deadline_ms max_retries no_audit worker wal_append wal_commit =
+  install_faults ~worker ~wal_append ~wal_commit;
+  let config =
+    server_config ~root ~jobs ~checkpoint_every ~queue_cap ~global_cap
+      ~max_sessions ~deadline_ms ~max_retries ~no_audit
+  in
+  let t = Serve.Server.create config in
+  let getline () = In_channel.input_line stdin in
+  let respond r =
+    print_string (P.response_to_string r);
+    flush stdout
+  in
+  let rec loop () =
+    match P.read_request ~getline with
+    | None -> ()
+    | Some (Error msg) ->
+      respond (P.Resp_err (P.Parse, msg));
+      loop ()
+    | Some (Ok P.Quit) -> respond (Serve.Server.handle t P.Quit)
+    | Some (Ok req) ->
+      respond (Serve.Server.handle t req);
+      loop ()
+  in
+  loop ();
+  Serve.Server.shutdown t;
+  0
+
+(* -- load -------------------------------------------------------------- *)
+
+let print_outcome (o : Serve.Loadgen.outcome) =
+  Format.printf
+    "sent %d  acked %d (%d edits)  timeouts %d  shed %d  failed %d@."
+    o.Serve.Loadgen.sent o.acked o.acked_edits o.timeouts o.shed o.failed;
+  Format.printf "wall %.2fs  %.1f edits/s  p50 %.1fms  p99 %.1fms  mean %.1fms@."
+    o.wall o.edits_per_sec o.p50_ms o.p99_ms o.mean_ms;
+  if o.mismatches <> [] then
+    Format.printf "MISMATCHED SESSIONS: %s@." (String.concat " " o.mismatches)
+
+let run_load root jobs checkpoint_every queue_cap global_cap max_sessions
+    deadline_ms max_retries no_audit worker seed clients steps edits_per_step
+    scale =
+  install_faults ~worker ~wal_append:0 ~wal_commit:0;
+  let config =
+    server_config ~root ~jobs ~checkpoint_every ~queue_cap ~global_cap
+      ~max_sessions:(max max_sessions clients) ~deadline_ms ~max_retries
+      ~no_audit
+  in
+  let t = Serve.Server.create config in
+  let design = Workloads.Suite.design ~scale (Workloads.Suite.find "ecc") in
+  let outcome =
+    Serve.Loadgen.run ~design
+      {
+        Serve.Loadgen.default with
+        Serve.Loadgen.clients;
+        steps;
+        edits_per_step;
+        seed = Int64.of_int seed;
+        deadline_ms;
+        now = Unix.gettimeofday;
+      }
+      (Serve.Server.handle t)
+  in
+  Serve.Server.shutdown t;
+  print_outcome outcome;
+  if outcome.Serve.Loadgen.mismatches = [] then 0 else 1
+
+(* -- soak -------------------------------------------------------------- *)
+
+(* A [serve] child on pipes. *)
+type child = {
+  pid : int;
+  to_child : out_channel;
+  from_child : in_channel;
+}
+
+let spawn_serve ~root ~jobs ~worker =
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+  let args =
+    [
+      Sys.executable_name; "serve"; "--root"; root;
+      "--jobs"; string_of_int jobs;
+    ]
+    @ (if worker > 0 then [ "--inject-worker"; string_of_int worker ] else [])
+  in
+  let pid =
+    Unix.create_process Sys.executable_name (Array.of_list args) req_r resp_w
+      Unix.stderr
+  in
+  Unix.close req_r;
+  Unix.close resp_w;
+  {
+    pid;
+    to_child = Unix.out_channel_of_descr req_w;
+    from_child = Unix.in_channel_of_descr resp_r;
+  }
+
+let child_conn child req =
+  output_string child.to_child (P.request_to_string req);
+  flush child.to_child;
+  match P.read_response ~getline:(fun () -> In_channel.input_line child.from_child)
+  with
+  | Some r -> r
+  | None -> P.Resp_err (P.Internal, "child closed the connection")
+
+let kill_child child =
+  Unix.kill child.pid Sys.sigkill;
+  ignore (Unix.waitpid [] child.pid);
+  close_out_noerr child.to_child;
+  close_in_noerr child.from_child
+
+let quit_child child =
+  (try ignore (child_conn child P.Quit) with _ -> ());
+  ignore (Unix.waitpid [] child.pid);
+  close_out_noerr child.to_child;
+  close_in_noerr child.from_child
+
+type soak_client = {
+  session : string;
+  stream : Eco.Delta.t list array;
+  mutable next : int;  (* index of the next unacknowledged batch *)
+  mutable shadow : Netlist.Design.t;  (* fold of batches 0..next-1 *)
+}
+
+let soak_fail fmt = Printf.ksprintf (fun m -> prerr_endline ("SOAK: " ^ m)) fmt
+
+(* Acknowledge-or-retry one batch; returns false on an unrecoverable
+   response. *)
+let send_batch conn c =
+  let batch = c.stream.(c.next) in
+  let rec go attempts =
+    match conn (P.Edit (c.session, P.no_opts, Eco.Delta.to_string batch)) with
+    | P.Resp_ok _ ->
+      c.shadow <- Eco.Delta.apply_all c.shadow batch;
+      c.next <- c.next + 1;
+      true
+    | P.Resp_err ((P.Worker_failed | P.Overloaded | P.Timeout), _)
+      when attempts < 5 ->
+      go (attempts + 1)
+    | P.Resp_err (code, msg) ->
+      soak_fail "%s batch %d: %s %s" c.session c.next
+        (P.err_code_to_string code) msg;
+      false
+    | P.Resp_data _ ->
+      soak_fail "%s batch %d: unexpected data response" c.session c.next;
+      false
+  in
+  go 0
+
+(* After a restart: the journal may additionally hold the one batch
+   that was in flight when the child died.  Accept either state and
+   advance the client's bookkeeping to match the dump. *)
+let resync_client conn c =
+  match conn (P.Get_design c.session) with
+  | P.Resp_data (_, payload) ->
+    if payload = Netlist.Design_io.to_string c.shadow then true
+    else if
+      c.next < Array.length c.stream
+      &&
+      let advanced = Eco.Delta.apply_all c.shadow c.stream.(c.next) in
+      payload = Netlist.Design_io.to_string advanced
+    then begin
+      c.shadow <- Eco.Delta.apply_all c.shadow c.stream.(c.next);
+      c.next <- c.next + 1;
+      true
+    end
+    else begin
+      soak_fail "%s: recovered design matches neither %d nor %d acked batches"
+        c.session c.next (c.next + 1);
+      false
+    end
+  | P.Resp_ok _ | P.Resp_err _ ->
+    soak_fail "%s: design dump failed after recovery" c.session;
+    false
+
+let run_soak root jobs worker seed clients steps edits_per_step scale
+    kill_after =
+  let design = Workloads.Suite.design ~scale (Workloads.Suite.find "ecc") in
+  let design_text = Netlist.Design_io.to_string design in
+  let cs =
+    List.init clients (fun i ->
+        {
+          session = Printf.sprintf "soak%d" i;
+          stream =
+            Array.of_list
+              (Workloads.Eco_stream.random
+                 ~seed:(Int64.of_int (seed + i))
+                 ~steps ~edits_per_step design);
+          next = 0;
+          shadow = design;
+        })
+  in
+  let child = ref (spawn_serve ~root ~jobs ~worker) in
+  let conn req = child_conn !child req in
+  let ok = ref true in
+  List.iter
+    (fun c ->
+      match conn (P.Open (c.session, design_text)) with
+      | P.Resp_ok _ -> ()
+      | r ->
+        soak_fail "open %s failed: %s" c.session
+          (String.trim (P.response_to_string r));
+        ok := false)
+    cs;
+  let total_acked () = List.fold_left (fun a c -> a + c.next) 0 cs in
+  let alive c = c.next < Array.length c.stream in
+  let killed = ref false in
+  (* round-robin; one mid-flight kill -9 at the scheduled point *)
+  while !ok && List.exists alive cs do
+    List.iter
+      (fun c ->
+        if !ok && alive c then
+          if (not !killed) && total_acked () >= kill_after then begin
+            killed := true;
+            (* fire the request and murder the child mid-processing *)
+            output_string !child.to_child
+              (P.request_to_string
+                 (P.Edit (c.session, P.no_opts, Eco.Delta.to_string c.stream.(c.next))));
+            flush !child.to_child;
+            Unix.sleepf 0.02;
+            kill_child !child;
+            child := spawn_serve ~root ~jobs ~worker;
+            (* recover every session and re-establish client state *)
+            List.iter
+              (fun c ->
+                if !ok then
+                  match conn (P.Attach c.session) with
+                  | P.Resp_ok _ -> ok := !ok && resync_client conn c
+                  | r ->
+                    soak_fail "attach %s failed: %s" c.session
+                      (String.trim (P.response_to_string r));
+                    ok := false)
+              cs
+          end
+          else ok := !ok && send_batch conn c)
+      cs
+  done;
+  (* final verification: every session's design equals the full fold *)
+  if !ok then
+    List.iter
+      (fun c ->
+        match conn (P.Get_design c.session) with
+        | P.Resp_data (_, payload)
+          when payload = Netlist.Design_io.to_string c.shadow -> ()
+        | _ ->
+          soak_fail "%s: final design diverges from the acknowledged fold"
+            c.session;
+          ok := false)
+      cs;
+  if !killed && !ok then
+    Format.printf "soak: %d sessions, %d batches, 1 kill -9: all recovered@."
+      clients (total_acked ())
+  else if not !killed then begin
+    soak_fail "kill point (%d) never reached (%d batches total)" kill_after
+      (total_acked ());
+    ok := false
+  end;
+  quit_child !child;
+  if !ok then 0 else 1
+
+(* -- command line ------------------------------------------------------ *)
+
+let kill_after =
+  Arg.(
+    value & opt positive_int 20
+    & info [ "kill-after" ]
+        ~doc:"kill -9 the server after this many acknowledged batches.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve" ~doc:"run the ECO service on stdin/stdout")
+    Term.(
+      const run_serve $ root $ jobs $ checkpoint_every $ queue_cap $ global_cap
+      $ max_sessions $ deadline_ms $ max_retries $ no_audit $ inject_worker
+      $ inject_wal_append $ inject_wal_commit)
+
+let load_cmd =
+  Cmd.v
+    (Cmd.info "load" ~doc:"drive an in-process broker with edit streams")
+    Term.(
+      const run_load $ root $ jobs $ checkpoint_every $ queue_cap $ global_cap
+      $ max_sessions $ deadline_ms $ max_retries $ no_audit $ inject_worker
+      $ seed $ clients $ steps $ edits_per_step $ scale)
+
+let soak_cmd =
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"spawn a real server, kill -9 it mid-batch, verify recovery")
+    Term.(
+      const run_soak $ root $ jobs $ inject_worker $ seed $ clients $ steps
+      $ edits_per_step $ scale $ kill_after)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "cpr_serve" ~version:"1.0.0"
+       ~doc:"crash-safe supervised ECO service with WAL recovery")
+    [ serve_cmd; load_cmd; soak_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,10 +1,17 @@
-type point = Ilp | Lr
+type point = Ilp | Lr | Wal_append | Wal_commit | Serve_apply | Worker
 
-let point_to_string = function Ilp -> "ilp" | Lr -> "lr"
+let point_to_string = function
+  | Ilp -> "ilp"
+  | Lr -> "lr"
+  | Wal_append -> "wal_append"
+  | Wal_commit -> "wal_commit"
+  | Serve_apply -> "serve_apply"
+  | Worker -> "worker"
 
 let hook : (point -> unit) ref = ref (fun _ -> ())
 
 let trip p = !hook p
+let set_hook h = hook := h
 
 let with_hook h f =
   let old = !hook in

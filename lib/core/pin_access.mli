@@ -114,6 +114,13 @@ val solve_panel :
     tier served the panel).  The single-panel entry point of the
     incremental engine ([Eco.Engine]). *)
 
+val panel_budget : Budget.t -> panels_left:int -> Budget.t
+(** The per-panel slice [optimize]'s sequential walk hands each
+    remaining panel: an equal share of the remaining deadline and work
+    allowance (the budget itself when unlimited).  Exported so
+    incremental callers ({!Eco.Engine}) slice budgets in lockstep with
+    the from-scratch walk. *)
+
 val interval_of_pin : t -> Netlist.Pin.id -> Access_interval.t option
 
 val validate : ?complete:bool -> t -> unit

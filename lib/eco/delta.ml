@@ -164,11 +164,8 @@ let of_string s =
       "multi-batch stream (contains 'step'); use batches_of_string"
 
 let save path batches =
-  try
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (batches_to_string batches))
+  (* atomic (temp + rename), like [Design_io.save] *)
+  try Obs.Fsio.atomic_write path (batches_to_string batches)
   with Sys_error reason -> raise (Parse_error { line = 0; reason })
 
 let load path =

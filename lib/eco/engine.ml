@@ -60,55 +60,168 @@ type pao_stats = {
   mutable warm : int;
 }
 
+(* One cache-miss panel to re-solve: its problem is built and its
+   warm-start vector resolved up front (phase 1), so the solve itself
+   (phase 2) reads no shared mutable state and can run on any domain. *)
+type miss = {
+  m_panel : int;
+  m_key : string;
+  m_problem : Pinaccess.Problem.t;
+  m_warm : float array option;
+}
+
 (* The per-panel walk of [PA.optimize], with the cache in front: clean
    panels (key unchanged) re-serve their stored solution; dirty panels
    re-solve, seeded from the previous entry's multipliers when warm
-   starting is on.  Accumulation mirrors [optimize]'s sequential fold
-   exactly (panel-ascending, [acc +. o]) so with warm starting off the
-   result is equivalent to a from-scratch run. *)
-let solve_pao_stage ~cache ~(config : config) ~prev_key design stats =
+   starting is on.  The walk runs in three phases — classify (cache
+   lookups, problem builds), solve (the misses; fanned over [pool]'s
+   domains when one is given, each with an isolated budget slice and
+   buffered metrics/spans), accumulate (panel-ascending, [acc +. o]) —
+   which together mirror the original sequential fold exactly: with
+   warm starting off the result is bit-equivalent to a from-scratch
+   run, pool or no pool.  [budget] meters the miss solves through the
+   same degradation ladder as [PA.optimize]; hits are free. *)
+let solve_pao_stage ~cache ~(config : config) ~prev_key ?budget ?pool design
+    stats =
   Obs.Trace.with_span "eco.pao" @@ fun () ->
   let started = Pinaccess.Unix_time.now () in
+  let budget = Pinaccess.Budget.of_option budget in
   let num_panels = Design.num_panels design in
   let keys = Array.make num_panels "" in
-  let assignments = ref [] in
-  let reports = ref [] in
-  let objective = ref 0.0 in
+  (* phase 1: classify every non-empty panel as hit / miss / duplicate
+     of an in-flight miss (two panels can share a key; the sequential
+     walk would solve the first and hit on the second) *)
+  let hit_entries = Hashtbl.create 16 in (* panel -> entry *)
+  let dup_keys = Hashtbl.create 4 in (* panel -> key of an in-flight miss *)
+  let in_flight = Hashtbl.create 16 in (* key -> () *)
+  let misses_rev = ref [] in
   for panel = 0 to num_panels - 1 do
     if Design.pins_of_panel design panel <> [] then begin
       let key =
         Panel_cache.key ~config:config.pao ~kind:config.kind design ~panel
       in
       keys.(panel) <- key;
-      match Panel_cache.find cache key with
-      | Some entry ->
-        stats.hits <- stats.hits + 1;
+      if Hashtbl.mem in_flight key then Hashtbl.replace dup_keys panel key
+      else
+        match Panel_cache.find cache key with
+        | Some entry ->
+          stats.hits <- stats.hits + 1;
+          Hashtbl.replace hit_entries panel entry
+        | None ->
+          stats.solved <- stats.solved + 1;
+          let problem = PA.build_panel config.pao design ~panel in
+          let warm =
+            if not config.warm_start then None
+            else
+              match Option.bind (prev_key panel) (Panel_cache.peek cache) with
+              | Some prev when Array.length prev.Panel_cache.multipliers > 0 ->
+                stats.warm <- stats.warm + 1;
+                Some (Panel_cache.warm_start_for prev problem)
+              | _ -> None
+          in
+          Hashtbl.replace in_flight key ();
+          misses_rev :=
+            { m_panel = panel; m_key = key; m_problem = problem; m_warm = warm }
+            :: !misses_rev
+    end
+  done;
+  let misses = Array.of_list (List.rev !misses_rev) in
+  (* phase 2: solve the misses.  [Fault.Worker] is the service layer's
+     injected worker-failure point — it trips per panel-solve task so a
+     supervisor above can observe a single task dying. *)
+  let solve_miss ~budget m =
+    Pinaccess.Fault.trip Pinaccess.Fault.Worker;
+    PA.solve_panel ~config:config.pao ~budget ?warm_start:m.m_warm
+      ~kind:config.kind ~panel:m.m_panel m.m_problem
+  in
+  let solved =
+    match pool with
+    | Some pool when Array.length misses > 1 && Exec.domains pool > 1 ->
+      (* equal isolated slices, domain-buffered metrics and spans,
+         merged back in miss (= panel) order — the [PA.optimize ~j]
+         discipline *)
+      let n = Array.length misses in
+      let slices =
+        Array.map
+          (fun _ ->
+            if Pinaccess.Budget.is_unlimited budget then
+              Pinaccess.Budget.isolated budget ()
+            else
+              let seconds =
+                Option.map
+                  (fun s -> s /. float_of_int n)
+                  (Pinaccess.Budget.remaining_seconds budget)
+              in
+              let work_units =
+                Option.map
+                  (fun w -> max 1 (w / n))
+                  (Pinaccess.Budget.remaining_work budget)
+              in
+              Pinaccess.Budget.isolated budget ?seconds ?work_units ())
+          misses
+      in
+      let trace_on = Obs.Trace.enabled () in
+      let task i m =
+        let run () = solve_miss ~budget:slices.(i) m in
+        Obs.Metrics.buffered (fun () ->
+            if trace_on then Obs.Trace.buffered run else (run (), []))
+      in
+      let results = Exec.mapi pool task misses in
+      Array.mapi
+        (fun i ((r, events), mbuf) ->
+          Obs.Metrics.flush mbuf;
+          Obs.Trace.replay events;
+          Pinaccess.Budget.spend budget
+            (Pinaccess.Budget.work_spent slices.(i));
+          r)
+        results
+    | _ ->
+      let panels_left = ref (Array.length misses) in
+      Array.map
+        (fun m ->
+          let sliced = PA.panel_budget budget ~panels_left:!panels_left in
+          decr panels_left;
+          solve_miss ~budget:sliced m)
+        misses
+  in
+  (* store fresh entries before accumulation so duplicate-key panels
+     can re-serve them, exactly as the sequential walk would *)
+  let solved_of_panel = Hashtbl.create 16 in
+  Array.iteri
+    (fun i m ->
+      let asg, _, report, multipliers = solved.(i) in
+      Panel_cache.store cache m.m_key
+        (Panel_cache.entry_of_solution ~problem:m.m_problem ~assignments:asg
+           ~report ~multipliers design ~panel:m.m_panel);
+      Hashtbl.replace solved_of_panel m.m_panel solved.(i))
+    misses;
+  (* phase 3: accumulate in panel-ascending order, as [optimize] does *)
+  let assignments = ref [] in
+  let reports = ref [] in
+  let objective = ref 0.0 in
+  for panel = 0 to num_panels - 1 do
+    if keys.(panel) <> "" then begin
+      match Hashtbl.find_opt solved_of_panel panel with
+      | Some (asg, obj, report, _) ->
+        assignments := List.rev_append asg !assignments;
+        reports := report :: !reports;
+        objective := !objective +. obj
+      | None ->
+        let entry =
+          match Hashtbl.find_opt hit_entries panel with
+          | Some entry -> entry
+          | None -> (
+            (* duplicate of a miss solved this round: a fresh lookup,
+               counted as the hit the sequential walk would record *)
+            stats.hits <- stats.hits + 1;
+            match Panel_cache.find cache (Hashtbl.find dup_keys panel) with
+            | Some entry -> entry
+            | None -> assert false (* just stored above *))
+        in
         let asg, report = Panel_cache.materialize entry design ~panel in
         assignments := List.rev_append asg !assignments;
         reports := report :: !reports;
         objective := !objective +. report.PA.objective
-      | None ->
-        stats.solved <- stats.solved + 1;
-        let problem = PA.build_panel config.pao design ~panel in
-        let warm =
-          if not config.warm_start then None
-          else
-            match Option.bind (prev_key panel) (Panel_cache.peek cache) with
-            | Some prev when Array.length prev.Panel_cache.multipliers > 0 ->
-              stats.warm <- stats.warm + 1;
-              Some (Panel_cache.warm_start_for prev problem)
-            | _ -> None
-        in
-        let asg, obj, report, multipliers =
-          PA.solve_panel ~config:config.pao ?warm_start:warm ~kind:config.kind
-            ~panel problem
-        in
-        Panel_cache.store cache key
-          (Panel_cache.entry_of_solution ~problem ~assignments:asg ~report
-             ~multipliers design ~panel);
-        assignments := List.rev_append asg !assignments;
-        reports := report :: !reports;
-        objective := !objective +. obj
     end
   done;
   let reports = List.rev !reports in
@@ -283,12 +396,13 @@ let route_incremental (config : config) ~before ~(old_pao : PA.t)
   in
   (flow, reused, result.Router.Negotiation.total_reroutes + drc)
 
-let create ?(config = default_config) design =
+let create ?(config = default_config) ?budget ?pool design =
   Obs.Trace.with_span "eco.create" @@ fun () ->
   let cache = Panel_cache.create ~max_entries:config.max_cache_entries () in
   let stats = { hits = 0; solved = 0; warm = 0 } in
   let pao, panel_keys =
-    solve_pao_stage ~cache ~config ~prev_key:(fun _ -> None) design stats
+    solve_pao_stage ~cache ~config ~prev_key:(fun _ -> None) ?budget ?pool
+      design stats
   in
   let flow, cold_route_wall =
     if config.routing then begin
@@ -308,7 +422,7 @@ let create ?(config = default_config) design =
     cold_route_wall;
   }
 
-let apply t deltas =
+let apply ?budget ?pool t deltas =
   Obs.Trace.with_span "eco.apply" @@ fun () ->
   let before = t.design in
   let after, dirty = Dirty.compute ~before deltas in
@@ -322,7 +436,9 @@ let apply t deltas =
       Some t.panel_keys.(panel)
     else None
   in
-  let pao, panel_keys = solve_pao_stage ~cache:t.cache ~config ~prev_key after stats in
+  let pao, panel_keys =
+    solve_pao_stage ~cache:t.cache ~config ~prev_key ?budget ?pool after stats
+  in
   let flow, frozen_nets, rerouted_nets, route_wall =
     if not config.routing then (None, 0, 0, 0.0)
     else

@@ -53,13 +53,27 @@ type step_report = {
 
 type t
 
-val create : ?config:config -> Netlist.Design.t -> t
+val create :
+  ?config:config -> ?budget:Pinaccess.Budget.t -> ?pool:Exec.t ->
+  Netlist.Design.t -> t
 (** Cold start: solve every panel from scratch (populating the cache),
-    route if configured.
+    route if configured.  [budget] meters the panel solves through the
+    degradation ladder exactly as {!Pinaccess.Pin_access.optimize}
+    does; [pool] fans the solves over its domains (results merged in
+    panel order, so without a budget the output is bit-identical to
+    the sequential walk).
     @raise Pinaccess.Cpr_error.Error as [optimize] would. *)
 
-val apply : t -> Delta.t list -> step_report
-(** Apply one batch atomically and re-optimize incrementally.
+val apply :
+  ?budget:Pinaccess.Budget.t -> ?pool:Exec.t -> t -> Delta.t list ->
+  step_report
+(** Apply one batch atomically and re-optimize incrementally.  [budget]
+    and [pool] govern the dirty-panel re-solves as in {!create};
+    cache hits are free, so a tight deadline degrades only the panels
+    the edit actually touched.  On budget exhaustion the batch still
+    lands (served by lower tiers, [degraded] set in the reports) —
+    callers wanting a hard timeout should check
+    {!Pinaccess.Budget.exhausted} before calling and reject instead.
     @raise Delta.Invalid when the batch does not fit the current
     design (the engine state is unchanged in that case). *)
 

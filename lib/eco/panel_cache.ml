@@ -20,52 +20,113 @@ type entry = {
   multipliers : (int * int * int * float) array;
 }
 
+(* shared across every cache instance: the registry is global, and a
+   process hosts at most a handful of engines *)
+let m_hits = Obs.Metrics.counter "eco.panel_cache.hits"
+let m_misses = Obs.Metrics.counter "eco.panel_cache.misses"
+let m_evictions = Obs.Metrics.counter "eco.panel_cache.evictions"
+
+(* LRU recency list: intrusive doubly-linked nodes, most recent at the
+   head.  A long-lived server session touches its hot panels on every
+   batch; FIFO eviction (the PR 5 scheme) would throw those out purely
+   by insertion age once the cache fills. *)
+type node = {
+  key : string;
+  mutable prev : node option;  (* toward the head (more recent) *)
+  mutable next : node option;  (* toward the tail (eviction end) *)
+}
+
 type t = {
-  table : (string, entry) Hashtbl.t;
-  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  table : (string, entry * node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
   max_entries : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(max_entries = 4096) () =
   {
     table = Hashtbl.create 256;
-    order = Queue.create ();
+    head = None;
+    tail = None;
     max_entries = max 1 max_entries;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let size t = Hashtbl.length t.table
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 
 let hit_rate t =
   let n = t.hits + t.misses in
   if n = 0 then 0.0 else float_of_int t.hits /. float_of_int n
 
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
 let find t k =
   match Hashtbl.find_opt t.table k with
-  | Some e ->
+  | Some (e, n) ->
     t.hits <- t.hits + 1;
+    Obs.Metrics.incr m_hits;
+    touch t n;
     Some e
   | None ->
     t.misses <- t.misses + 1;
+    Obs.Metrics.incr m_misses;
     None
 
-let peek t k = Hashtbl.find_opt t.table k
+(* deliberately leaves both the counters and the recency order alone:
+   a warm-start probe of a panel's *previous* entry must not protect
+   that stale entry from eviction *)
+let peek t k = Option.map fst (Hashtbl.find_opt t.table k)
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+    unlink t victim;
+    Hashtbl.remove t.table victim.key;
+    t.evictions <- t.evictions + 1;
+    Obs.Metrics.incr m_evictions
 
 let store t k e =
-  if not (Hashtbl.mem t.table k) then begin
+  match Hashtbl.find_opt t.table k with
+  | Some (_, n) ->
+    Hashtbl.replace t.table k (e, n);
+    touch t n
+  | None ->
     while Hashtbl.length t.table >= t.max_entries do
-      match Queue.take_opt t.order with
-      | Some victim -> Hashtbl.remove t.table victim
-      | None -> Hashtbl.reset t.table (* unreachable: order covers table *)
+      evict_lru t
     done;
-    Queue.add k t.order
-  end;
-  Hashtbl.replace t.table k e
+    let n = { key = k; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.replace t.table k (e, n)
 
 let canonical_pins design ~panel =
   let pins = Array.of_list (Design.pins_of_panel design panel) in

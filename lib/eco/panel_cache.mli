@@ -37,7 +37,11 @@ type entry = {
 type t
 
 val create : ?max_entries:int -> unit -> t
-(** FIFO-evicting cache, default capacity 4096 entries. *)
+(** LRU-evicting cache, default capacity 4096 entries.  {!find} hits
+    and {!store}s refresh an entry's recency; {!peek} does not, so
+    warm-start probes of superseded entries never keep them alive.
+    Hits, misses and evictions are also published to the {!Obs.Metrics}
+    registry as [eco.panel_cache.hits]/[.misses]/[.evictions]. *)
 
 val key :
   config:Pinaccess.Pin_access.config ->
@@ -59,6 +63,9 @@ val store : t -> string -> entry -> unit
 val size : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val evictions : t -> int
+(** Entries dropped by LRU eviction over this cache's lifetime. *)
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; [0.] before any lookup. *)

@@ -237,13 +237,12 @@ let of_string ?(repair = false) text =
        checks; translate any residual rejection into the typed error *)
     malformed "%s" reason
 
+(* atomic (temp + rename): a crash mid-save never leaves a torn design
+   file — repro artifacts and checkpoints are either old or new *)
 let save path design =
-  match open_out path with
+  match Obs.Fsio.atomic_write path (to_string design) with
+  | () -> ()
   | exception Sys_error reason -> malformed "%s" reason
-  | oc ->
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_string design))
 
 let load ?repair path =
   match open_in path with

@@ -1,0 +1,41 @@
+type pending = {
+  target : string;
+  tmp : string;
+  oc : out_channel;
+  mutable state : [ `Open | `Committed | `Aborted ];
+}
+
+(* the temp file must live in the target's directory: [Sys.rename]
+   across filesystems is not atomic (and fails outright on POSIX) *)
+let open_atomic target =
+  let dir = Filename.dirname target in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir
+      ("." ^ Filename.basename target ^ ".")
+      ".tmp"
+  in
+  { target; tmp; oc = open_out tmp; state = `Open }
+
+let channel p = p.oc
+
+let commit p =
+  if p.state = `Open then begin
+    close_out p.oc;
+    Sys.rename p.tmp p.target;
+    p.state <- `Committed
+  end
+
+let abort p =
+  if p.state = `Open then begin
+    close_out_noerr p.oc;
+    (try Sys.remove p.tmp with Sys_error _ -> ());
+    p.state <- `Aborted
+  end
+
+let atomic_write path content =
+  let p = open_atomic path in
+  match output_string p.oc content with
+  | () -> commit p
+  | exception e ->
+    abort p;
+    raise e

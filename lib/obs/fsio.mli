@@ -1,0 +1,34 @@
+(** Atomic file writes: temp file in the target directory + rename.
+
+    Every artifact this repo persists — exported designs, fuzz repros,
+    bench telemetry, trace/metrics streams, service checkpoints — goes
+    through here, so a crash (or a [kill -9]) mid-write never leaves a
+    torn file at the destination path: readers see either the old
+    content or the new, never a prefix.  [Sys.rename] is atomic on
+    POSIX when source and target share a filesystem, which the
+    same-directory temp file guarantees. *)
+
+val atomic_write : string -> string -> unit
+(** [atomic_write path content] writes [content] to a fresh temp file
+    next to [path], then renames it over [path].
+    @raise Sys_error when the directory is not writable. *)
+
+type pending
+(** An open atomic write: a temp file being filled, promoted to the
+    target path only on {!commit}.  For streaming writers (trace
+    sinks) that cannot buffer the whole artifact in memory. *)
+
+val open_atomic : string -> pending
+(** Open a temp file next to the target path.
+    @raise Sys_error when the temp file cannot be created. *)
+
+val channel : pending -> out_channel
+(** The temp file's channel; write the artifact here. *)
+
+val commit : pending -> unit
+(** Close the channel and rename the temp file to the target path.
+    Idempotent (a second call is a no-op). *)
+
+val abort : pending -> unit
+(** Close and delete the temp file, leaving the target untouched.
+    Idempotent, and a no-op after {!commit}. *)

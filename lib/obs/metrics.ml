@@ -1,8 +1,16 @@
 type counter = { c_name : string; mutable count : int }
 
 (* cells.(0) = count, (1) = sum, (2) = min, (3) = max; a floatarray
-   keeps the fields unboxed so [observe] never allocates *)
-type histogram = { h_name : string; cells : floatarray }
+   keeps the fields unboxed so [observe] never allocates.  [reservoir]
+   is an opt-in ({!sampled}) preallocated store of the first N samples
+   for percentile estimation — recording into it is a store plus an
+   index bump, so the no-allocation contract holds there too. *)
+type histogram = {
+  h_name : string;
+  cells : floatarray;
+  mutable reservoir : floatarray option;
+  mutable retained : int;
+}
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
@@ -25,10 +33,25 @@ let histogram name =
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
-    let h = { h_name = name; cells = Float.Array.create 4 } in
+    let h =
+      { h_name = name; cells = Float.Array.create 4; reservoir = None;
+        retained = 0 }
+    in
     empty_cells h.cells;
     Hashtbl.replace histograms name h;
     h
+
+let sampled ?(reservoir = 8192) name =
+  let h = histogram name in
+  (match h.reservoir with
+  | Some r when Float.Array.length r >= reservoir -> ()
+  | Some r ->
+    (* grow, keeping what was already retained *)
+    let bigger = Float.Array.create reservoir in
+    Float.Array.blit r 0 bigger 0 h.retained;
+    h.reservoir <- Some bigger
+  | None -> h.reservoir <- Some (Float.Array.create (max 1 reservoir)));
+  h
 
 (* Domain-local redirection.  The registry above is owned by the main
    domain; when a task runs under [buffered] (on any domain), its bumps
@@ -62,7 +85,13 @@ let value c = c.count
 
 let observe h v =
   match Domain.DLS.get local_key with
-  | None -> observe_cells h.cells v
+  | None ->
+    observe_cells h.cells v;
+    (match h.reservoir with
+    | Some r when h.retained < Float.Array.length r ->
+      Float.Array.set r h.retained v;
+      h.retained <- h.retained + 1
+    | _ -> ())
   | Some b ->
     let cells =
       match Hashtbl.find_opt b.bh h.h_name with
@@ -153,9 +182,27 @@ let snapshot () =
   in
   { counters = cs; histograms = hs }
 
+let percentile h p =
+  match h.reservoir with
+  | None -> nan
+  | Some _ when h.retained = 0 -> nan
+  | Some r ->
+    let n = h.retained in
+    let sorted = Float.Array.sub r 0 n in
+    Float.Array.sort Float.compare sorted;
+    (* nearest-rank: the smallest retained sample >= p percent of them *)
+    let rank =
+      int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1
+    in
+    Float.Array.get sorted (min (n - 1) (max 0 rank))
+
 let reset () =
   Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
-  Hashtbl.iter (fun _ h -> empty_cells h.cells) histograms
+  Hashtbl.iter
+    (fun _ h ->
+      empty_cells h.cells;
+      h.retained <- 0)
+    histograms
 
 let summary snap =
   let buf = Buffer.create 256 in

@@ -1,0 +1,149 @@
+module P = Protocol
+module Delta = Eco.Delta
+module Design_io = Netlist.Design_io
+
+type conn = P.request -> P.response
+
+type config = {
+  clients : int;
+  steps : int;
+  edits_per_step : int;
+  seed : int64;
+  deadline_ms : int option;
+  session_prefix : string;
+  now : unit -> float;
+}
+
+let default =
+  {
+    clients = 4;
+    steps = 25;
+    edits_per_step = 3;
+    seed = 1L;
+    deadline_ms = None;
+    session_prefix = "load";
+    now = Obs.Clock.now;
+  }
+
+type outcome = {
+  sent : int;
+  acked : int;
+  acked_edits : int;
+  timeouts : int;
+  shed : int;
+  failed : int;
+  wall : float;
+  edits_per_sec : float;
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  mismatches : string list;
+}
+
+type client = {
+  session : string;
+  mutable shadow : Netlist.Design.t;
+  mutable batches : Delta.t list list;  (* still to send *)
+}
+
+let nearest_rank sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(max 0 (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+
+let run ?design config conn =
+  let base =
+    match design with
+    | Some d -> d
+    | None -> Workloads.Suite.design ~scale:0.05 (Workloads.Suite.find "ecc")
+  in
+  let clients =
+    List.init config.clients (fun c ->
+        let stream =
+          Workloads.Eco_stream.random
+            ~seed:(Int64.add config.seed (Int64.of_int c))
+            ~steps:config.steps ~edits_per_step:config.edits_per_step base
+        in
+        {
+          session = Printf.sprintf "%s%d" config.session_prefix c;
+          shadow = base;
+          batches = stream;
+        })
+  in
+  let design_text = Design_io.to_string base in
+  List.iter
+    (fun c ->
+      match conn (P.Open (c.session, design_text)) with
+      | P.Resp_ok _ -> ()
+      | P.Resp_err (code, msg) ->
+        failwith
+          (Printf.sprintf "loadgen: open %s: %s %s" c.session
+             (P.err_code_to_string code) msg)
+      | P.Resp_data _ -> failwith "loadgen: unexpected data response to open")
+    clients;
+  let sent = ref 0
+  and acked = ref 0
+  and acked_edits = ref 0
+  and timeouts = ref 0
+  and shed = ref 0
+  and failed = ref 0 in
+  let latencies = ref [] in
+  let opts = { P.deadline_ms = config.deadline_ms; work = None } in
+  let t0 = config.now () in
+  (* round-robin until every client's stream is drained *)
+  let remaining = ref (List.filter (fun c -> c.batches <> []) clients) in
+  while !remaining <> [] do
+    remaining :=
+      List.filter
+        (fun c ->
+          match c.batches with
+          | [] -> false
+          | batch :: rest ->
+            c.batches <- rest;
+            incr sent;
+            let s0 = config.now () in
+            (match conn (P.Edit (c.session, opts, Delta.to_string batch)) with
+            | P.Resp_ok _ ->
+              latencies := ((config.now () -. s0) *. 1000.0) :: !latencies;
+              incr acked;
+              acked_edits := !acked_edits + List.length batch;
+              c.shadow <- Delta.apply_all c.shadow batch
+            | P.Resp_err (P.Timeout, _) -> incr timeouts
+            | P.Resp_err (P.Overloaded, _) -> incr shed
+            | P.Resp_err _ | P.Resp_data _ -> incr failed);
+            rest <> [])
+        !remaining
+  done;
+  let wall = config.now () -. t0 in
+  let mismatches =
+    List.filter_map
+      (fun c ->
+        match conn (P.Get_design c.session) with
+        | P.Resp_data (_, payload) ->
+          if payload = Design_io.to_string c.shadow then None
+          else Some c.session
+        | P.Resp_ok _ | P.Resp_err _ -> Some c.session)
+      clients
+  in
+  List.iter (fun c -> ignore (conn (P.Close c.session))) clients;
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let mean_ms =
+    if Array.length lat = 0 then nan
+    else Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat)
+  in
+  {
+    sent = !sent;
+    acked = !acked;
+    acked_edits = !acked_edits;
+    timeouts = !timeouts;
+    shed = !shed;
+    failed = !failed;
+    wall;
+    edits_per_sec =
+      (if wall > 0.0 then float_of_int !acked_edits /. wall else nan);
+    p50_ms = nearest_rank lat 50.0;
+    p99_ms = nearest_rank lat 99.0;
+    mean_ms;
+    mismatches;
+  }

@@ -1,0 +1,50 @@
+(** A {!Workloads.Eco_stream}-driven load generator for {!Server}.
+
+    [run] drives [clients] named sessions over one request connection,
+    round-robin (the broker is single-threaded; concurrency at this
+    layer means interleaved sessions contending for the queue, the
+    admission gate and the shared solver pool).  Every client keeps a
+    shadow design — the fold of its acknowledged batches — and the
+    final [design] dump of each session must equal it byte-for-byte:
+    any divergence is reported as a mismatch, so a load run doubles as
+    an end-to-end consistency check of the ack contract. *)
+
+type conn = Protocol.request -> Protocol.response
+(** One request/response exchange — {!Server.handle} partially applied
+    for in-process runs, a pipe writer/reader for the spawned-server
+    soak. *)
+
+type config = {
+  clients : int;
+  steps : int;  (** batches per client *)
+  edits_per_step : int;
+  seed : int64;
+  deadline_ms : int option;  (** attached to every [edit] *)
+  session_prefix : string;
+  now : unit -> float;  (** wall clock for latency/throughput *)
+}
+
+val default : config
+(** 4 clients, 25 steps of 3 edits, seed 1, no deadline, prefix
+    ["load"], {!Obs.Clock.now}. *)
+
+type outcome = {
+  sent : int;  (** batches submitted *)
+  acked : int;  (** batches acknowledged ([ok]) *)
+  acked_edits : int;  (** individual deltas inside acked batches *)
+  timeouts : int;
+  shed : int;
+  failed : int;  (** every other [err] *)
+  wall : float;  (** seconds for the whole run *)
+  edits_per_sec : float;  (** [acked_edits /. wall] *)
+  p50_ms : float;  (** client-observed edit latency percentiles; *)
+  p99_ms : float;  (** [nan] when nothing was acked *)
+  mean_ms : float;
+  mismatches : string list;
+      (** sessions whose final design differs from the shadow fold —
+          always empty unless the ack contract is broken *)
+}
+
+val run : ?design:Netlist.Design.t -> config -> conn -> outcome
+(** Open the sessions (default design: the ["ecc"] suite circuit at
+    scale 0.05), stream the edits, dump and compare, close. *)

@@ -1,0 +1,215 @@
+type opts = { deadline_ms : int option; work : int option }
+
+let no_opts = { deadline_ms = None; work = None }
+
+type request =
+  | Open of string * string
+  | Attach of string
+  | Edit of string * opts * string
+  | Submit of string * string
+  | Flush of string * opts
+  | Get_design of string
+  | Stat of string
+  | Checkpoint of string
+  | Close of string
+  | Sessions
+  | Ping
+  | Quit
+
+type err_code =
+  | Parse
+  | Unknown_session
+  | Session_exists
+  | Invalid_delta
+  | Timeout
+  | Overloaded
+  | Worker_failed
+  | Infeasible
+  | Malformed_design
+  | Wal_corrupt
+  | Internal
+
+let err_code_to_string = function
+  | Parse -> "parse"
+  | Unknown_session -> "unknown_session"
+  | Session_exists -> "session_exists"
+  | Invalid_delta -> "invalid_delta"
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
+  | Worker_failed -> "worker_failed"
+  | Infeasible -> "infeasible"
+  | Malformed_design -> "malformed_design"
+  | Wal_corrupt -> "wal_corrupt"
+  | Internal -> "internal"
+
+let err_code_of_string = function
+  | "parse" -> Some Parse
+  | "unknown_session" -> Some Unknown_session
+  | "session_exists" -> Some Session_exists
+  | "invalid_delta" -> Some Invalid_delta
+  | "timeout" -> Some Timeout
+  | "overloaded" -> Some Overloaded
+  | "worker_failed" -> Some Worker_failed
+  | "infeasible" -> Some Infeasible
+  | "malformed_design" -> Some Malformed_design
+  | "wal_corrupt" -> Some Wal_corrupt
+  | "internal" -> Some Internal
+  | _ -> None
+
+type response =
+  | Resp_ok of (string * string) list
+  | Resp_err of err_code * string
+  | Resp_data of (string * string) list * string
+
+(* -- helpers ----------------------------------------------------------- *)
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let kv_of_word w =
+  match String.index_opt w '=' with
+  | Some i ->
+    Some (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+  | None -> None
+
+let field fields k = List.assoc_opt k fields
+let int_field fields k = Option.bind (field fields k) int_of_string_opt
+
+let parse_opts words =
+  List.fold_left
+    (fun acc w ->
+      Result.bind acc (fun opts ->
+          match kv_of_word w with
+          | Some ("deadline_ms", v) -> (
+            match int_of_string_opt v with
+            | Some n when n >= 0 -> Ok { opts with deadline_ms = Some n }
+            | _ -> Error ("bad deadline_ms: " ^ v))
+          | Some ("work", v) -> (
+            match int_of_string_opt v with
+            | Some n when n >= 0 -> Ok { opts with work = Some n }
+            | _ -> Error ("bad work: " ^ v))
+          | _ -> Error ("unknown option: " ^ w)))
+    (Ok no_opts) words
+
+(* Payload lines up to the "." terminator; an EOF before the terminator
+   returns what was read (the caller's parse will reject it). *)
+let read_payload ~getline =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match getline () with
+    | None | Some "." -> Buffer.contents buf
+    | Some line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      go ()
+  in
+  go ()
+
+(* -- requests ---------------------------------------------------------- *)
+
+let read_request ~getline =
+  let rec next () =
+    match getline () with
+    | None -> None
+    | Some line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then next ()
+      else
+        Some
+          (match split_words line with
+          | [ "open"; s ] -> Ok (Open (s, read_payload ~getline))
+          | [ "attach"; s ] -> Ok (Attach s)
+          | "edit" :: s :: rest -> (
+            let body = read_payload ~getline in
+            match parse_opts rest with
+            | Ok opts -> Ok (Edit (s, opts, body))
+            | Error e -> Error e)
+          | [ "submit"; s ] -> Ok (Submit (s, read_payload ~getline))
+          | "flush" :: s :: rest ->
+            Result.map (fun opts -> Flush (s, opts)) (parse_opts rest)
+          | [ "design"; s ] -> Ok (Get_design s)
+          | [ "stat"; s ] -> Ok (Stat s)
+          | [ "checkpoint"; s ] -> Ok (Checkpoint s)
+          | [ "close"; s ] -> Ok (Close s)
+          | [ "sessions" ] -> Ok Sessions
+          | [ "ping" ] -> Ok Ping
+          | [ "quit" ] -> Ok Quit
+          | cmd :: _
+            when cmd = "open" || cmd = "edit" || cmd = "submit" ->
+            (* wrong arity on a body-carrying command: stay framed *)
+            ignore (read_payload ~getline);
+            Error ("malformed " ^ cmd ^ " command")
+          | _ -> Error ("unknown command: " ^ line))
+  in
+  next ()
+
+let opts_to_string opts =
+  String.concat ""
+    [
+      (match opts.deadline_ms with
+      | Some n -> Printf.sprintf " deadline_ms=%d" n
+      | None -> "");
+      (match opts.work with
+      | Some n -> Printf.sprintf " work=%d" n
+      | None -> "");
+    ]
+
+let body_to_string body =
+  let body =
+    if body = "" || body.[String.length body - 1] = '\n' then body
+    else body ^ "\n"
+  in
+  body ^ ".\n"
+
+let request_to_string = function
+  | Open (s, body) -> Printf.sprintf "open %s\n%s" s (body_to_string body)
+  | Attach s -> Printf.sprintf "attach %s\n" s
+  | Edit (s, opts, body) ->
+    Printf.sprintf "edit %s%s\n%s" s (opts_to_string opts) (body_to_string body)
+  | Submit (s, body) -> Printf.sprintf "submit %s\n%s" s (body_to_string body)
+  | Flush (s, opts) -> Printf.sprintf "flush %s%s\n" s (opts_to_string opts)
+  | Get_design s -> Printf.sprintf "design %s\n" s
+  | Stat s -> Printf.sprintf "stat %s\n" s
+  | Checkpoint s -> Printf.sprintf "checkpoint %s\n" s
+  | Close s -> Printf.sprintf "close %s\n" s
+  | Sessions -> "sessions\n"
+  | Ping -> "ping\n"
+  | Quit -> "quit\n"
+
+(* -- responses --------------------------------------------------------- *)
+
+let fields_to_string fields =
+  String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) fields)
+
+let response_to_string = function
+  | Resp_ok fields -> Printf.sprintf "ok%s\n" (fields_to_string fields)
+  | Resp_err (code, msg) ->
+    (* keep the response one line whatever the message contains *)
+    let msg = String.map (function '\n' -> ' ' | c -> c) msg in
+    Printf.sprintf "err %s %s\n" (err_code_to_string code) msg
+  | Resp_data (fields, payload) ->
+    Printf.sprintf "data%s\n%s" (fields_to_string fields)
+      (body_to_string payload)
+
+let read_response ~getline =
+  let rec next () =
+    match getline () with
+    | None -> None
+    | Some line ->
+      let line = String.trim line in
+      if line = "" then next ()
+      else
+        Some
+          (match split_words line with
+          | "ok" :: rest -> Resp_ok (List.filter_map kv_of_word rest)
+          | "err" :: code :: rest ->
+            let code =
+              Option.value ~default:Internal (err_code_of_string code)
+            in
+            Resp_err (code, String.concat " " rest)
+          | "data" :: rest ->
+            Resp_data
+              (List.filter_map kv_of_word rest, read_payload ~getline)
+          | _ -> Resp_err (Internal, "unparseable response: " ^ line))
+  in
+  next ()

@@ -1,0 +1,93 @@
+(** The [cpr_serve] wire protocol: line-oriented text over any byte
+    stream (stdin/stdout in the shipped binary, a pipe pair in the
+    in-process tests and load generator).
+
+    {2 Requests}
+
+    One command per line; commands carrying a body ([open], [edit],
+    [submit]) are followed by payload lines terminated by a single
+    [.] line.  Bodies reuse the repo's text formats verbatim:
+    {!Netlist.Design_io} for designs, {!Eco.Delta} for edit batches.
+
+    {v
+    open <session>            # + design payload, "." terminated
+    attach <session>          # recover from checkpoint + WAL
+    edit <session> [deadline_ms=<n>] [work=<n>]   # + delta payload
+    submit <session>          # + delta payload; queue, don't apply
+    flush <session> [deadline_ms=<n>] [work=<n>]  # apply the queue
+    design <session>          # dump current design
+    stat <session>
+    checkpoint <session>      # force a checkpoint now
+    close <session>           # flush, checkpoint, detach
+    sessions
+    ping
+    quit
+    v}
+
+    Blank lines and [#] comments between commands are ignored.
+
+    {2 Responses}
+
+    Exactly one response per request:
+
+    {v
+    ok [k=v ...]
+    err <code> <message>
+    data [k=v ...]            # + payload lines, "." terminated
+    v} *)
+
+type opts = { deadline_ms : int option; work : int option }
+
+val no_opts : opts
+
+type request =
+  | Open of string * string  (** session, design text *)
+  | Attach of string
+  | Edit of string * opts * string  (** session, opts, delta text *)
+  | Submit of string * string
+  | Flush of string * opts
+  | Get_design of string
+  | Stat of string
+  | Checkpoint of string
+  | Close of string
+  | Sessions
+  | Ping
+  | Quit
+
+type err_code =
+  | Parse  (** malformed request line or body *)
+  | Unknown_session
+  | Session_exists
+  | Invalid_delta  (** batch rejected by {!Eco.Delta.apply_all} *)
+  | Timeout  (** deadline exhausted before the batch could land *)
+  | Overloaded  (** admission gate or session queue full — shed *)
+  | Worker_failed  (** solve failed after bounded retries *)
+  | Infeasible  (** {!Pinaccess.Cpr_error.Infeasible_panel} *)
+  | Malformed_design
+  | Wal_corrupt  (** recovery found an unreadable checkpoint *)
+  | Internal
+
+val err_code_to_string : err_code -> string
+val err_code_of_string : string -> err_code option
+
+type response =
+  | Resp_ok of (string * string) list
+  | Resp_err of err_code * string
+  | Resp_data of (string * string) list * string
+      (** fields, then a "." terminated payload *)
+
+val read_request :
+  getline:(unit -> string option) -> (request, string) result option
+(** Read one request ([None] at end of stream).  [Error] is a parse
+    failure; when the failed command carries a body the body is still
+    consumed, so the stream stays framed. *)
+
+val request_to_string : request -> string
+(** Wire text of a request, trailing newline included (client side). *)
+
+val response_to_string : response -> string
+val read_response : getline:(unit -> string option) -> response option
+(** Client side: parse one response ([None] at end of stream). *)
+
+val field : (string * string) list -> string -> string option
+val int_field : (string * string) list -> string -> int option

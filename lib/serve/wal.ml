@@ -1,0 +1,244 @@
+module Fault = Pinaccess.Fault
+
+exception Corrupt of string
+
+type t = {
+  dir : string;
+  wal_path : string;
+  ckpt_path : string;
+  mutable oc : out_channel;
+}
+
+type recovery = {
+  design : Netlist.Design.t;
+  clearance : int;
+  checkpoint_seq : int;
+  replay : (int * Eco.Delta.t list) list;
+  last_seq : int;
+  torn : int;
+}
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true
+         | _ -> false)
+       name
+  && name <> "." && name <> ".."
+
+let session_dir ~root name = Filename.concat root name
+let ckpt_file dir = Filename.concat dir "checkpoint.design"
+let wal_file dir = Filename.concat dir "wal.log"
+let exists ~root name = Sys.file_exists (ckpt_file (session_dir ~root name))
+
+let sessions ~root =
+  if not (Sys.file_exists root && Sys.is_directory root) then []
+  else
+    Sys.readdir root |> Array.to_list
+    |> List.filter (fun n -> valid_name n && exists ~root n)
+    |> List.sort compare
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ())
+    end
+  in
+  go dir
+
+(* -- checkpoint -------------------------------------------------------- *)
+
+let checkpoint_header ~seq ~clearance =
+  Printf.sprintf "# cpr_serve checkpoint seq=%d clearance=%d\n" seq clearance
+
+let parse_checkpoint path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> raise (Corrupt e)
+  in
+  let seq, clearance =
+    try
+      Scanf.sscanf text "# cpr_serve checkpoint seq=%d clearance=%d"
+        (fun s c -> (s, c))
+    with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+      raise (Corrupt (path ^ ": missing checkpoint header"))
+  in
+  let design =
+    try Netlist.Design_io.of_string text
+    with Netlist.Design_io.Malformed { reason; _ } ->
+      raise (Corrupt (path ^ ": " ^ reason))
+  in
+  (design, seq, clearance)
+
+let write_checkpoint path ~seq ~clearance design =
+  Obs.Fsio.atomic_write path
+    (checkpoint_header ~seq ~clearance ^ Netlist.Design_io.to_string design)
+
+(* -- journal parsing --------------------------------------------------- *)
+
+(* A parsed complete record: committed payload or consumed abort. *)
+type record = Committed of int * string | Aborted of int
+
+(* Parse the journal into its complete-record prefix; the first torn or
+   corrupt record (bad header, missing terminator, wrong digest, wrong
+   terminator seq) ends the prefix and it plus everything after it is
+   counted as torn. *)
+let parse_records lines =
+  let n = Array.length lines in
+  let records = ref [] in
+  let rec loop i =
+    if i >= n then 0
+    else
+      let line = lines.(i) in
+      if line = "" then loop (i + 1)
+      else
+        match Scanf.sscanf_opt line "batch %d %s%!" (fun s d -> (s, d)) with
+        | None -> n - i (* not a record header: corrupt from here on *)
+        | Some (seq, digest) ->
+          let buf = Buffer.create 256 in
+          let rec payload j =
+            if j >= n then None
+            else
+              let l = lines.(j) in
+              match Scanf.sscanf_opt l "commit %d%!" Fun.id with
+              | Some s -> Some (`Commit s, j)
+              | None -> (
+                match Scanf.sscanf_opt l "abort %d%!" Fun.id with
+                | Some s -> Some (`Abort s, j)
+                | None ->
+                  if String.length l >= 6 && String.sub l 0 6 = "batch " then
+                    None (* new header before a terminator: torn *)
+                  else begin
+                    Buffer.add_string buf l;
+                    Buffer.add_char buf '\n';
+                    payload (j + 1)
+                  end)
+          in
+          (match payload (i + 1) with
+          | Some (`Commit s, j)
+            when s = seq && Digest.to_hex (Digest.string (Buffer.contents buf)) = digest ->
+            records := Committed (seq, Buffer.contents buf) :: !records;
+            loop (j + 1)
+          | Some (`Abort s, j) when s = seq ->
+            records := Aborted seq :: !records;
+            loop (j + 1)
+          | _ -> n - i)
+  in
+  let torn_lines = loop 0 in
+  (List.rev !records, torn_lines)
+
+let read_lines path =
+  if Sys.file_exists path then
+    In_channel.with_open_text path (fun ic ->
+        In_channel.input_all ic |> String.split_on_char '\n' |> Array.of_list)
+  else [||]
+
+(* Rewrite a record in append+terminator framing.  Aborted payloads are
+   dead, so compaction keeps only the consumed sequence number (an
+   empty-payload record the parser accepts). *)
+let record_text = function
+  | Committed (seq, payload) ->
+    Printf.sprintf "batch %d %s\n%scommit %d\n" seq
+      (Digest.to_hex (Digest.string payload))
+      payload seq
+  | Aborted seq ->
+    Printf.sprintf "batch %d %s\nabort %d\n" seq
+      (Digest.to_hex (Digest.string ""))
+      seq
+
+let open_append path =
+  Out_channel.open_gen [ Open_append; Open_creat ] 0o644 path
+
+(* -- lifecycle --------------------------------------------------------- *)
+
+let init ~root name ~clearance design =
+  if not (valid_name name) then invalid_arg ("Wal.init: bad session name " ^ name);
+  let dir = session_dir ~root name in
+  mkdir_p dir;
+  let ckpt_path = ckpt_file dir and wal_path = wal_file dir in
+  write_checkpoint ckpt_path ~seq:0 ~clearance design;
+  (* truncate any stale journal *)
+  Out_channel.with_open_text wal_path (fun _ -> ());
+  { dir; wal_path; ckpt_path; oc = open_append wal_path }
+
+let recover ~root name =
+  if not (valid_name name) then
+    invalid_arg ("Wal.recover: bad session name " ^ name);
+  let dir = session_dir ~root name in
+  let ckpt_path = ckpt_file dir and wal_path = wal_file dir in
+  let design, checkpoint_seq, clearance = parse_checkpoint ckpt_path in
+  let records, torn_lines = parse_records (read_lines wal_path) in
+  let replay =
+    List.filter_map
+      (function
+        | Committed (seq, payload) -> (
+          (* digest-verified, so the payload is exactly what [append]
+             serialized; a parse failure here is real corruption *)
+          try Some (seq, Eco.Delta.of_string payload)
+          with Eco.Delta.Parse_error { reason; _ } ->
+            raise (Corrupt (Printf.sprintf "%s: batch %d: %s" wal_path seq reason)))
+        | Aborted _ -> None)
+      records
+  in
+  let last_seq =
+    List.fold_left
+      (fun acc r ->
+        max acc (match r with Committed (s, _) -> s | Aborted s -> s))
+      checkpoint_seq records
+  in
+  (* compact: drop the torn tail (and any interleaved garbage) so the
+     journal on disk is exactly what we recovered *)
+  if torn_lines > 0 then
+    Obs.Fsio.atomic_write wal_path
+      (String.concat "" (List.map record_text records));
+  let t = { dir; wal_path; ckpt_path; oc = open_append wal_path } in
+  let torn = if torn_lines > 0 then 1 else 0 in
+  ({ design; clearance; checkpoint_seq; replay; last_seq; torn }, t)
+
+let append t ~seq deltas =
+  let payload = Eco.Delta.to_string deltas in
+  let digest = Digest.to_hex (Digest.string payload) in
+  Printf.fprintf t.oc "batch %d %s\n" seq digest;
+  (* split the payload so an injected fault leaves a genuinely torn
+     record on disk *)
+  let half = String.length payload / 2 in
+  Out_channel.output_string t.oc (String.sub payload 0 half);
+  Out_channel.flush t.oc;
+  Fault.trip Fault.Wal_append;
+  Out_channel.output_string t.oc
+    (String.sub payload half (String.length payload - half));
+  Out_channel.flush t.oc
+
+let commit t ~seq =
+  Fault.trip Fault.Wal_commit;
+  Printf.fprintf t.oc "commit %d\n" seq;
+  Out_channel.flush t.oc
+
+let abort t ~seq =
+  Printf.fprintf t.oc "abort %d\n" seq;
+  Out_channel.flush t.oc
+
+let repair t =
+  Out_channel.close_noerr t.oc;
+  let records, _ = parse_records (read_lines t.wal_path) in
+  Obs.Fsio.atomic_write t.wal_path
+    (String.concat "" (List.map record_text records));
+  t.oc <- open_append t.wal_path
+
+let checkpoint t ~seq ~clearance design =
+  write_checkpoint t.ckpt_path ~seq ~clearance design;
+  Out_channel.close_noerr t.oc;
+  Out_channel.with_open_text t.wal_path (fun _ -> ());
+  t.oc <- open_append t.wal_path
+
+let last_seq_on_disk t =
+  Out_channel.flush t.oc;
+  let records, _ = parse_records (read_lines t.wal_path) in
+  let _, ckpt_seq, _ = parse_checkpoint t.ckpt_path in
+  List.fold_left
+    (fun acc r -> max acc (match r with Committed (s, _) -> s | Aborted s -> s))
+    ckpt_seq records
+
+let close t = Out_channel.close_noerr t.oc

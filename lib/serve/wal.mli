@@ -1,0 +1,102 @@
+(** Per-session write-ahead delta journal with atomic checkpoints.
+
+    Each session owns a directory [<root>/<name>/] holding:
+
+    - [checkpoint.design] — the last checkpointed design in
+      {!Netlist.Design_io} text, prefixed by one comment line
+      [# cpr_serve checkpoint seq=<n> clearance=<c>] carrying the
+      journal position and folded rule deck (comments are ignored by
+      the design loader, so the file doubles as a plain design export);
+    - [wal.log] — the journal: one record per batch accepted since the
+      checkpoint.
+
+    A record is framed
+
+    {v
+    batch <seq> <md5-hex-of-payload>
+    <delta lines ... ({!Eco.Delta} text)>
+    commit <seq>        (or: abort <seq>)
+    v}
+
+    and a batch is durable exactly when its [commit <seq>] line has
+    reached the file: {!append} writes header and payload, {!commit}
+    the marker, and the server acknowledges only after [commit]
+    returns.  [abort] consumes the sequence number without committing
+    the payload (written when the engine rejects or fails the batch),
+    keeping the journal parseable.  Recovery tolerates a torn tail —
+    the first incomplete or digest-mismatched record and everything
+    after it is discarded, never anything before.
+
+    The module trips {!Pinaccess.Fault.Wal_append} mid-payload and
+    {!Pinaccess.Fault.Wal_commit} before the marker so tests can tear
+    writes at the worst moments. *)
+
+type t
+(** An open journal handle (append channel on [wal.log]). *)
+
+type recovery = {
+  design : Netlist.Design.t;  (** the checkpointed design *)
+  clearance : int;  (** folded rule deck at checkpoint time *)
+  checkpoint_seq : int;
+  replay : (int * Eco.Delta.t list) list;
+      (** committed batches after the checkpoint, ascending [seq] *)
+  last_seq : int;
+      (** highest sequence number consumed (committed or aborted);
+          [checkpoint_seq] when the journal is empty *)
+  torn : int;  (** discarded trailing records (incomplete or corrupt) *)
+}
+
+exception Corrupt of string
+(** The checkpoint itself (not the journal tail) is unreadable —
+    recovery cannot establish a base state. *)
+
+val valid_name : string -> bool
+(** Session names must match [[A-Za-z0-9_.-]+] (they become directory
+    names). *)
+
+val session_dir : root:string -> string -> string
+val exists : root:string -> string -> bool
+(** A checkpoint exists for the session. *)
+
+val sessions : root:string -> string list
+(** Sessions with a checkpoint under [root], sorted. *)
+
+val init :
+  root:string -> string -> clearance:int -> Netlist.Design.t -> t
+(** Create the session directory, write checkpoint [seq=0] atomically
+    and open an empty journal.  Any pre-existing journal for the name
+    is truncated. *)
+
+val recover : root:string -> string -> recovery * t
+(** Load the checkpoint, replay-parse the journal, compact it (rewrite
+    with only the complete records, atomically) and reopen for append.
+    @raise Corrupt when the checkpoint is missing or malformed. *)
+
+val append : t -> seq:int -> Eco.Delta.t list -> unit
+(** Journal a batch (header + payload) and flush.  Not yet durable —
+    pair with {!commit} or {!abort}. *)
+
+val commit : t -> seq:int -> unit
+(** Write and flush the commit marker; after this returns the batch
+    survives a [kill -9]. *)
+
+val abort : t -> seq:int -> unit
+(** Write and flush an abort marker: [seq] is consumed, the payload is
+    dead. *)
+
+val repair : t -> unit
+(** Drop any torn tail: re-parse the journal, rewrite only its
+    complete records (atomic temp+rename) and reopen.  Called by the
+    server after an append failure so the next record starts clean. *)
+
+val checkpoint : t -> seq:int -> clearance:int -> Netlist.Design.t -> unit
+(** Atomically replace the checkpoint with the given design at journal
+    position [seq], then truncate the journal (its records are now
+    baked into the checkpoint). *)
+
+val last_seq_on_disk : t -> int
+(** Re-parse the journal and return the highest complete sequence
+    number (checkpoint seq when empty) — what a fresh {!recover} would
+    see.  Test/diagnostic helper. *)
+
+val close : t -> unit

@@ -313,6 +313,65 @@ let test_key_is_panel_local () =
     (key design 1 = key moved 1 && key design 2 = key moved 2)
 
 (* ------------------------------------------------------------------ *)
+(* Panel cache LRU                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_entry =
+  {
+    PC.slots = [||];
+    intervals = 0;
+    cliques = 0;
+    objective = 0.0;
+    lr_iterations = 0;
+    proven_optimal = false;
+    served_by = PA.Tier_lr;
+    degraded = false;
+    multipliers = [||];
+  }
+
+let test_cache_lru_eviction () =
+  let c = PC.create ~max_entries:2 () in
+  PC.store c "k1" dummy_entry;
+  PC.store c "k2" dummy_entry;
+  check_int "at capacity" 2 (PC.size c);
+  check_int "nothing evicted yet" 0 (PC.evictions c);
+  (* touch k1 so k2 becomes the least recently used *)
+  check "k1 hit refreshes" true (PC.find c "k1" <> None);
+  PC.store c "k3" dummy_entry;
+  check_int "capacity held" 2 (PC.size c);
+  check_int "one eviction" 1 (PC.evictions c);
+  check "the LRU entry was dropped" true (PC.find c "k2" = None);
+  check "the refreshed entry survived" true (PC.find c "k1" <> None);
+  check "the new entry is present" true (PC.find c "k3" <> None)
+
+let test_cache_peek_does_not_refresh () =
+  let c = PC.create ~max_entries:2 () in
+  PC.store c "old" dummy_entry;
+  PC.store c "new" dummy_entry;
+  let hits0 = PC.hits c and misses0 = PC.misses c in
+  check "peek sees the entry" true (PC.peek c "old" <> None);
+  check "peek leaves the counters alone" true
+    (PC.hits c = hits0 && PC.misses c = misses0);
+  (* [peek] did not refresh "old", so it is still the eviction victim *)
+  PC.store c "newer" dummy_entry;
+  check "a peeked entry is not kept alive" true (PC.find c "old" = None);
+  check "the stored-later entry survived" true (PC.find c "new" <> None)
+
+let test_cache_metrics_published () =
+  Obs.Metrics.reset ();
+  let c = PC.create ~max_entries:1 () in
+  check "miss" true (PC.find c "a" = None);
+  PC.store c "a" dummy_entry;
+  check "hit" true (PC.find c "a" <> None);
+  (* over capacity: storing "b" evicts "a" *)
+  PC.store c "b" dummy_entry;
+  let counters = (Obs.Metrics.snapshot ()).Obs.Metrics.counters in
+  let v name = List.assoc_opt name counters in
+  check "hits published" true (v "eco.panel_cache.hits" = Some 1);
+  check "misses published" true (v "eco.panel_cache.misses" = Some 1);
+  check "evictions published" true (v "eco.panel_cache.evictions" = Some 1)
+
+(* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -452,6 +511,11 @@ let () =
           Alcotest.test_case "rule deck included" `Quick
             test_key_tracks_rule_deck;
           Alcotest.test_case "panel locality" `Quick test_key_is_panel_local;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "peek is recency-neutral" `Quick
+            test_cache_peek_does_not_refresh;
+          Alcotest.test_case "counters published" `Quick
+            test_cache_metrics_published;
         ] );
       ( "engine",
         [

@@ -132,6 +132,77 @@ let test_snapshot () =
 
 (* ------------------------------------------------------------------ *)
 (* File sinks parse back                                              *)
+let test_sampled_percentiles () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.sampled "test.sampled" in
+  check "nan before any sample" true
+    (Float.is_nan (Obs.Metrics.percentile h 50.0));
+  for v = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int v)
+  done;
+  check_float "p50 nearest rank" 50.0 (Obs.Metrics.percentile h 50.0);
+  check_float "p99" 99.0 (Obs.Metrics.percentile h 99.0);
+  check_float "p100 is the max" 100.0 (Obs.Metrics.percentile h 100.0);
+  check_float "p0 clamps to the min" 1.0 (Obs.Metrics.percentile h 0.0);
+  let plain = Obs.Metrics.histogram "test.plain" in
+  Obs.Metrics.observe plain 5.0;
+  check "unsampled histograms stay percentile-free" true
+    (Float.is_nan (Obs.Metrics.percentile plain 50.0))
+
+let test_sampled_reservoir_cap () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.sampled ~reservoir:4 "test.capped" in
+  for v = 1 to 10 do
+    Obs.Metrics.observe h (float_of_int v)
+  done;
+  let s = Obs.Metrics.stats h in
+  check_int "stats see every sample" 10 s.Obs.Metrics.count;
+  (* the reservoir keeps the first N; later samples still hit stats *)
+  check_float "percentiles rank the retained samples" 4.0
+    (Obs.Metrics.percentile h 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic artifact writes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  body
+
+let test_fsio_atomic () =
+  let dir = Filename.temp_file "fsio_test" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let path = Filename.concat dir "artifact.json" in
+      Obs.Fsio.atomic_write path "v1";
+      check_str "first write lands" "v1" (read_file path);
+      Obs.Fsio.atomic_write path "v2";
+      check_str "overwrite replaces" "v2" (read_file path);
+      (* an aborted streaming write leaves the target untouched *)
+      let p = Obs.Fsio.open_atomic path in
+      output_string (Obs.Fsio.channel p) "partial garbage";
+      Obs.Fsio.abort p;
+      check_str "abort leaves old content" "v2" (read_file path);
+      check_int "no temp litter after abort" 1 (Array.length (Sys.readdir dir));
+      let p = Obs.Fsio.open_atomic path in
+      output_string (Obs.Fsio.channel p) "v3";
+      Obs.Fsio.commit p;
+      Obs.Fsio.commit p;
+      (* idempotent *)
+      check_str "commit promotes" "v3" (read_file path);
+      check_int "no temp litter after commit" 1
+        (Array.length (Sys.readdir dir)))
+
 (* ------------------------------------------------------------------ *)
 
 let with_temp_file f =
@@ -275,7 +346,12 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "snapshot and jsonl" `Quick test_snapshot;
+          Alcotest.test_case "sampled percentiles" `Quick
+            test_sampled_percentiles;
+          Alcotest.test_case "reservoir cap" `Quick test_sampled_reservoir_cap;
         ] );
+      ( "fsio",
+        [ Alcotest.test_case "atomic writes" `Quick test_fsio_atomic ] );
       ( "sinks",
         [
           Alcotest.test_case "jsonl parses back" `Quick test_jsonl_sink;
