@@ -156,6 +156,24 @@ type serve_row = {
 
 let serve_rows : serve_row list ref = ref []
 
+(* Per-library rows recorded by the [libcheck] experiment: library
+   sweep throughput (cells/sec over the domain pool), the sequential
+   vs parallel report-identity flag, and the pin grade distribution. *)
+type libcheck_row = {
+  lc_id : string;
+  lc_cells : int;
+  lc_pins : int;
+  lc_jobs : int;
+  lc_seq_wall : float;
+  lc_par_wall : float;
+  lc_identical : bool;
+  lc_cells_per_sec : float;  (** of the parallel sweep *)
+  lc_weak_pins : int;
+  lc_grades : (string * int) list;  (** pins per grade, worst last *)
+}
+
+let libcheck_rows : libcheck_row list ref = ref []
+
 let write_telemetry ~ran =
   let open Obs.Json in
   let summary_json (s : Eval.summary) =
@@ -226,6 +244,25 @@ let write_telemetry ~ran =
           ])
       !serve_rows
   in
+  let libcheck =
+    List.rev_map
+      (fun r ->
+        Obj
+          [
+            ("id", Str r.lc_id);
+            ("cells", num_int r.lc_cells);
+            ("pins", num_int r.lc_pins);
+            ("jobs", num_int r.lc_jobs);
+            ("seq_wall", Num r.lc_seq_wall);
+            ("par_wall", Num r.lc_par_wall);
+            ("identical", Bool r.lc_identical);
+            ("cells_per_sec", Num r.lc_cells_per_sec);
+            ("weak_pins", num_int r.lc_weak_pins);
+            ( "grades",
+              Obj (List.map (fun (g, n) -> (g, num_int n)) r.lc_grades) );
+          ])
+      !libcheck_rows
+  in
   let json =
     Obj
       [
@@ -238,6 +275,7 @@ let write_telemetry ~ran =
         ("parallel", List parallel);
         ("eco", List eco);
         ("serve", List serve);
+        ("libcheck", List libcheck);
         ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
       ]
   in
@@ -892,6 +930,96 @@ let serve_exp () =
   pf "@.Every acked batch is WAL-committed before the reply; mismatch@.";
   pf "must be 0 — the dumped design equals the fold of acked batches.@."
 
+(* --------------------------------------------------------------- *)
+(* libcheck — library sweep throughput and grade distribution        *)
+(* --------------------------------------------------------------- *)
+
+let libcheck_exp () =
+  section
+    (Printf.sprintf "libcheck — library pin-access sweep (-j %d)" jobs);
+  pf "(every cell solved and audit-certified at each density level;@.";
+  pf " the parallel sweep must produce the sequential report bytes)@.@.";
+  let sizes =
+    List.filter_map
+      (fun n ->
+        let scaled = int_of_float (float_of_int n *. scale) in
+        if scaled >= 2 then Some scaled else None)
+      [ 24; 96 ]
+  in
+  let sizes = if sizes = [] then [ 2 ] else sizes in
+  let rows =
+    List.map
+      (fun n ->
+        let id = Printf.sprintf "synth-%d" n in
+        let params =
+          { Workloads.Cell_lib.default_params with Workloads.Cell_lib.cells = n }
+        in
+        let cells = Workloads.Cell_lib.generate params in
+        let config = Libcheck.Harness.default_config in
+        let seq, lc_seq_wall =
+          wall (fun () -> Libcheck.Sweep.run ~j:1 config cells)
+        in
+        let par, lc_par_wall =
+          wall (fun () -> Libcheck.Sweep.run ~j:jobs config cells)
+        in
+        let render results =
+          Obs.Json.to_string
+            (Libcheck.Report.to_json
+               (Libcheck.Report.make ~lib_name:id config results))
+        in
+        let lc_identical = render seq = render par in
+        let report = Libcheck.Report.make ~lib_name:id config par in
+        let grades =
+          List.map
+            (fun (g, c) -> (Libcheck.Grade.to_string g, c))
+            (Libcheck.Report.grade_histogram report)
+        in
+        let pins = Workloads.Cell_lib.num_pins cells in
+        let weak = Libcheck.Report.weak_pins report in
+        let cells_per_sec =
+          if lc_par_wall > 0.0 then float_of_int n /. lc_par_wall else 0.0
+        in
+        libcheck_rows :=
+          {
+            lc_id = id;
+            lc_cells = n;
+            lc_pins = pins;
+            lc_jobs = jobs;
+            lc_seq_wall;
+            lc_par_wall;
+            lc_identical;
+            lc_cells_per_sec = cells_per_sec;
+            lc_weak_pins = weak;
+            lc_grades = grades;
+          }
+          :: !libcheck_rows;
+        pf "  %s done@." id;
+        [
+          id;
+          string_of_int n;
+          string_of_int pins;
+          Report.fixed 2 lc_seq_wall;
+          Report.fixed 2 lc_par_wall;
+          (if lc_identical then "yes" else "NO");
+          Report.fixed 1 cells_per_sec;
+          String.concat " "
+            (List.map (fun (g, c) -> Printf.sprintf "%s=%d" g c) grades);
+          string_of_int weak;
+        ])
+      sizes
+  in
+  pf "@.%s@."
+    (Report.table
+       ~header:
+         [
+           "library"; "cells"; "pins"; "seq(s)"; "par(s)"; "ident";
+           "cells/s"; "grades"; "weak";
+         ]
+       rows);
+  pf "@.The identity column must read yes: the sweep carves isolated@.";
+  pf "budget slices up front and merges in input order, so -j never@.";
+  pf "changes a single report byte.@."
+
 let experiments =
   [
     ("table2", table2);
@@ -904,6 +1032,7 @@ let experiments =
     ("parallel", parallel_exp);
     ("eco", eco_exp);
     ("serve", serve_exp);
+    ("libcheck", libcheck_exp);
     ("kernels", kernels);
   ]
 

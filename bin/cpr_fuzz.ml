@@ -9,7 +9,7 @@
 
    Exit codes: 0 all cases clean, 1 an invariant was violated (the
    shrunken repro is written to --out; an ECO failure also writes its
-   minimal delta stream next to it), 124 usage errors. *)
+   minimal delta stream next to it), 2 usage errors. *)
 
 open Cmdliner
 
@@ -46,7 +46,7 @@ let run_campaign iterations seed tolerance max_nets no_ilp no_routing
       1)
   | None, Some _ ->
     Format.printf "--deltas requires --replay@.";
-    124
+    2
   | Some path, None ->
     (* re-run the invariants on a saved (typically shrunken) design *)
     let design = Netlist.Design_io.load path in
@@ -208,4 +208,7 @@ let cmd =
        $ no_routing $ no_parallel $ no_eco $ shrink_rounds $ out $ replay
        $ deltas $ quiet))
 
-let () = exit (Cmd.eval' cmd)
+(* shared exit-code convention with cpr_main/cpr_serve: 0 ok, 1 a
+   violation was found, 2 usage or I/O error (cmdliner's 123/124/125
+   collapse onto 2) *)
+let () = exit (match Cmd.eval' cmd with 0 -> 0 | 1 -> 1 | _ -> 2)

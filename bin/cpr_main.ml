@@ -4,7 +4,11 @@
      dune exec bin/cpr_main.exe -- --circuit ecc --scale 0.25
      dune exec bin/cpr_main.exe -- --circuit alu --router seq
      dune exec bin/cpr_main.exe -- --nets 400 --width 120 --height 100
-     dune exec bin/cpr_main.exe -- --circuit ecc --pao ilp --verbose *)
+     dune exec bin/cpr_main.exe -- --circuit ecc --pao ilp --verbose
+     dune exec bin/cpr_main.exe -- --check-library --lib-cells 24 -j 4
+
+   Exit codes (shared by cpr_fuzz and cpr_serve): 0 clean, 1 a
+   violation or weak pin was found, 2 usage or I/O errors. *)
 
 open Cmdliner
 
@@ -118,8 +122,84 @@ let run_eco pao_kind verbose path design =
   | None -> ());
   0
 
+(* Library-check mode: synthesize (or, later, load) a cell library,
+   sweep every cell through the density ladder on the domain pool, and
+   emit the ranked report.  Exit 1 when any pin grades F — the library
+   has a pin no placement can rescue. *)
+let run_check_library pao budget jobs seed lib_cells report report_md verbose
+    stats =
+  let params =
+    {
+      Workloads.Cell_lib.default_params with
+      Workloads.Cell_lib.cells = lib_cells;
+      seed = Int64.of_int seed;
+    }
+  in
+  let cells = Workloads.Cell_lib.generate params in
+  let config =
+    {
+      Libcheck.Harness.default_config with
+      Libcheck.Harness.kind =
+        (match pao with
+        | `Lr -> Pinaccess.Pin_access.Lr
+        | `Ilp -> Pinaccess.Pin_access.Ilp);
+      seed = Int64.of_int seed;
+    }
+  in
+  let budget =
+    Option.map (fun seconds -> Pinaccess.Budget.start ~seconds ()) budget
+  in
+  let lib_name = Printf.sprintf "synth-%d-seed%d" lib_cells seed in
+  Format.printf "checking library %s: %d cells, %d pins, densities %s@."
+    lib_name (List.length cells)
+    (Workloads.Cell_lib.num_pins cells)
+    (String.concat "/"
+       (List.map (Printf.sprintf "%g") config.Libcheck.Harness.densities));
+  let results = Libcheck.Sweep.run ~j:jobs ?budget config cells in
+  let r = Libcheck.Report.make ~lib_name config results in
+  let uncertified =
+    List.filter
+      (fun (c : Libcheck.Check.cell_result) -> not c.Libcheck.Check.certified)
+      r.Libcheck.Report.cells
+  in
+  Format.printf "grades (pins): %s@."
+    (String.concat ", "
+       (List.map
+          (fun (g, n) -> Printf.sprintf "%s=%d" (Libcheck.Grade.to_string g) n)
+          (Libcheck.Report.grade_histogram r)));
+  let weak = Libcheck.Report.weak_pins r in
+  Format.printf "weak pins (F): %d; uncertified cells: %d@." weak
+    (List.length uncertified);
+  if verbose then
+    List.iter
+      (fun (c : Libcheck.Check.cell_result) ->
+        Format.printf "  %s: %s%s@." c.Libcheck.Check.cell.Workloads.Cell_lib.cell_name
+          (Libcheck.Grade.to_string c.Libcheck.Check.worst)
+          (match c.Libcheck.Check.uncertified with
+          | None -> ""
+          | Some why -> " [UNCERTIFIED: " ^ why ^ "]"))
+      r.Libcheck.Report.cells;
+  (match report with
+  | Some path ->
+    Libcheck.Report.save_json path r;
+    Format.printf "report written to %s@." path
+  | None -> ());
+  (match report_md with
+  | Some path ->
+    Libcheck.Report.save_markdown path r;
+    Format.printf "markdown report written to %s@." path
+  | None -> ());
+  if stats then
+    Format.printf "@.%s" (Obs.Metrics.summary (Obs.Metrics.snapshot ()));
+  if weak > 0 || uncertified <> [] then 1 else 0
+
 let main circuit scale nets width height seed router pao budget jobs
-    parallel_init verbose load repair save svg trace metrics_out stats eco =
+    parallel_init verbose load repair save svg trace metrics_out stats eco
+    check_library lib_cells report report_md =
+  if check_library then
+    run_check_library pao budget jobs seed lib_cells report report_md verbose
+      stats
+  else begin
   let design = build_design circuit scale nets width height seed load repair in
   (match save with
   | Some path ->
@@ -219,18 +299,23 @@ let main circuit scale nets width height seed router pao budget jobs
             (String.concat "," (List.map string_of_int v.Drc.Check.nets)))
       flow.Router.Flow.violations
   end;
-  0
+  (* the shared exit-code convention: 1 when the layout has DRC
+     violations, mirroring --check-library's 1 on a weak pin *)
+  if s.Metrics.Eval.violations > 0 then 1 else 0
+  end
   end
 
 (* Typed-error boundary: malformed designs, solver failures and
    infeasible panels surface as clean cmdliner errors, never raw
    OCaml exception traces. *)
 let main circuit scale nets width height seed router pao budget jobs
-    parallel_init verbose load repair save svg trace metrics_out stats eco =
+    parallel_init verbose load repair save svg trace metrics_out stats eco
+    check_library lib_cells report report_md =
   match
     Pinaccess.Cpr_error.protect (fun () ->
         main circuit scale nets width height seed router pao budget jobs
-          parallel_init verbose load repair save svg trace metrics_out stats eco)
+          parallel_init verbose load repair save svg trace metrics_out stats eco
+          check_library lib_cells report report_md)
   with
   | Ok n -> Ok n
   | Error e -> Error (`Msg (Pinaccess.Cpr_error.to_string e))
@@ -426,6 +511,34 @@ let eco =
   in
   Arg.(value & opt (some file) None & info [ "eco" ] ~docv:"FILE" ~doc)
 
+let check_library =
+  let doc =
+    "Library mode: instead of routing a design, grade every pin of a \
+     synthesized cell library. Each cell is placed in isolation on a \
+     single-row die, surrounded by seeded blockage congestion at several \
+     density levels, solved with the concurrent pin access optimizer and \
+     audit-certified; the ranked worst-first report is deterministic for a \
+     given $(b,--seed) and identical for any $(b,-j). Exits 1 when a pin \
+     grades F (no certified access even in isolation)."
+  in
+  Arg.(value & flag & info [ "check-library" ] ~doc)
+
+let lib_cells =
+  let doc = "Library mode: number of cells to synthesize." in
+  Arg.(value & opt positive_int 24 & info [ "lib-cells" ] ~docv:"N" ~doc)
+
+let report =
+  let doc =
+    "Library mode: write the ranked report as JSON to $(docv) (atomic \
+     write; a crash never leaves a torn report)."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let report_md =
+  let doc = "Library mode: write the ranked report as markdown to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "report-md" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "concurrent pin access optimization for unidirectional routing" in
   let man =
@@ -444,6 +557,9 @@ let cmd =
       term_result
         (const main $ circuit $ scale $ nets $ width $ height $ seed $ router
         $ pao $ budget $ jobs $ parallel_init $ verbose $ load $ repair $ save
-        $ svg $ trace $ metrics_out $ stats $ eco))
+        $ svg $ trace $ metrics_out $ stats $ eco $ check_library $ lib_cells
+        $ report $ report_md))
 
-let () = exit (Cmd.eval' cmd)
+(* 0 = ok, 1 = violation/weak pin, 2 = usage or I/O error: cmdliner's
+   own error exits (123/124/125) all collapse onto 2. *)
+let () = exit (match Cmd.eval' cmd with 0 -> 0 | 1 -> 1 | _ -> 2)

@@ -13,7 +13,7 @@
    must resume exactly where the journal proves they stopped.
 
    Exit codes: 0 clean, 1 a durability/consistency check failed,
-   124 usage errors. *)
+   2 usage errors. *)
 
 open Cmdliner
 module P = Serve.Protocol
@@ -462,4 +462,7 @@ let cmd =
        ~doc:"crash-safe supervised ECO service with WAL recovery")
     [ serve_cmd; load_cmd; soak_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* shared exit-code convention with cpr_main/cpr_fuzz: 0 ok, 1 a check
+   failed, 2 usage or I/O error (cmdliner's 123/124/125 collapse
+   onto 2) *)
+let () = exit (match Cmd.eval' cmd with 0 -> 0 | 1 -> 1 | _ -> 2)

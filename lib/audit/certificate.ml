@@ -76,8 +76,8 @@ let physical_compare (a : AI.t) (b : AI.t) =
 (* The core examiner, shared by the problem-level and design-level
    entry points.  [expected] is the exact pin set that must be covered;
    everything else is re-derived from [design] geometry alone. *)
-let examine ~tolerance ~weighting ~design ~expected ~assignment ~reported
-    ~dual_bound =
+let examine ~tolerance ~weighting ~window ~design ~expected ~assignment
+    ~reported ~dual_bound =
   let faults = ref [] in
   let fault r = faults := r :: !faults in
   let expected_set = Hashtbl.create (Array.length expected) in
@@ -138,12 +138,26 @@ let examine ~tolerance ~weighting ~design ~expected ~assignment ~reported
         else if I.lo iv.AI.span < 0 || I.hi iv.AI.span > die_cols then
           illegal (Printf.sprintf "span %s off the die" (I.to_string iv.AI.span))
         else begin
-          let bbox = Design.net_bbox design iv.AI.net in
-          if not (I.contains_interval (Geometry.Rect.xs bbox) iv.AI.span) then
+          (* the generation bound re-derived from geometry: the net
+             bounding box, grown by the rule deck's access window when
+             the instance was generated with one (min_window) *)
+          let bbox = Geometry.Rect.xs (Design.net_bbox design iv.AI.net) in
+          let allowed =
+            match window with
+            | None -> bbox
+            | Some w ->
+              let die_x = I.make ~lo:0 ~hi:die_cols in
+              (match
+                 I.clamp (I.make ~lo:(pin.Pin.x - w) ~hi:(pin.Pin.x + w))
+                   ~within:die_x
+               with
+              | Some want -> I.hull bbox want
+              | None -> bbox)
+          in
+          if not (I.contains_interval allowed iv.AI.span) then
             illegal
-              (Printf.sprintf "span %s outside net bbox %s"
-                 (I.to_string iv.AI.span)
-                 (I.to_string (Geometry.Rect.xs bbox)));
+              (Printf.sprintf "span %s outside generation bound %s"
+                 (I.to_string iv.AI.span) (I.to_string allowed));
           List.iter
             (fun blocked ->
               if I.overlaps blocked iv.AI.span then
@@ -222,6 +236,7 @@ let examine ~tolerance ~weighting ~design ~expected ~assignment ~reported
 let violations ?(tolerance = 1e-6) t =
   examine ~tolerance
     ~weighting:t.problem.Problem.config.Pinaccess.Interval_gen.weighting
+    ~window:t.problem.Problem.config.Pinaccess.Interval_gen.min_window
     ~design:t.problem.Problem.design ~expected:t.problem.Problem.pin_ids
     ~assignment:t.assignment ~reported:t.reported_objective
     ~dual_bound:t.dual_bound
@@ -242,14 +257,14 @@ let upper_bound (problem : Problem.t) =
     0.0 problem.Problem.pin_candidates
 
 let certify_pin_access ?(tolerance = 1e-6)
-    ?(weighting = Pinaccess.Objective.default)
+    ?(weighting = Pinaccess.Objective.default) ?window
     (pao : Pinaccess.Pin_access.t) =
   let design = pao.Pinaccess.Pin_access.design in
   let expected =
     Array.map (fun (p : Pin.t) -> p.Pin.id) (Design.pins design)
   in
   match
-    examine ~tolerance ~weighting ~design ~expected
+    examine ~tolerance ~weighting ~window ~design ~expected
       ~assignment:pao.Pinaccess.Pin_access.assignments
       ~reported:pao.Pinaccess.Pin_access.objective ~dual_bound:None
   with

@@ -90,11 +90,16 @@ val upper_bound : Pinaccess.Problem.t -> float
 val certify_pin_access :
   ?tolerance:float ->
   ?weighting:Pinaccess.Objective.weighting ->
+  ?window:int ->
   Pinaccess.Pin_access.t ->
   (unit, reason) result
 (** Certify a whole-design {!Pinaccess.Pin_access.t} result: the same
     checks as {!certify} applied to the design-wide assignment (every
     design pin must be covered), with the objective recomputed under
-    [weighting] (default the paper's [Sqrt_length]).  Intervals are
+    [weighting] (default the paper's [Sqrt_length]).  [window] must
+    echo the {!Pinaccess.Interval_gen.config.min_window} the instance
+    was generated with: legality then allows spans inside the net
+    bounding box grown by [±window] around the assigned pin, exactly
+    the generation bound (the library checker's mode).  Intervals are
     compared by physical identity (net, track, span) since per-panel
     interval ids are not globally unique. *)

@@ -1,4 +1,11 @@
-type point = Ilp | Lr | Wal_append | Wal_commit | Serve_apply | Worker
+type point =
+  | Ilp
+  | Lr
+  | Wal_append
+  | Wal_commit
+  | Serve_apply
+  | Worker
+  | Report_write
 
 let point_to_string = function
   | Ilp -> "ilp"
@@ -7,6 +14,7 @@ let point_to_string = function
   | Wal_commit -> "wal_commit"
   | Serve_apply -> "serve_apply"
   | Worker -> "worker"
+  | Report_write -> "report_write"
 
 let hook : (point -> unit) ref = ref (fun _ -> ())
 

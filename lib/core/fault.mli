@@ -18,6 +18,9 @@ type point =
   | Wal_commit  (** before a WAL commit marker is written *)
   | Serve_apply  (** between WAL append and engine apply (crash window) *)
   | Worker  (** entry of one panel-solve task (worker-domain failure) *)
+  | Report_write
+      (** mid-stream during a report's atomic write, between open and
+          commit (crash leaves the previous report intact) *)
 
 val point_to_string : point -> string
 

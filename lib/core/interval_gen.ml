@@ -7,6 +7,7 @@ type config = {
   m2_bbox_margin : int option;
   max_per_pin : int;
   clearance : int;
+  min_window : int option;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     m2_bbox_margin = None;
     max_per_pin = 64;
     clearance = 2;
+    min_window = None;
   }
 
 exception Pin_unreachable of Netlist.Pin.id
@@ -26,17 +28,28 @@ let m_intervals_per_pin = Obs.Metrics.histogram "pao.intervals_per_pin"
 let gen_bounds config design (p : Pin.t) =
   let die_x = Geometry.Rect.xs (Design.die design) in
   let net_x = Geometry.Rect.xs (Design.net_bbox design p.net) in
-  match config.m2_bbox_margin with
-  | None -> net_x
-  | Some k ->
-    let est = I.make ~lo:(p.x - k) ~hi:(p.x + k) in
-    (match I.clamp est ~within:die_x with
-    | Some est ->
-      (* never smaller than the pin column itself *)
-      I.hull (I.point p.x) (match I.intersect est net_x with
-        | Some both -> both
-        | None -> I.point p.x)
-    | None -> I.point p.x)
+  let base =
+    match config.m2_bbox_margin with
+    | None -> net_x
+    | Some k ->
+      let est = I.make ~lo:(p.x - k) ~hi:(p.x + k) in
+      (match I.clamp est ~within:die_x with
+      | Some est ->
+        (* never smaller than the pin column itself *)
+        I.hull (I.point p.x) (match I.intersect est net_x with
+          | Some both -> both
+          | None -> I.point p.x)
+      | None -> I.point p.x)
+  in
+  (* the library checker's access window: a single-pin net has a
+     degenerate bounding box (the pin column), so candidates are grown
+     to at least the window the router could approach from *)
+  match config.min_window with
+  | None -> base
+  | Some w ->
+    (match I.clamp (I.make ~lo:(p.x - w) ~hi:(p.x + w)) ~within:die_x with
+    | Some want -> I.hull base want
+    | None -> base)
 
 (* Maximal blockage-free column range around [p.x] on [track], clipped
    to [bounds]; [None] when the pin column itself is blocked. *)

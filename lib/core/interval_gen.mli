@@ -24,6 +24,14 @@ type config = {
           [clearance + 1] grids of line-end room (see
           {!Conflict.detect}); default 2, matching the SADP deck's
           min line-end gap of 2 (gap >= clearance). *)
+  min_window : int option;
+      (** Library-check mode: grow each pin's generation bounds to at
+          least [±window] grid columns around the pin column (clamped
+          to the die), on top of the net bounding box.  A single-pin
+          net — how the library checker models every cell pin — has a
+          degenerate bounding box, so without a window its only
+          candidate is the pin column itself.  [None] (default)
+          reproduces the paper's net-bbox clipping exactly. *)
 }
 
 val default_config : config

@@ -146,12 +146,15 @@ let key ~(config : PA.config) ~kind design ~panel =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let gen = config.PA.gen in
-  add "gen:%s,%s,%d,%d;"
+  add "gen:%s,%s,%d,%d,%s;"
     (Pinaccess.Objective.weighting_to_string gen.Pinaccess.Interval_gen.weighting)
     (match gen.Pinaccess.Interval_gen.m2_bbox_margin with
     | None -> "full-bbox"
     | Some k -> string_of_int k)
-    gen.Pinaccess.Interval_gen.max_per_pin gen.Pinaccess.Interval_gen.clearance;
+    gen.Pinaccess.Interval_gen.max_per_pin gen.Pinaccess.Interval_gen.clearance
+    (match gen.Pinaccess.Interval_gen.min_window with
+    | None -> "no-window"
+    | Some w -> string_of_int w);
   let lr = config.PA.lr in
   add "kind:%s;lr:%d,%h,%s,%b,%s,%b;"
     (PA.solver_kind_to_string kind)

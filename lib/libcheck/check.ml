@@ -1,0 +1,137 @@
+module I = Geometry.Interval
+module PA = Pinaccess.Pin_access
+module Cell_lib = Workloads.Cell_lib
+
+type pin_result = {
+  pin_name : string;
+  pin_id : Netlist.Pin.id;
+  candidates : int;
+  access_points : int array;
+  assigned_len : int array;
+  pass_level : int;
+  grade : Grade.t;
+}
+
+type cell_result = {
+  cell : Cell_lib.cell;
+  pins : pin_result list;
+  certified : bool;
+  uncertified : string option;
+  objective : float;
+  worst : Grade.t;
+}
+
+let m_cells = Obs.Metrics.counter "libcheck.cells"
+let m_pins = Obs.Metrics.counter "libcheck.pins"
+let m_weak = Obs.Metrics.counter "libcheck.weak_pins"
+let m_access_points = Obs.Metrics.histogram "libcheck.access_points"
+
+(* Distinct legal via landing grids over all of the pin's candidate
+   intervals: per track, the union of candidate spans. *)
+let count_access_points gen design pin =
+  let by_track = Hashtbl.create 4 in
+  List.iter
+    (fun (_, track, span, _) ->
+      Hashtbl.replace by_track track
+        (span :: Option.value ~default:[] (Hashtbl.find_opt by_track track)))
+    (Pinaccess.Interval_gen.generate_pin gen design pin);
+  Hashtbl.fold
+    (fun _track spans acc ->
+      let sorted = List.sort I.compare spans in
+      let covered, last =
+        List.fold_left
+          (fun (n, last) span ->
+            match last with
+            | Some (hi : int) when I.hi span <= hi -> (n, last)
+            | Some hi when I.lo span <= hi ->
+              (n + I.hi span - hi, Some (I.hi span))
+            | Some _ | None -> (n + I.length span, Some (I.hi span)))
+          (0, None) sorted
+      in
+      ignore last;
+      acc + covered)
+    by_track 0
+
+let count_candidates gen design pin =
+  Pinaccess.Interval_gen.generate_pin gen design pin
+  |> List.map (fun (_, track, span, _) -> (track, I.lo span, I.hi span))
+  |> List.sort_uniq compare |> List.length
+
+let check_cell ?budget config (cell : Cell_lib.cell) =
+  Obs.Trace.with_span "libcheck.cell" @@ fun () ->
+  let gen = Harness.gen_config config in
+  let pa_config = { PA.default_config with PA.gen } in
+  let levels = List.length config.Harness.densities in
+  if levels = 0 then invalid_arg "Check.check_cell: no density levels";
+  let n_pins = List.length cell.Cell_lib.pins in
+  let access = Array.make_matrix n_pins levels 0 in
+  let assigned = Array.make_matrix n_pins levels 0 in
+  let cert_ok = Array.make levels false in
+  let first_reject = ref None in
+  let candidates = Array.make n_pins 0 in
+  let objective = ref 0.0 in
+  for level = 0 to levels - 1 do
+    let design = Harness.design_for config cell ~level in
+    let pao =
+      PA.optimize ~config:pa_config ?budget ~kind:config.Harness.kind design
+    in
+    if level = 0 then objective := pao.PA.objective;
+    (match
+       Audit.certify_pin_access
+         ~weighting:gen.Pinaccess.Interval_gen.weighting
+         ~window:config.Harness.access_window pao
+     with
+    | Ok () -> cert_ok.(level) <- true
+    | Error reason ->
+      if !first_reject = None then
+        first_reject :=
+          Some
+            (Printf.sprintf "level %d: %s" level
+               (Audit.reason_to_string reason)));
+    Array.iter
+      (fun (pin : Netlist.Pin.t) ->
+        let id = pin.Netlist.Pin.id in
+        access.(id).(level) <- count_access_points gen design pin;
+        if level = 0 then candidates.(id) <- count_candidates gen design pin;
+        match PA.interval_of_pin pao id with
+        | Some iv -> assigned.(id).(level) <- Pinaccess.Access_interval.length iv
+        | None -> assigned.(id).(level) <- 0)
+      (Netlist.Design.pins design)
+  done;
+  let pins =
+    List.mapi
+      (fun id (p : Cell_lib.pin) ->
+        let passes level =
+          cert_ok.(level)
+          && access.(id).(level) >= config.Harness.min_access_points
+        in
+        let rec highest k =
+          if k < levels && passes k then highest (k + 1) else k - 1
+        in
+        let pass_level = highest 0 in
+        let grade = Grade.of_pass_level ~levels pass_level in
+        Obs.Metrics.incr m_pins;
+        if grade = Grade.F then Obs.Metrics.incr m_weak;
+        Obs.Metrics.observe m_access_points (float_of_int access.(id).(0));
+        {
+          pin_name = p.Cell_lib.pin_name;
+          pin_id = id;
+          candidates = candidates.(id);
+          access_points = access.(id);
+          assigned_len = assigned.(id);
+          pass_level;
+          grade;
+        })
+      cell.Cell_lib.pins
+  in
+  Obs.Metrics.incr m_cells;
+  {
+    cell;
+    pins;
+    certified = Array.for_all Fun.id cert_ok;
+    uncertified = !first_reject;
+    objective = !objective;
+    worst =
+      List.fold_left (fun w (p : pin_result) -> Grade.worst w p.grade) Grade.A
+        pins;
+  }

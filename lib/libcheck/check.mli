@@ -1,0 +1,45 @@
+(** Per-cell pin-access check: the density sweep, the concurrent
+    solves, the audit certificates and the resulting grades.
+
+    For every density level the cell's evaluation die is built
+    ({!Harness.design_for}), solved with the full panel pipeline
+    ({!Pinaccess.Pin_access.optimize} under the active rule deck) and
+    certified by the independent audit examiner — a graded cell always
+    carries a certificate, never just the solver's word.  Per pin and
+    level the checker then counts {e access points}: distinct legal via
+    landing grids over all candidate intervals, re-derived from
+    geometry by {!Pinaccess.Interval_gen.generate_pin}.  A pin passes a
+    level when the level's certificate holds and the count reaches the
+    configured minimum; the highest contiguously passed level sets the
+    {!Grade.t}. *)
+
+type pin_result = {
+  pin_name : string;
+  pin_id : Netlist.Pin.id;  (** within the cell's evaluation die *)
+  candidates : int;  (** distinct candidate intervals in isolation *)
+  access_points : int array;  (** legal via landing grids, per level *)
+  assigned_len : int array;
+      (** length of the interval the concurrent solve picked, per
+          level — contention with the cell's other pins included *)
+  pass_level : int;  (** highest contiguously passed level; -1 = none *)
+  grade : Grade.t;
+}
+
+type cell_result = {
+  cell : Workloads.Cell_lib.cell;
+  pins : pin_result list;  (** in cell pin order *)
+  certified : bool;  (** every level's solve was audit-certified *)
+  uncertified : string option;  (** first rejection reason, if any *)
+  objective : float;  (** the isolation (density 0) objective *)
+  worst : Grade.t;
+}
+
+val check_cell :
+  ?budget:Pinaccess.Budget.t ->
+  Harness.config ->
+  Workloads.Cell_lib.cell ->
+  cell_result
+(** Sweep one cell through every density level.  The optional [budget]
+    meters all of the cell's solves jointly; on expiry the degradation
+    ladder inside [optimize] still returns a feasible (certified)
+    assignment. *)

@@ -1,0 +1,17 @@
+type t = A | B | C | D | F
+
+let to_string = function A -> "A" | B -> "B" | C -> "C" | D -> "D" | F -> "F"
+
+let rank = function F -> 0 | D -> 1 | C -> 2 | B -> 3 | A -> 4
+
+let worst a b = if rank a <= rank b then a else b
+
+let of_pass_level ~levels k =
+  if levels < 1 then invalid_arg "Grade.of_pass_level: levels < 1";
+  if k < 0 then F
+  else if k >= levels - 1 then A
+  else if k = levels - 2 then B
+  else if k = levels - 3 then C
+  else D
+
+let all = [ A; B; C; D; F ]

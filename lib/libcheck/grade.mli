@@ -1,0 +1,29 @@
+(** Pin accessibility letter grades.
+
+    A pin is graded by the highest congestion level it survives: the
+    checker sweeps density levels from an empty neighbourhood upward,
+    and a pin {e passes} a level when the cell's concurrent solve is
+    audit-certified and the pin still offers at least the configured
+    number of access points.  The grade is the standard-cell-evaluation
+    shorthand the GLOBALFOUNDRIES flow prints: [A] survives every
+    level, [F] fails even in isolation. *)
+
+type t = A | B | C | D | F
+
+val to_string : t -> string
+
+val rank : t -> int
+(** Severity order for worst-first ranking: [F] is 0 (worst), [A] is
+    4 (best). *)
+
+val worst : t -> t -> t
+(** The lower of the two grades. *)
+
+val of_pass_level : levels:int -> int -> t
+(** [of_pass_level ~levels k] maps the highest contiguously passed
+    density level [k] (−1 when even level 0 failed) to a grade:
+    passing all [levels] is an [A], each missed level costs one letter,
+    and [−1] is an [F].  [levels >= 1]. *)
+
+val all : t list
+(** [A; B; C; D; F] — histogram key order. *)

@@ -1,0 +1,119 @@
+module I = Geometry.Interval
+module Cell_lib = Workloads.Cell_lib
+module Rng = Workloads.Rng
+
+type config = {
+  gen : Pinaccess.Interval_gen.config;
+  kind : Pinaccess.Pin_access.solver_kind;
+  densities : float list;
+  access_window : int;
+  margin : int;
+  row_height : int;
+  min_access_points : int;
+  seed : int64;
+}
+
+let default_config =
+  {
+    gen = Pinaccess.Interval_gen.default_config;
+    kind = Pinaccess.Pin_access.Lr;
+    densities = [ 0.0; 0.25; 0.5; 0.75 ];
+    access_window = 8;
+    margin = 10;
+    row_height = 10;
+    min_access_points = 4;
+    seed = 1L;
+  }
+
+let gen_config config =
+  { config.gen with Pinaccess.Interval_gen.min_window = Some config.access_window }
+
+let density config ~level =
+  match List.nth_opt config.densities level with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Harness.density: no level %d" level)
+
+(* Deterministic per-(cell, level) congestion seed: the cell name is
+   folded into the library seed so reordering the library never changes
+   any cell's verdict. *)
+let blockage_seed config (cell : Cell_lib.cell) ~level =
+  let h =
+    String.fold_left
+      (fun h c -> Int64.add (Int64.mul h 131L) (Int64.of_int (Char.code c)))
+      7L cell.Cell_lib.cell_name
+  in
+  Int64.add config.seed (Int64.add (Int64.mul h 1000003L) (Int64.of_int level))
+
+(* Blockage segments on one track until ~[target] grids are covered,
+   skipping any grid a pin occupies (minimum intervals must survive:
+   congestion degrades access, never feasibility). *)
+let congest rng ~width ~track ~target ~pin_grids =
+  let covered = Array.make width false in
+  let blocked = ref 0 in
+  let out = ref [] in
+  let attempts = ref (8 * width) in
+  while !blocked < target && !attempts > 0 do
+    decr attempts;
+    let len = Rng.in_range rng ~lo:2 ~hi:6 in
+    if width > len then begin
+      let x0 = Rng.int rng (width - len) in
+      let span = I.make ~lo:x0 ~hi:(x0 + len - 1) in
+      let clashes =
+        List.exists
+          (fun (px, tracks) -> I.contains span px && I.contains tracks track)
+          pin_grids
+      in
+      if not clashes then begin
+        let fresh = ref 0 in
+        for x = x0 to x0 + len - 1 do
+          if not covered.(x) then incr fresh
+        done;
+        if !fresh > 0 then begin
+          for x = x0 to x0 + len - 1 do
+            covered.(x) <- true
+          done;
+          blocked := !blocked + !fresh;
+          out :=
+            Netlist.Blockage.make ~layer:Netlist.Blockage.M2 ~track ~span
+            :: !out
+        end
+      end
+    end
+  done;
+  !out
+
+let design_for config (cell : Cell_lib.cell) ~level =
+  let d = density config ~level in
+  let width = cell.Cell_lib.width + (2 * config.margin) in
+  let pins, nets =
+    List.mapi
+      (fun id (p : Cell_lib.pin) ->
+        let x = config.margin + p.Cell_lib.offset in
+        ( Netlist.Pin.make ~id ~net:id ~x ~tracks:p.Cell_lib.tracks,
+          Netlist.Net.make ~id
+            ~name:(cell.Cell_lib.cell_name ^ "/" ^ p.Cell_lib.pin_name)
+            ~pins:[ id ] ))
+      cell.Cell_lib.pins
+    |> List.split
+  in
+  let blockages =
+    if d <= 0.0 then []
+    else begin
+      let rng = Rng.create (blockage_seed config cell ~level) in
+      let pin_grids =
+        List.map
+          (fun (p : Netlist.Pin.t) -> (p.Netlist.Pin.x, p.Netlist.Pin.tracks))
+          pins
+      in
+      let target = int_of_float (d *. float_of_int width) in
+      (* congest the cell-row routing tracks; the power-rail tracks 0
+         and row_height-1 carry no pins and no candidates *)
+      List.concat
+        (List.init (config.row_height - 2) (fun i ->
+             congest rng ~width ~track:(i + 1) ~target ~pin_grids))
+    end
+  in
+  Netlist.Design.create
+    ~name:(Printf.sprintf "%s@%g" cell.Cell_lib.cell_name d)
+    ~width ~height:config.row_height ~row_height:config.row_height ~pins ~nets
+    ~blockages ()

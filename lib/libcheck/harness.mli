@@ -1,0 +1,53 @@
+(** Single-cell evaluation harness: a cell placed in isolation on a
+    synthesized single-row die, surrounded by blockage congestion.
+
+    The checker's model follows the library-evaluation papers: each
+    cell pin becomes its own single-pin net (accessibility is graded
+    per pin, and same-cell neighbours supply exactly the contention the
+    concurrent formulation optimizes over), the die leaves [margin]
+    free columns on both sides of the cell, and M2 blockage segments
+    are synthesized on the cell-row tracks until roughly
+    [density * width] grids of each track are covered.  Blockages never
+    touch a grid a pin occupies, so every pin keeps its minimum
+    interval and the solve stays feasible by Theorem 1 — congestion
+    squeezes access quality, never the formulation.
+
+    All synthesis is deterministic: the blockage stream is seeded from
+    [(seed, cell name, density level)], so the same configuration
+    always produces the same die, the same solve and the same report
+    bytes. *)
+
+type config = {
+  gen : Pinaccess.Interval_gen.config;
+      (** the active rule deck; {!gen_config} forces its [min_window]
+          to [access_window] — single-pin nets have degenerate
+          bounding boxes *)
+  kind : Pinaccess.Pin_access.solver_kind;
+  densities : float list;
+      (** congestion levels swept per cell, ascending, starting at 0.0
+          (isolation) *)
+  access_window : int;
+      (** how far from the pin column the router may approach, in grid
+          columns each side *)
+  margin : int;  (** free die columns left and right of the cell *)
+  row_height : int;  (** must match the library generator's *)
+  min_access_points : int;
+      (** a pin passes a density level only with at least this many
+          legal via landing grids *)
+  seed : int64;  (** congestion synthesis seed *)
+}
+
+val default_config : config
+(** LR solve, densities [0; 0.25; 0.5; 0.75], window 8, margin 10,
+    rows of 10, 4 access points required. *)
+
+val gen_config : config -> Pinaccess.Interval_gen.config
+(** The rule deck actually handed to interval generation:
+    [config.gen] with [min_window = Some access_window]. *)
+
+val density : config -> level:int -> float
+(** @raise Invalid_argument when [level] is out of range. *)
+
+val design_for : config -> Workloads.Cell_lib.cell -> level:int -> Netlist.Design.t
+(** The cell's evaluation die at one congestion level: a single-panel
+    design whose solve is always feasible. *)

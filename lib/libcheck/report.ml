@@ -1,0 +1,161 @@
+module J = Obs.Json
+module Cell_lib = Workloads.Cell_lib
+
+type t = {
+  lib_name : string;
+  seed : int64;
+  densities : float list;
+  access_window : int;
+  min_access_points : int;
+  cells : Check.cell_result list;
+}
+
+let worst_pin_count (c : Check.cell_result) =
+  List.length (List.filter (fun (p : Check.pin_result) -> p.grade = c.worst) c.pins)
+
+let rank_pins (c : Check.cell_result) =
+  let pins =
+    List.sort
+      (fun (a : Check.pin_result) (b : Check.pin_result) ->
+        match compare (Grade.rank a.grade) (Grade.rank b.grade) with
+        | 0 -> (
+          match compare a.access_points.(0) b.access_points.(0) with
+          | 0 -> compare a.pin_name b.pin_name
+          | c -> c)
+        | c -> c)
+      c.pins
+  in
+  { c with pins }
+
+let make ~lib_name (config : Harness.config) results =
+  let cells =
+    List.map rank_pins results
+    |> List.sort (fun (a : Check.cell_result) (b : Check.cell_result) ->
+           match compare (Grade.rank a.worst) (Grade.rank b.worst) with
+           | 0 -> (
+             match compare (worst_pin_count b) (worst_pin_count a) with
+             | 0 ->
+               compare a.cell.Cell_lib.cell_name b.cell.Cell_lib.cell_name
+             | c -> c)
+           | c -> c)
+  in
+  {
+    lib_name;
+    seed = config.Harness.seed;
+    densities = config.Harness.densities;
+    access_window = config.Harness.access_window;
+    min_access_points = config.Harness.min_access_points;
+    cells;
+  }
+
+let all_pins t =
+  List.concat_map (fun (c : Check.cell_result) -> c.pins) t.cells
+
+let grade_histogram t =
+  let pins = all_pins t in
+  List.map
+    (fun g ->
+      (g, List.length (List.filter (fun (p : Check.pin_result) -> p.grade = g) pins)))
+    Grade.all
+
+let weak_pins t =
+  List.length
+    (List.filter (fun (p : Check.pin_result) -> p.grade = Grade.F) (all_pins t))
+
+let pin_to_json (p : Check.pin_result) =
+  J.Obj
+    [
+      ("name", J.Str p.pin_name);
+      ("grade", J.Str (Grade.to_string p.grade));
+      ("pass_level", J.num_int p.pass_level);
+      ("candidates", J.num_int p.candidates);
+      ( "access_points",
+        J.List (Array.to_list (Array.map J.num_int p.access_points)) );
+      ( "assigned_len",
+        J.List (Array.to_list (Array.map J.num_int p.assigned_len)) );
+    ]
+
+let cell_to_json (c : Check.cell_result) =
+  J.Obj
+    [
+      ("name", J.Str c.cell.Cell_lib.cell_name);
+      ("width", J.num_int c.cell.Cell_lib.width);
+      ("grade", J.Str (Grade.to_string c.worst));
+      ("certified", J.Bool c.certified);
+      ( "uncertified",
+        match c.uncertified with None -> J.Null | Some r -> J.Str r );
+      ("objective", J.Num c.objective);
+      ("pins", J.List (List.map pin_to_json c.pins));
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("library", J.Str t.lib_name);
+      ("seed", J.Str (Int64.to_string t.seed));
+      ("densities", J.List (List.map (fun d -> J.Num d) t.densities));
+      ("access_window", J.num_int t.access_window);
+      ("min_access_points", J.num_int t.min_access_points);
+      ("cells_checked", J.num_int (List.length t.cells));
+      ("weak_pins", J.num_int (weak_pins t));
+      ( "grades",
+        J.Obj
+          (List.map
+             (fun (g, n) -> (Grade.to_string g, J.num_int n))
+             (grade_histogram t)) );
+      ("cells", J.List (List.map cell_to_json t.cells));
+    ]
+
+let to_markdown t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# Library pin-access report: %s\n\n" t.lib_name;
+  add "- seed: %Ld\n" t.seed;
+  add "- densities: %s\n"
+    (String.concat ", " (List.map (Printf.sprintf "%g") t.densities));
+  add "- access window: ±%d columns; minimum access points: %d\n\n"
+    t.access_window t.min_access_points;
+  add "Grades (pins): %s — %d weak pin%s\n\n"
+    (String.concat ", "
+       (List.map
+          (fun (g, n) -> Printf.sprintf "%s=%d" (Grade.to_string g) n)
+          (grade_histogram t)))
+    (weak_pins t)
+    (if weak_pins t = 1 then "" else "s");
+  add "| cell | grade | certified | pin | pin grade | pass level | aps |\n";
+  add "|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun (c : Check.cell_result) ->
+      List.iteri
+        (fun i (p : Check.pin_result) ->
+          let name, grade, cert =
+            if i = 0 then
+              ( c.cell.Cell_lib.cell_name,
+                Grade.to_string c.worst,
+                if c.certified then "yes" else "NO" )
+            else ("", "", "")
+          in
+          add "| %s | %s | %s | %s | %s | %d | %s |\n" name grade cert
+            p.pin_name (Grade.to_string p.grade) p.pass_level
+            (String.concat "/"
+               (Array.to_list (Array.map string_of_int p.access_points))))
+        c.pins)
+    t.cells;
+  Buffer.contents buf
+
+(* Streamed atomic write with a fault trip point between open and
+   commit: the crash-safety regression tears the write here and asserts
+   the previous report survives. *)
+let atomic_save path content =
+  let p = Obs.Fsio.open_atomic path in
+  try
+    let oc = Obs.Fsio.channel p in
+    output_string oc content;
+    Pinaccess.Fault.trip Pinaccess.Fault.Report_write;
+    Obs.Fsio.commit p
+  with e ->
+    Obs.Fsio.abort p;
+    raise e
+
+let save_json path t = atomic_save path (J.to_string_pretty (to_json t) ^ "\n")
+let save_markdown path t = atomic_save path (to_markdown t)

@@ -1,0 +1,42 @@
+(** The ranked library report: deterministic JSON and markdown
+    renderings of a full library check.
+
+    Reports are ranked worst-first — the cells (and within each cell,
+    the pins) most likely to cause unroutable placements come first —
+    with name-order tie-breaking, so the same library under the same
+    configuration always renders the same bytes: no wall-clock, no
+    hashes, no float formatting that varies by locale.  Both renderers
+    persist through {!save_json}/{!save_markdown}, which write
+    atomically ({!Obs.Fsio}): a crash mid-write leaves the previous
+    report intact. *)
+
+type t = {
+  lib_name : string;
+  seed : int64;  (** congestion synthesis seed *)
+  densities : float list;
+  access_window : int;
+  min_access_points : int;
+  cells : Check.cell_result list;  (** ranked worst-first *)
+}
+
+val make :
+  lib_name:string -> Harness.config -> Check.cell_result list -> t
+(** Rank the results (worst grade first; among equals, more worst-grade
+    pins first, then cell name) and rank each cell's pins the same way
+    (worst grade, then fewest isolation access points, then pin name). *)
+
+val grade_histogram : t -> (Grade.t * int) list
+(** Pin count per grade, in [Grade.all] order. *)
+
+val weak_pins : t -> int
+(** Pins graded [F]: no certified assignment with enough access points
+    even in isolation. *)
+
+val to_json : t -> Obs.Json.t
+val to_markdown : t -> string
+
+val save_json : string -> t -> unit
+(** Atomic write of [to_json] (pretty-printed). *)
+
+val save_markdown : string -> t -> unit
+(** Atomic write of [to_markdown]. *)

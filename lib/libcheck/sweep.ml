@@ -1,0 +1,51 @@
+module Budget = Pinaccess.Budget
+
+(* One code path for every [j]: slices are carved up front and each
+   cell runs against its own isolated slice with buffered observability
+   whether the pool has one domain or eight, so sequential and parallel
+   sweeps are bit-identical by construction. *)
+let run ?(j = 1) ?budget config cells =
+  Obs.Trace.with_span "libcheck.sweep" @@ fun () ->
+  let budget = Budget.of_option budget in
+  let tasks = Array.of_list cells in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let slices =
+      Array.map
+        (fun _ ->
+          if Budget.is_unlimited budget then Budget.isolated budget ()
+          else
+            let seconds =
+              Option.map
+                (fun s -> s /. float_of_int n)
+                (Budget.remaining_seconds budget)
+            in
+            let work_units =
+              Option.map
+                (fun w -> max 1 (w / n))
+                (Budget.remaining_work budget)
+            in
+            Budget.isolated budget ?seconds ?work_units ())
+        tasks
+    in
+    let trace_on = Obs.Trace.enabled () in
+    let check i cell =
+      let task () = Check.check_cell ~budget:slices.(i) config cell in
+      Obs.Metrics.buffered (fun () ->
+          if trace_on then Obs.Trace.buffered task else (task (), []))
+    in
+    let results =
+      Exec.with_pool ~domains:(max 1 (min j n)) (fun pool ->
+          Exec.mapi pool check tasks)
+    in
+    let out = ref [] in
+    Array.iteri
+      (fun i ((result, events), mbuf) ->
+        Obs.Metrics.flush mbuf;
+        Obs.Trace.replay events;
+        Budget.spend budget (Budget.work_spent slices.(i));
+        out := result :: !out)
+      results;
+    List.rev !out
+  end

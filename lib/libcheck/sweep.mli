@@ -1,0 +1,20 @@
+(** Library sweep: fan the cells of a library across the domain pool.
+
+    Cells are independent — each solves its own synthesized die — so
+    the sweep maps them over [lib/exec] with every cell metered by an
+    equal, isolated {!Pinaccess.Budget} slice and its metrics/trace
+    output buffered domain-locally, then merges in input order.
+    Unlike the panel fan-out inside [Pin_access], the sweep uses this
+    single code path for every [j], so [-j 1] and [-j 4] runs produce
+    bit-identical results (and so bit-identical reports) by
+    construction, not by accident. *)
+
+val run :
+  ?j:int ->
+  ?budget:Pinaccess.Budget.t ->
+  Harness.config ->
+  Workloads.Cell_lib.cell list ->
+  Check.cell_result list
+(** Check every cell, in input order.  [j] defaults to 1; the optional
+    [budget] meters the whole sweep (split evenly across cells up
+    front). *)

@@ -1,0 +1,45 @@
+(** Parametric synthetic standard-cell library generator.
+
+    The library pin-access checker ([lib/libcheck]) grades every pin of
+    every cell of a library; real libraries are not in the repo, so this
+    module synthesizes one with the observable structure the two
+    GLOBALFOUNDRIES evaluations describe: cells of 4–10 grid columns,
+    1–4 M1 pins each on distinct columns, pin shapes spanning 1–4 M2
+    tracks inside the row (power-rail tracks kept free), drawn from a
+    fixed set of gate families for readable report rows.  Everything is
+    derived deterministically from [seed], so a library — and therefore
+    a checker report — is reproducible bit-for-bit from its parameters
+    alone. *)
+
+type pin = {
+  pin_name : string;
+  offset : int;  (** column within the cell, [0 <= offset < width] *)
+  tracks : Geometry.Interval.t;
+      (** within-row track span, inside [1 .. row_height - 2] *)
+}
+
+type cell = {
+  cell_name : string;  (** unique within the library, e.g. [nand2_004] *)
+  width : int;  (** grid columns *)
+  pins : pin list;  (** ascending offset; at least one *)
+}
+
+type params = {
+  cells : int;
+  row_height : int;
+  min_width : int;
+  max_width : int;
+  max_pins : int;  (** per cell; capped by the cell's width *)
+  seed : int64;
+}
+
+val default_params : params
+(** 24 cells, rows of 10 tracks, widths 4–10, up to 4 pins. *)
+
+val generate : params -> cell list
+(** The library, in generation order; cell names are unique.
+    @raise Invalid_argument on senseless parameters (no cells, widths
+    out of order, rows too short for any pin track). *)
+
+val num_pins : cell list -> int
+(** Total pin count of a library. *)

@@ -41,6 +41,61 @@ def by_id(doc, path):
     return {c["id"]: c["flows"] for c in circuits}
 
 
+# libcheck[] row schema: field name -> validator.  The rows are
+# structural telemetry (throughput varies by machine), so the gate
+# checks shape and the machine-independent invariants: the parallel
+# sweep reported bit-identity, counts are sane, and the grade
+# histogram covers exactly the five grades and sums to the pin count.
+LIBCHECK_FIELDS = {
+    "id": lambda v: isinstance(v, str) and v,
+    "cells": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "pins": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "jobs": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "seq_wall": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "par_wall": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "identical": lambda v: v is True,
+    "cells_per_sec": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "weak_pins": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "grades": lambda v: isinstance(v, dict),
+}
+
+
+def check_libcheck(doc, failures, *, required):
+    rows = doc.get("libcheck")
+    if rows is None or rows == []:
+        if required:
+            failures.append("libcheck: no rows in BENCH.json (experiment not run?)")
+        return 0
+    if not isinstance(rows, list):
+        failures.append("libcheck: not a list")
+        return 0
+    for i, row in enumerate(rows):
+        tag = f"libcheck[{i}]"
+        if not isinstance(row, dict):
+            failures.append(f"{tag}: not an object")
+            continue
+        tag = f"libcheck[{i}] ({row.get('id', '?')})"
+        for field, ok in LIBCHECK_FIELDS.items():
+            if field not in row:
+                failures.append(f"{tag}: missing field {field}")
+            elif not ok(row[field]):
+                failures.append(f"{tag}: bad {field}: {row[field]!r}")
+        grades = row.get("grades")
+        if isinstance(grades, dict):
+            if sorted(grades) != ["A", "B", "C", "D", "F"]:
+                failures.append(f"{tag}: grades keys {sorted(grades)}")
+            elif sum(grades.values()) != row.get("pins"):
+                failures.append(
+                    f"{tag}: grade histogram sums to {sum(grades.values())}, "
+                    f"not pins={row.get('pins')}"
+                )
+            if grades.get("F") != row.get("weak_pins"):
+                failures.append(
+                    f"{tag}: weak_pins={row.get('weak_pins')} != F={grades.get('F')}"
+                )
+    return len(rows)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", default="BENCH.json")
@@ -51,12 +106,21 @@ def main():
         default=0.01,
         help="relative tolerance before a worse-direction move fails (default 1%%)",
     )
+    ap.add_argument(
+        "--require-libcheck",
+        action="store_true",
+        help="fail when BENCH.json has no libcheck[] rows",
+    )
     args = ap.parse_args()
 
+    cur_doc = load(args.current)
     base = by_id(load(args.baseline), args.baseline)
-    cur = by_id(load(args.current), args.current)
+    cur = by_id(cur_doc, args.current)
 
     failures, notes = [], []
+    n_libcheck = check_libcheck(cur_doc, failures, required=args.require_libcheck)
+    if n_libcheck:
+        notes.append(f"libcheck: {n_libcheck} row(s) validated")
     for cid, base_flows in sorted(base.items()):
         if cid not in cur:
             failures.append(f"{cid}: circuit missing from {args.current}")

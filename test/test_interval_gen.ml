@@ -195,6 +195,117 @@ let test_max_per_pin_cap () =
   in
   check_int "maximum interval survives" uncapped max_len
 
+(* ----------------------------------------------------------------- *)
+(* qcheck: the degenerate shapes the library checker exercises —      *)
+(* zero-width (single-track) pins, pins flush with the die edge, and  *)
+(* single-track cells where every pin shares one track.               *)
+(* ----------------------------------------------------------------- *)
+
+(* a random degenerate single-row design: narrow die, pins allowed at
+   x = 0 and x = width-1, optionally all forced onto one track *)
+let degenerate_gen =
+  QCheck.Gen.(
+    let* width = int_range 3 16 in
+    let* single_track = bool in
+    let* shared_track = int_range 1 8 in
+    let* npins = int_range 1 4 in
+    let* raw =
+      list_repeat npins
+        (let* edge = int_range 0 2 in
+         let* x = int_range 0 (width - 1) in
+         let x = match edge with 0 -> 0 | 1 -> width - 1 | _ -> x in
+         let* t = int_range 1 8 in
+         let* h = int_range 1 2 in
+         return (x, (if single_track then shared_track else t), h))
+    in
+    (* one pin per column keeps the builder happy *)
+    let seen = Hashtbl.create 8 in
+    let sites =
+      List.filter
+        (fun (x, _, _) ->
+          if Hashtbl.mem seen x then false
+          else begin
+            Hashtbl.add seen x ();
+            true
+          end)
+        raw
+    in
+    let nets =
+      List.mapi
+        (fun i (x, t, h) ->
+          ( Printf.sprintf "n%d" i,
+            [
+              (if single_track || h = 1 then B.pin_at x t
+               else B.pin_span x ~lo:t ~hi:(min 8 (t + h - 1)));
+            ] ))
+        sites
+    in
+    return (width, nets))
+
+let arbitrary_degenerate =
+  QCheck.make
+    ~print:(fun (w, nets) ->
+      Printf.sprintf "width=%d pins=%d" w (List.length nets))
+    degenerate_gen
+
+(* Theorem 1 at the boundary: whatever the degeneracy — a pin of one
+   track, a pin at x = 0 or x = width-1, a whole cell on one track —
+   generation must still produce the minimum interval, and every
+   candidate must stay on the die, on a pin track, covering the pin
+   column. *)
+let prop_degenerate_candidates_sound =
+  QCheck.Test.make ~name:"degenerate pins: candidates sound" ~count:200
+    arbitrary_degenerate (fun (width, nets) ->
+      let d = B.design ~width ~height:10 ~nets () in
+      Array.for_all
+        (fun (p : Netlist.Pin.t) ->
+          let cands = Gen.generate_pin cfg d p in
+          List.exists (fun (_, _, _, k) -> k = AI.Minimum) cands
+          && List.for_all
+               (fun (_, track, span, _) ->
+                 Netlist.Pin.covers_track p track
+                 && I.contains span p.Netlist.Pin.x
+                 && I.lo span >= 0
+                 && I.hi span <= width - 1)
+               cands)
+        (Design.pins d))
+
+(* min_window (library-check mode) must widen, never shrink: every
+   net-bbox candidate survives, every extra grid lies inside the
+   window hull clipped to the die. *)
+let prop_min_window_widens =
+  QCheck.Test.make ~name:"degenerate pins: min_window widens" ~count:200
+    arbitrary_degenerate (fun (width, nets) ->
+      let d = B.design ~width ~height:10 ~nets () in
+      let windowed = { cfg with Gen.min_window = Some 4 } in
+      Array.for_all
+        (fun (p : Netlist.Pin.t) ->
+          let plain =
+            Gen.generate_pin cfg d p
+            |> List.map (fun (_, t, s, k) -> (t, I.lo s, I.hi s, k))
+          in
+          let wide = Gen.generate_pin windowed d p in
+          let x = p.Netlist.Pin.x in
+          List.for_all
+            (fun (t, lo, hi, k) ->
+              (* same-geometry candidate still generated, possibly wider *)
+              List.exists
+                (fun (_, t', s', k') ->
+                  t' = t && k' = k && I.lo s' <= lo && I.hi s' >= hi)
+                wide)
+            plain
+          && begin
+               let bbox =
+                 Geometry.Rect.xs (Design.net_bbox d p.Netlist.Pin.net)
+               in
+               List.for_all
+                 (fun (_, _, span, _) ->
+                   I.lo span >= max 0 (min (x - 4) (I.lo bbox))
+                   && I.hi span <= min (width - 1) (max (x + 4) (I.hi bbox)))
+                 wide
+             end)
+        (Design.pins d))
+
 let () =
   Alcotest.run "interval_gen"
     [
@@ -210,5 +321,10 @@ let () =
           Alcotest.test_case "panel dedupe" `Quick test_panel_dedupe;
           Alcotest.test_case "m2 bbox margin" `Quick test_m2_bbox_margin;
           Alcotest.test_case "max_per_pin cap" `Quick test_max_per_pin_cap;
+        ] );
+      ( "degenerate",
+        [
+          QCheck_alcotest.to_alcotest prop_degenerate_candidates_sound;
+          QCheck_alcotest.to_alcotest prop_min_window_widens;
         ] );
     ]

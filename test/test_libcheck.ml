@@ -1,0 +1,243 @@
+(* The library checker: generator validity, harness feasibility, the
+   grade ladder, sweep determinism across -j, ranked-report ordering
+   and the crash-safe report writes. *)
+
+module I = Geometry.Interval
+module Cell_lib = Workloads.Cell_lib
+module Design = Netlist.Design
+module Harness = Libcheck.Harness
+module Check = Libcheck.Check
+module Grade = Libcheck.Grade
+module Report = Libcheck.Report
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let params = { Cell_lib.default_params with Cell_lib.cells = 6; seed = 9L }
+let config = { Harness.default_config with Harness.seed = 9L }
+
+(* ------------------------------------------------------------------ *)
+(* Cell_lib                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_lib_deterministic () =
+  check "same seed, same library" true
+    (Cell_lib.generate params = Cell_lib.generate params);
+  check "different seed, different library" true
+    (Cell_lib.generate params
+    <> Cell_lib.generate { params with Cell_lib.seed = 10L })
+
+let test_cell_lib_valid () =
+  let cells = Cell_lib.generate params in
+  check_int "cell count" params.Cell_lib.cells (List.length cells);
+  List.iter
+    (fun (c : Cell_lib.cell) ->
+      check "width in range" true
+        (c.Cell_lib.width >= params.Cell_lib.min_width
+        && c.Cell_lib.width <= params.Cell_lib.max_width);
+      check "has pins" true (c.Cell_lib.pins <> []);
+      check "pin cap" true
+        (List.length c.Cell_lib.pins <= params.Cell_lib.max_pins);
+      let offsets = List.map (fun p -> p.Cell_lib.offset) c.Cell_lib.pins in
+      check "offsets ascending and distinct" true
+        (List.sort_uniq compare offsets = offsets);
+      List.iter
+        (fun (p : Cell_lib.pin) ->
+          check "offset on cell" true
+            (p.Cell_lib.offset >= 0 && p.Cell_lib.offset < c.Cell_lib.width);
+          check "tracks inside the row" true
+            (I.lo p.Cell_lib.tracks >= 1
+            && I.hi p.Cell_lib.tracks <= params.Cell_lib.row_height - 2))
+        c.Cell_lib.pins)
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* blockage congestion must never cover a grid a pin occupies — that
+   is the feasibility guarantee the whole checker leans on *)
+let test_harness_never_blocks_pins () =
+  let cells = Cell_lib.generate params in
+  List.iter
+    (fun cell ->
+      List.iteri
+        (fun level _ ->
+          let d = Harness.design_for config cell ~level in
+          Array.iter
+            (fun (p : Netlist.Pin.t) ->
+              List.iter
+                (fun (b : Netlist.Blockage.t) ->
+                  check "blockage misses every pin grid" false
+                    (I.contains b.Netlist.Blockage.span p.Netlist.Pin.x
+                    && I.contains p.Netlist.Pin.tracks b.Netlist.Blockage.track))
+                (Design.blockages d))
+            (Design.pins d))
+        config.Harness.densities)
+    cells
+
+let test_harness_deterministic () =
+  let cell = List.hd (Cell_lib.generate params) in
+  let d1 = Harness.design_for config cell ~level:2 in
+  let d2 = Harness.design_for config cell ~level:2 in
+  check "same die twice" true
+    (Design.blockages d1 = Design.blockages d2
+    && Design.pins d1 = Design.pins d2)
+
+let test_harness_density_scales () =
+  let cell = List.hd (Cell_lib.generate params) in
+  let grids level =
+    let d = Harness.design_for config cell ~level in
+    List.fold_left
+      (fun n (b : Netlist.Blockage.t) -> n + I.length b.Netlist.Blockage.span)
+      0 (Design.blockages d)
+  in
+  check_int "density 0 is a clean die" 0 (grids 0);
+  check "more density, more blocked grids" true (grids 3 > grids 1)
+
+(* ------------------------------------------------------------------ *)
+(* Grades                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_grade_ladder () =
+  check_str "fail" "F" (Grade.to_string (Grade.of_pass_level ~levels:4 (-1)));
+  check_str "isolation only" "D" (Grade.to_string (Grade.of_pass_level ~levels:4 0));
+  check_str "one density" "C" (Grade.to_string (Grade.of_pass_level ~levels:4 1));
+  check_str "next" "B" (Grade.to_string (Grade.of_pass_level ~levels:4 2));
+  check_str "all levels" "A" (Grade.to_string (Grade.of_pass_level ~levels:4 3));
+  check "worst picks the lower grade" true
+    (Grade.worst Grade.A Grade.C = Grade.C
+    && Grade.worst Grade.F Grade.D = Grade.F)
+
+(* ------------------------------------------------------------------ *)
+(* Check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_cell_certified () =
+  let cells = Cell_lib.generate params in
+  List.iter
+    (fun cell ->
+      let r = Check.check_cell config cell in
+      check "audit-certified at every level" true r.Check.certified;
+      check "no rejection reason" true (r.Check.uncertified = None);
+      check_int "one result per pin"
+        (List.length cell.Cell_lib.pins)
+        (List.length r.Check.pins);
+      List.iter
+        (fun (p : Check.pin_result) ->
+          check "pins never lose their minimum" true
+            (Array.for_all (fun n -> n >= 1) p.Check.access_points);
+          check "candidates found in isolation" true (p.Check.candidates >= 1);
+          check "pass level in range" true
+            (p.Check.pass_level >= -1
+            && p.Check.pass_level < List.length config.Harness.densities))
+        r.Check.pins)
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Sweep + Report                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let report_of ~j =
+  let cells = Cell_lib.generate params in
+  let results = Libcheck.Sweep.run ~j config cells in
+  Report.make ~lib_name:"t" config results
+
+let test_sweep_parallel_identical () =
+  let r1 = report_of ~j:1 in
+  let r4 = report_of ~j:4 in
+  check "parallel sweep returns sequential results" true
+    (r1.Report.cells = r4.Report.cells);
+  check_str "report bytes identical"
+    (Obs.Json.to_string_pretty (Report.to_json r1))
+    (Obs.Json.to_string_pretty (Report.to_json r4))
+
+let test_report_ranked_worst_first () =
+  let r = report_of ~j:1 in
+  let rec non_decreasing = function
+    | (a : Check.cell_result) :: (b :: _ as rest) ->
+      Grade.rank a.Check.worst <= Grade.rank b.Check.worst
+      && non_decreasing rest
+    | _ -> true
+  in
+  check "cells ranked worst-first" true (non_decreasing r.Report.cells);
+  List.iter
+    (fun (c : Check.cell_result) ->
+      let rec pins_sorted = function
+        | (a : Check.pin_result) :: (b :: _ as rest) ->
+          Grade.rank a.Check.grade <= Grade.rank b.Check.grade
+          && pins_sorted rest
+        | _ -> true
+      in
+      check "pins ranked worst-first" true (pins_sorted c.Check.pins))
+    r.Report.cells
+
+let test_report_histogram_sums () =
+  let r = report_of ~j:1 in
+  let total =
+    List.fold_left (fun n (_, c) -> n + c) 0 (Report.grade_histogram r)
+  in
+  check_int "histogram covers every pin"
+    (Cell_lib.num_pins (Cell_lib.generate params))
+    total
+
+(* the satellite regression: a crash mid-write (fault tripped between
+   open and commit) must leave the previous report untouched *)
+let test_report_write_crash_safe () =
+  let path = Filename.temp_file "libcheck-report" ".json" in
+  let oc = open_out path in
+  output_string oc "OLD";
+  close_out oc;
+  let r = report_of ~j:1 in
+  (try
+     Pinaccess.Fault.with_hook
+       (fun p -> if p = Pinaccess.Fault.Report_write then failwith "crash")
+       (fun () -> Report.save_json path r);
+     Alcotest.fail "fault hook did not fire"
+   with Failure _ -> ());
+  let ic = open_in path in
+  let survived = input_line ic in
+  close_in ic;
+  check_str "previous report intact" "OLD" survived;
+  (* and the happy path replaces it atomically *)
+  Report.save_json path r;
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  check_str "new report committed" "{" first;
+  Sys.remove path
+
+let () =
+  Alcotest.run "libcheck"
+    [
+      ( "cell_lib",
+        [
+          Alcotest.test_case "deterministic" `Quick test_cell_lib_deterministic;
+          Alcotest.test_case "valid cells" `Quick test_cell_lib_valid;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "pins never blocked" `Quick
+            test_harness_never_blocks_pins;
+          Alcotest.test_case "deterministic dies" `Quick
+            test_harness_deterministic;
+          Alcotest.test_case "density scales" `Quick test_harness_density_scales;
+        ] );
+      ("grades", [ Alcotest.test_case "ladder" `Quick test_grade_ladder ]);
+      ( "check",
+        [
+          Alcotest.test_case "every cell certified" `Quick
+            test_check_cell_certified;
+        ] );
+      ( "sweep+report",
+        [
+          Alcotest.test_case "parallel identical" `Quick
+            test_sweep_parallel_identical;
+          Alcotest.test_case "ranked worst-first" `Quick
+            test_report_ranked_worst_first;
+          Alcotest.test_case "histogram sums" `Quick test_report_histogram_sums;
+          Alcotest.test_case "crash-safe writes" `Quick
+            test_report_write_crash_safe;
+        ] );
+    ]
