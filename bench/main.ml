@@ -38,7 +38,14 @@ let env_int name ~default =
   | Some s ->
     (match int_of_string_opt (String.trim s) with
     | Some n when n >= 1 -> n
-    | Some _ | None ->
+    | Some n ->
+      (* 0 or negative must not silently mean "sequential": say so and
+         run with the default so the parallel rows stay meaningful *)
+      Printf.eprintf
+        "warning: %s=%d out of range (must be >= 1); using %d\n%!" name n
+        default;
+      default
+    | None ->
       Printf.eprintf "warning: ignoring malformed %s=%S (using %d)\n%!" name s
         default;
       default)
@@ -109,10 +116,15 @@ let telemetry_file = "BENCH.json"
 let bench_circuits : (string * (string * Eval.summary) list) list ref = ref []
 
 (* Per-circuit rows recorded by the [parallel] experiment: sequential
-   vs parallel wall-clock of the PAO stage and of the full flow, plus
-   the bit-identity flag the CI job asserts on. *)
+   vs parallel wall-clock of the PAO stage and of the full flow, the
+   bit-identity flag the CI job asserts on, the effective job count,
+   and the work-stealing scheduler's telemetry for the parallel runs
+   (chunk/steal counts, victim queue-depth histogram) plus the maze
+   kernel's allocation rate — docs/PERF.md explains how to read
+   them. *)
 type parallel_row = {
   pr_id : string;
+  pr_jobs : int;  (** effective [-j] of the parallel runs *)
   pao_seq_wall : float;
   pao_par_wall : float;
   pao_identical : bool;
@@ -120,9 +132,33 @@ type parallel_row = {
   flow_par : Eval.summary;
   flow_seq_wall : float;
   flow_par_wall : float;
+  pr_chunks : int;  (** chunks run from the owner's own deque *)
+  pr_steals : int;  (** chunks obtained by stealing *)
+  pr_steal_misses : int;  (** empty scan passes *)
+  pr_queue_depth : int array;  (** log2-bucketed victim depth at steals *)
+  pr_alloc_per_node : float;  (** minor words per maze expansion (par flow) *)
 }
 
 let parallel_rows : parallel_row list ref = ref []
+
+(* Per-run rows recorded by the [mega] experiment: the streamed PAO
+   (panel problems built as solved, never all resident) on the 10x-top
+   scale tier, sequential vs parallel. *)
+type mega_row = {
+  mg_id : string;
+  mg_nets : int;
+  mg_panels : int;
+  mg_jobs : int;
+  mg_pao_seq_wall : float;
+  mg_pao_par_wall : float;
+  mg_identical : bool;
+  mg_chunks : int;
+  mg_steals : int;
+  mg_steal_misses : int;
+  mg_queue_depth : int array;
+}
+
+let mega_rows : mega_row list ref = ref []
 
 (* Per-circuit rows recorded by the [eco] experiment: cold solve vs
    incremental re-optimization over a 5%-dirty edit stream. *)
@@ -195,12 +231,16 @@ let write_telemetry ~ran =
           ])
       !bench_circuits
   in
+  let depth_json d =
+    List (Array.to_list (Array.map (fun c -> num_int c) d))
+  in
   let parallel =
     List.rev_map
       (fun r ->
         Obj
           [
             ("id", Str r.pr_id);
+            ("jobs", num_int r.pr_jobs);
             ("pao_seq_wall", Num r.pao_seq_wall);
             ("pao_par_wall", Num r.pao_par_wall);
             ("identical", Bool r.pao_identical);
@@ -208,8 +248,32 @@ let write_telemetry ~ran =
             ("flow_par", summary_json r.flow_par);
             ("flow_seq_wall", Num r.flow_seq_wall);
             ("flow_par_wall", Num r.flow_par_wall);
+            ("chunks", num_int r.pr_chunks);
+            ("steals", num_int r.pr_steals);
+            ("steal_misses", num_int r.pr_steal_misses);
+            ("queue_depth", depth_json r.pr_queue_depth);
+            ("alloc_per_node", Num r.pr_alloc_per_node);
           ])
       !parallel_rows
+  in
+  let mega =
+    List.rev_map
+      (fun r ->
+        Obj
+          [
+            ("id", Str r.mg_id);
+            ("nets", num_int r.mg_nets);
+            ("panels", num_int r.mg_panels);
+            ("jobs", num_int r.mg_jobs);
+            ("pao_seq_wall", Num r.mg_pao_seq_wall);
+            ("pao_par_wall", Num r.mg_pao_par_wall);
+            ("identical", Bool r.mg_identical);
+            ("chunks", num_int r.mg_chunks);
+            ("steals", num_int r.mg_steals);
+            ("steal_misses", num_int r.mg_steal_misses);
+            ("queue_depth", depth_json r.mg_queue_depth);
+          ])
+      !mega_rows
   in
   let eco =
     List.rev_map
@@ -273,6 +337,7 @@ let write_telemetry ~ran =
         ("experiments", List (List.map (fun e -> Str e) ran));
         ("circuits", List circuits);
         ("parallel", List parallel);
+        ("mega", List mega);
         ("eco", List eco);
         ("serve", List serve);
         ("libcheck", List libcheck);
@@ -679,6 +744,20 @@ let wall f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
+(* Scheduler counters of the process-wide shared pool the parallel runs
+   execute on; deltas around a run attribute chunks/steals to it. *)
+let sched_stats () = Exec.stats (Exec.shared ~domains:jobs)
+
+let sched_delta (before : Exec.stats) (after : Exec.stats) =
+  ( after.Exec.chunks - before.Exec.chunks,
+    after.Exec.chunks_stolen - before.Exec.chunks_stolen,
+    after.Exec.steal_misses - before.Exec.steal_misses,
+    Array.init
+      (Array.length after.Exec.queue_depth)
+      (fun i -> after.Exec.queue_depth.(i) - before.Exec.queue_depth.(i)) )
+
+let counter_value name = Obs.Metrics.value (Obs.Metrics.counter name)
+
 let parallel_exp () =
   section
     (Printf.sprintf
@@ -702,6 +781,9 @@ let parallel_exp () =
           && pao_seq.PA.assignments = pao_par.PA.assignments
         in
         let flow_seq, flow_seq_wall = wall (fun () -> Router.Cpr.run design) in
+        let sched0 = sched_stats () in
+        let alloc0 = counter_value "maze.alloc_words" in
+        let nodes0 = counter_value "maze.expansions" in
         let flow_par, flow_par_wall =
           wall (fun () ->
               Router.Cpr.run
@@ -709,11 +791,20 @@ let parallel_exp () =
                   { Router.Cpr.default_config with jobs; parallel_init = true }
                 design)
         in
+        let chunks, steals, misses, depth = sched_delta sched0 (sched_stats ()) in
+        let alloc_per_node =
+          let nodes = counter_value "maze.expansions" - nodes0 in
+          if nodes = 0 then 0.0
+          else
+            float_of_int (counter_value "maze.alloc_words" - alloc0)
+            /. float_of_int nodes
+        in
         let s_seq = Eval.of_flow ~name:"flow-seq" flow_seq in
         let s_par = Eval.of_flow ~name:"flow-par" flow_par in
         parallel_rows :=
           {
             pr_id = c.Suite.id;
+            pr_jobs = jobs;
             pao_seq_wall;
             pao_par_wall;
             pao_identical;
@@ -721,6 +812,11 @@ let parallel_exp () =
             flow_par = s_par;
             flow_seq_wall;
             flow_par_wall;
+            pr_chunks = chunks;
+            pr_steals = steals;
+            pr_steal_misses = misses;
+            pr_queue_depth = depth;
+            pr_alloc_per_node = alloc_per_node;
           }
           :: !parallel_rows;
         pf "  %s done@." c.Suite.id;
@@ -731,6 +827,8 @@ let parallel_exp () =
           (if pao_identical then "yes" else "NO");
           Report.fixed 2 flow_seq_wall;
           Report.fixed 2 flow_par_wall;
+          Printf.sprintf "%d/%d" chunks steals;
+          Report.fixed 1 alloc_per_node;
           Printf.sprintf "%.2f/%d/%d" s_seq.Eval.routability s_seq.Eval.via_count
             s_seq.Eval.wirelength;
           Printf.sprintf "%.2f/%d/%d" s_par.Eval.routability s_par.Eval.via_count
@@ -748,12 +846,86 @@ let parallel_exp () =
            "identical";
            "flow seq(s)";
            Printf.sprintf "flow -j%d(s)" jobs;
+           "chunk/steal";
+           "alloc/node";
            "seq R/V/WL";
            "par R/V/WL";
          ]
        rows);
   pf "@.Expected shape: the identical column is all-yes; the wall-clock@.";
-  pf "columns converge on one core and separate once domains > 1.@."
+  pf "columns converge on one core and separate once domains > 1.@.";
+  pf "chunk/steal and alloc/node read against docs/PERF.md's cost model.@."
+
+(* --------------------------------------------------------------- *)
+(* mega — streamed PAO on the 10x-top scale tier                     *)
+(* --------------------------------------------------------------- *)
+
+(* The [mega] circuit is an order of magnitude past the paper's suite
+   (222k nets at scale 1.0), big enough that materializing every panel
+   problem is the memory bottleneck: this experiment runs the PAO
+   stage with [~stream:true] (panels built as they are solved),
+   sequential vs parallel, and checks bit-identity.  Routing is out of
+   scope here — the point is panel throughput on a workload deep
+   enough that the work-stealing pool has something worth stealing. *)
+let mega_exp () =
+  section
+    (Printf.sprintf "mega — streamed PAO at 10x top (-j %d, scale %.2f)" jobs
+       scale);
+  pf "(panel problems are built inside the solve, never all resident;@.";
+  pf " sequential and parallel streamed runs must be bit-identical)@.@.";
+  let c = Suite.mega in
+  let design = Suite.design ~scale c in
+  let nets = Array.length (Netlist.Design.nets design) in
+  let panels = Netlist.Design.num_panels design in
+  pf "  %s: %d nets, %d panels@." c.Suite.id nets panels;
+  let pao_seq, seq_wall =
+    wall (fun () -> PA.optimize ~kind:PA.Lr ~stream:true design)
+  in
+  let sched0 = sched_stats () in
+  let pao_par, par_wall =
+    wall (fun () -> PA.optimize ~kind:PA.Lr ~j:jobs ~stream:true design)
+  in
+  let chunks, steals, misses, depth = sched_delta sched0 (sched_stats ()) in
+  let identical =
+    pao_seq.PA.objective = pao_par.PA.objective
+    && pao_seq.PA.reports = pao_par.PA.reports
+    && pao_seq.PA.assignments = pao_par.PA.assignments
+  in
+  mega_rows :=
+    {
+      mg_id = c.Suite.id;
+      mg_nets = nets;
+      mg_panels = panels;
+      mg_jobs = jobs;
+      mg_pao_seq_wall = seq_wall;
+      mg_pao_par_wall = par_wall;
+      mg_identical = identical;
+      mg_chunks = chunks;
+      mg_steals = steals;
+      mg_steal_misses = misses;
+      mg_queue_depth = depth;
+    }
+    :: !mega_rows;
+  pf "@.%s@."
+    (Report.table
+       ~header:
+         [
+           "Ckt"; "nets"; "panels"; "seq(s)";
+           Printf.sprintf "-j%d(s)" jobs; "identical"; "chunk/steal/miss";
+         ]
+       [
+         [
+           c.Suite.id;
+           string_of_int nets;
+           string_of_int panels;
+           Report.fixed 2 seq_wall;
+           Report.fixed 2 par_wall;
+           (if identical then "yes" else "NO");
+           Printf.sprintf "%d/%d/%d" chunks steals misses;
+         ];
+       ]);
+  pf "@.Expected shape: identical yes; par(s) below seq(s) once the@.";
+  pf "machine exposes more than one domain.@."
 
 (* --------------------------------------------------------------- *)
 (* ECO — incremental re-optimization vs from-scratch                *)
@@ -1030,6 +1202,7 @@ let experiments =
     ("ablation-step", ablation_step);
     ("ablation-ub", ablation_ub);
     ("parallel", parallel_exp);
+    ("mega", mega_exp);
     ("eco", eco_exp);
     ("serve", serve_exp);
     ("libcheck", libcheck_exp);

@@ -231,9 +231,7 @@ let solve_parallel config ~budget ~j kind live =
     Obs.Metrics.buffered (fun () ->
         if trace_on then Obs.Trace.buffered task else (task (), []))
   in
-  let results =
-    Exec.with_pool ~domains:(min j n) (fun pool -> Exec.mapi pool solve tasks)
-  in
+  let results = Exec.mapi (Exec.shared ~domains:j) solve tasks in
   let acc_a = ref [] and acc_o = ref 0.0 and acc_r = ref [] in
   Array.iteri
     (fun i (((a, o, r, _), events), mbuf) ->
@@ -273,12 +271,106 @@ let build_panel config design ~panel =
     Cpr_error.infeasible ~panel
       "pin %d unreachable: its primary track is blocked" pid
 
-let optimize ?(config = default_config) ?budget ?j ~kind design =
-  let problems =
-    List.init (Netlist.Design.num_panels design) (fun panel ->
-        (panel, build_panel config design ~panel))
+(* Streamed variants: build each panel's problem at the moment it is
+   solved instead of materializing every problem up front — the memory
+   contract the [mega] workload tier relies on (panel problems are the
+   dominant resident structure on large designs).  With an unlimited
+   budget the output is bit-identical to the resident path; under a
+   finite budget the slice denominator is the remaining *total* panel
+   count (pin-bearing panels are only discovered as they are built),
+   which can hand empty panels a share the resident walk reserves for
+   live ones. *)
+let solve_sequential_streamed config ~budget kind design ~num_panels =
+  let acc_a = ref [] and acc_o = ref 0.0 and acc_r = ref [] in
+  for panel = 0 to num_panels - 1 do
+    let sliced = panel_budget budget ~panels_left:(num_panels - panel) in
+    let problem = build_panel config design ~panel in
+    if Problem.num_pins problem > 0 then begin
+      let a, o, r, _ = solve_problem config ~budget:sliced kind ~panel problem in
+      acc_a := List.rev_append a !acc_a;
+      acc_o := !acc_o +. o;
+      acc_r := r :: !acc_r
+    end
+  done;
+  (!acc_a, !acc_o, !acc_r)
+
+let solve_parallel_streamed config ~budget ~j kind design ~num_panels =
+  let tasks = Array.init num_panels (fun p -> p) in
+  let slices =
+    Array.map
+      (fun _ ->
+        if Budget.is_unlimited budget then Budget.isolated budget ()
+        else
+          let seconds =
+            Option.map
+              (fun s -> s /. float_of_int num_panels)
+              (Budget.remaining_seconds budget)
+          in
+          let work_units =
+            Option.map
+              (fun w -> max 1 (w / num_panels))
+              (Budget.remaining_work budget)
+          in
+          Budget.isolated budget ?seconds ?work_units ())
+      tasks
   in
-  run ~config ?budget ?j ~kind design problems
+  let trace_on = Obs.Trace.enabled () in
+  let solve i panel =
+    let task () =
+      let problem = build_panel config design ~panel in
+      if Problem.num_pins problem = 0 then None
+      else Some (solve_problem config ~budget:slices.(i) kind ~panel problem)
+    in
+    Obs.Metrics.buffered (fun () ->
+        if trace_on then Obs.Trace.buffered task else (task (), []))
+  in
+  let results = Exec.mapi (Exec.shared ~domains:j) solve tasks in
+  let acc_a = ref [] and acc_o = ref 0.0 and acc_r = ref [] in
+  Array.iteri
+    (fun i (r, mbuf) ->
+      Obs.Metrics.flush mbuf;
+      let solved, events = r in
+      Obs.Trace.replay events;
+      Budget.spend budget (Budget.work_spent slices.(i));
+      match solved with
+      | Some (a, o, r, _) ->
+        acc_a := List.rev_append a !acc_a;
+        acc_o := !acc_o +. o;
+        acc_r := r :: !acc_r
+      | None -> ())
+    results;
+  (!acc_a, !acc_o, !acc_r)
+
+let optimize ?(config = default_config) ?budget ?j ?(stream = false) ~kind
+    design =
+  if not stream then
+    let problems =
+      List.init (Netlist.Design.num_panels design) (fun panel ->
+          (panel, build_panel config design ~panel))
+    in
+    run ~config ?budget ?j ~kind design problems
+  else begin
+    Obs.Trace.with_span "pao.optimize" @@ fun () ->
+    let start = Unix_time.now () in
+    let budget = Budget.of_option budget in
+    let num_panels = Netlist.Design.num_panels design in
+    let j = Option.value ~default:1 j in
+    let assignments, objective, reports =
+      if j <= 1 || num_panels <= 1 then
+        solve_sequential_streamed config ~budget kind design ~num_panels
+      else solve_parallel_streamed config ~budget ~j kind design ~num_panels
+    in
+    let reports = List.rev reports in
+    {
+      design;
+      kind;
+      assignments = List.rev assignments;
+      objective;
+      reports;
+      degraded = List.exists (fun (r : panel_report) -> r.degraded) reports;
+      elapsed = Unix_time.now () -. start;
+    }
+  end
 
 (* Single-panel entry point for incremental callers (lib/eco): same
    degradation ladder as [optimize], but on one already-built problem,

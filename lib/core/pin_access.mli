@@ -58,6 +58,7 @@ val optimize :
   ?config:config ->
   ?budget:Budget.t ->
   ?j:int ->
+  ?stream:bool ->
   kind:solver_kind ->
   Netlist.Design.t ->
   t
@@ -67,15 +68,25 @@ val optimize :
     call still returns promptly with a feasible result.
 
     [j] (default 1) is the number of domains panels are fanned out
-    over, the paper's production-mode concurrency.  Per-panel results,
-    metrics and spans are merged back in panel order, so without a
-    budget [~j:n] returns bit-identical assignments, reports and
-    objective to [~j:1] for any [n].  Under a finite budget the
-    slicing differs slightly: the sequential walk re-slices the
-    remainder before each panel, while the parallel fan-out hands
-    every panel an equal {!Budget.isolated} slice up front (a domain
-    cannot observe what another has spent mid-flight), reconciling the
-    parent's work counter at join.
+    over, the paper's production-mode concurrency ([j > 1] reuses the
+    process-wide {!Exec.shared} work-stealing pool — no domain spawns
+    per call).  Per-panel results, metrics and spans are merged back
+    in panel order, so without a budget [~j:n] returns bit-identical
+    assignments, reports and objective to [~j:1] for any [n].  Under a
+    finite budget the slicing differs slightly: the sequential walk
+    re-slices the remainder before each panel, while the parallel
+    fan-out hands every panel an equal {!Budget.isolated} slice up
+    front (a domain cannot observe what another has spent mid-flight),
+    reconciling the parent's work counter at join.
+
+    [stream] (default false) builds each panel's problem at the moment
+    it is solved instead of materializing every problem up front — the
+    memory contract large ([mega]-tier) designs need, since panel
+    problems are the dominant resident structure.  Bit-identical to
+    the resident path with an unlimited budget at any [j]; under a
+    finite budget the per-panel slice denominator is the total panel
+    count rather than the live (pin-bearing) count, since liveness is
+    only discovered as panels are built.
     @raise Cpr_error.Error ([Infeasible_panel]) when a pin has no
     access interval at all (blocked primary track) — no tier can serve
     such a design. *)

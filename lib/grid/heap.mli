@@ -1,6 +1,8 @@
-(** Array-based binary min-heap of [(priority, payload)] pairs used by
-    the maze router's Dijkstra loop.  Stale entries are tolerated
-    (decrease-key by reinsertion). *)
+(** Bigarray-backed binary min-heap of [(priority, payload)] pairs used
+    by the maze router's Dijkstra loop.  Priorities are raw float64
+    cells and payloads raw int cells, so pushes and sifts never
+    allocate.  Stale entries are tolerated (decrease-key by
+    reinsertion). *)
 
 type t
 
@@ -9,4 +11,15 @@ val clear : t -> unit
 val is_empty : t -> bool
 val size : t -> int
 val push : t -> float -> int -> unit
+
+val min_prio : t -> float
+(** Priority of the minimum element without removing it; [infinity]
+    when empty.  Paired with {!pop_payload} this is the hot-loop pop:
+    no option, no tuple. *)
+
+val pop_payload : t -> int
+(** Remove the minimum element and return its payload; [-1] when
+    empty.  Read {!min_prio} {e first} if the priority is needed. *)
+
 val pop : t -> (float * int) option
+(** Convenience (allocating) pop of [(priority, payload)]. *)

@@ -1,12 +1,20 @@
 module I = Geometry.Interval
+open Bigarray
 
+(* Search state lives in Bigarray.Array1: dist is raw float64 and
+   parent/gen/target_gen raw ints, so relaxations read and write
+   unboxed cells.  Together with Heap's unboxed pop the inner Dijkstra
+   loop allocates only when it pushes the heap past capacity — the
+   [maze.alloc_words] counter (minor words per search) is the
+   regression tripwire for that claim. *)
 type t = {
   grid : Grid.t;
   space : Node.space;
-  dist : float array;
-  parent : int array;
-  gen : int array; (* generation stamps avoid clearing arrays per search *)
-  target_gen : int array;
+  dist : (float, float64_elt, c_layout) Array1.t;
+  parent : (int, int_elt, c_layout) Array1.t;
+  gen : (int, int_elt, c_layout) Array1.t;
+      (* generation stamps avoid clearing arrays per search *)
+  target_gen : (int, int_elt, c_layout) Array1.t;
   mutable cur : int;
   heap : Heap.t;
   mutable expansions : int;
@@ -15,21 +23,29 @@ type t = {
 
 let m_expansions = Obs.Metrics.counter "maze.expansions"
 let m_pushes = Obs.Metrics.counter "maze.pushes"
+let m_alloc_words = Obs.Metrics.counter "maze.alloc_words"
 
 let create grid =
   let n = Node.count (Grid.space grid) in
-  {
-    grid;
-    space = Grid.space grid;
-    dist = Array.make n infinity;
-    parent = Array.make n (-1);
-    gen = Array.make n 0;
-    target_gen = Array.make n 0;
-    cur = 0;
-    heap = Heap.create ~capacity:1024 ();
-    expansions = 0;
-    pushes = 0;
-  }
+  let t =
+    {
+      grid;
+      space = Grid.space grid;
+      dist = Array1.create float64 c_layout n;
+      parent = Array1.create int c_layout n;
+      gen = Array1.create int c_layout n;
+      target_gen = Array1.create int c_layout n;
+      cur = 0;
+      heap = Heap.create ~capacity:1024 ();
+      expansions = 0;
+      pushes = 0;
+    }
+  in
+  Array1.fill t.dist infinity;
+  Array1.fill t.parent (-1);
+  Array1.fill t.gen 0;
+  Array1.fill t.target_gen 0;
+  t
 
 type outcome = Found of { path : Node.t list; cost : float } | Unreachable
 
@@ -111,7 +127,7 @@ let search_impl ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
   List.iter
     (fun node ->
       if Grid.passable t.grid ~net node then begin
-        t.target_gen.(node) <- t.cur;
+        t.target_gen.{node} <- t.cur;
         any_target := true
       end)
     targets;
@@ -123,10 +139,10 @@ let search_impl ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
           (* a landing next to foreign metal pays the clearance cost up
              front, steering the connection towards clean grids *)
           let d0 = spacing_cost t ~cost ~net ~pfac node in
-          if t.gen.(node) <> t.cur || d0 < t.dist.(node) then begin
-            t.dist.(node) <- d0;
-            t.parent.(node) <- -1;
-            t.gen.(node) <- t.cur;
+          if t.gen.{node} <> t.cur || d0 < t.dist.{node} then begin
+            t.dist.{node} <- d0;
+            t.parent.{node} <- -1;
+            t.gen.{node} <- t.cur;
             t.pushes <- t.pushes + 1;
             Heap.push t.heap d0 node
           end
@@ -138,32 +154,33 @@ let search_impl ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
         && in_window node
         && Grid.passable t.grid ~net node
       then begin
-        let d = t.dist.(from) +. entry_cost t ~cost ~net ~pfac ~via node in
+        let d = t.dist.{from} +. entry_cost t ~cost ~net ~pfac ~via node in
         if
           d < infinity
-          && (t.gen.(node) <> t.cur || d < t.dist.(node) -. 1e-12)
+          && (t.gen.{node} <> t.cur || d < t.dist.{node} -. 1e-12)
         then begin
-          t.gen.(node) <- t.cur;
-          t.dist.(node) <- d;
-          t.parent.(node) <- from;
+          t.gen.{node} <- t.cur;
+          t.dist.{node} <- d;
+          t.parent.{node} <- from;
           t.pushes <- t.pushes + 1;
           Heap.push t.heap d node
         end
       end
     in
     let rec loop () =
-      match Heap.pop t.heap with
-      | None -> Unreachable
-      | Some (d, node) ->
-        if t.gen.(node) = t.cur && d > t.dist.(node) +. 1e-12 then loop ()
+      if Heap.is_empty t.heap then Unreachable
+      else begin
+        let d = Heap.min_prio t.heap in
+        let node = Heap.pop_payload t.heap in
+        if t.gen.{node} = t.cur && d > t.dist.{node} +. 1e-12 then loop ()
         else begin
           t.expansions <- t.expansions + 1;
           (* periodic deadline probe: abandoning mid-search is safe —
              the caller treats it like an unreachable target *)
           if t.expansions land 1023 = 0 && should_stop () then Unreachable
-          else if t.target_gen.(node) = t.cur then begin
+          else if t.target_gen.{node} = t.cur then begin
             let rec walk acc n =
-              if n < 0 then acc else walk (n :: acc) t.parent.(n)
+              if n < 0 then acc else walk (n :: acc) t.parent.{n}
             in
             Found { path = walk [] node; cost = d }
           end
@@ -189,14 +206,18 @@ let search_impl ?(should_stop = fun () -> false) t ~cost ~net ~pfac ~sources
             loop ()
           end
         end
+      end
     in
     loop ()
   end
 
 let search ?should_stop t ~cost ~net ~pfac ~sources ~targets ~window =
+  let before = Gc.minor_words () in
   let outcome =
     search_impl ?should_stop t ~cost ~net ~pfac ~sources ~targets ~window
   in
+  let allocated = Gc.minor_words () -. before in
   Obs.Metrics.add m_expansions t.expansions;
   Obs.Metrics.add m_pushes t.pushes;
+  Obs.Metrics.add m_alloc_words (int_of_float allocated);
   outcome

@@ -35,10 +35,7 @@ let run ?(j = 1) ?budget config cells =
       Obs.Metrics.buffered (fun () ->
           if trace_on then Obs.Trace.buffered task else (task (), []))
     in
-    let results =
-      Exec.with_pool ~domains:(max 1 (min j n)) (fun pool ->
-          Exec.mapi pool check tasks)
-    in
+    let results = Exec.mapi (Exec.shared ~domains:(max 1 j)) check tasks in
     let out = ref [] in
     Array.iteri
       (fun i ((result, events), mbuf) ->

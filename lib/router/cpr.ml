@@ -28,7 +28,9 @@ let run_with_pao ?(config = default_config) ?budget design pao =
   in
   let result =
     if config.parallel_init && config.jobs > 1 then
-      Exec.with_pool ~domains:config.jobs (fun pool -> negotiate ~pool ())
+      (* the persistent process-wide pool: no domain spawns per flow,
+         and the same workers PAO already warmed up *)
+      negotiate ~pool:(Exec.shared ~domains:config.jobs) ()
     else negotiate ()
   in
   let drc_reroutes =

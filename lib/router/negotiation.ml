@@ -149,19 +149,27 @@ let routing_order specs =
     order;
   order
 
-(* Parallel stage 1.  The independent stage routes with [pfac = 0], so
-   a search reads only static state (pins, intervals, blockages,
-   ownership) plus what earlier routes wrote *near their own bbox*:
-   route nodes and vias stay inside the net's search window, and the
-   cost model reads at most 2 grids beyond it (spacing probes ±2,
-   [via_forbidden] ±1).  Two nets whose windows inflated by that
-   radius are disjoint therefore cannot influence each other, whatever
-   order they commit in.  We walk the sequential routing order,
-   greedily growing a run of consecutive, pairwise-disjoint nets,
-   route the run concurrently (each domain on its own maze, metrics
-   and spans buffered, budget isolated), then commit the results in
-   order — which reproduces the sequential stage-1 routing exactly. *)
-let initial_route_parallel ?budget ~cost pool grid maze specs order ~apply =
+(* Parallel batched routing, shared by stage 1 and the rip-up rounds.
+
+   A maze search writes only its own private state; what it *reads*
+   beyond static state (pins, intervals, blockages, ownership) is
+   what committed routes wrote near their own bbox: route nodes and
+   vias stay inside the net's search window, and the cost model reads
+   at most 2 grids beyond it (spacing probes ±2, [via_forbidden] ±1;
+   at [pfac > 0] also occupancy, users and history — all written only
+   under committed route nodes).  Two nets whose windows inflated by
+   that radius are disjoint therefore cannot influence each other,
+   whatever order they route, retract or commit in.  We walk the
+   given net order, greedily growing a run of consecutive, pairwise-
+   disjoint nets, run [prepare] (stage 2's retraction) for the whole
+   run in order, route the run concurrently (each domain on its own
+   maze, metrics and spans buffered, budget isolated), then commit
+   the results in order — which reproduces the sequential processing
+   of that order exactly.  This is the dependency coloring the rip-up
+   rounds fan out on: each batch is one color class of the round's
+   victim list. *)
+let route_batches_parallel ?budget ~cost ~pfac pool grid maze_key specs order
+    ~prepare ~apply =
   let die = Netlist.Design.die (Grid.design grid) in
   let margin_max =
     List.fold_left max cost.Cost.bbox_margin cost.Cost.retry_margins
@@ -170,15 +178,11 @@ let initial_route_parallel ?budget ~cost pool grid maze specs order ~apply =
     Geometry.Rect.inflate specs.(net).Net_router.bbox ~by:(margin_max + 2)
       ~within:die
   in
-  (* one maze per domain, reused across batches; the caller contributes
-     the maze it already owns *)
-  let maze_key = Domain.DLS.new_key (fun () -> Maze.create grid) in
-  Domain.DLS.set maze_key maze;
   let trace_on = Obs.Trace.enabled () in
   let compute net =
     let sub = Option.map (fun b -> Pinaccess.Budget.isolated b ()) budget in
     let task () =
-      Net_router.route ?budget:sub (Domain.DLS.get maze_key) ~cost ~pfac:0.0
+      Net_router.route ?budget:sub (Domain.DLS.get maze_key) ~cost ~pfac
         specs.(net)
     in
     let (r, events), mbuf =
@@ -205,6 +209,7 @@ let initial_route_parallel ?budget ~cost pool grid maze specs order ~apply =
       end
     done;
     let batch = Array.of_list (List.rev !batch) in
+    Array.iter prepare batch;
     let results =
       if Array.length batch = 1 then Array.map compute batch
       else Exec.map pool compute batch
@@ -237,6 +242,16 @@ let overused_nets ?(is_frozen = fun _ -> false) grid routes =
 let run ?(cost = Cost.default) ?rules ?budget ?pool ?frozen ?initial grid
     specs =
   let maze = Maze.create grid in
+  (* one maze per domain when routing in parallel, reused across
+     batches and rounds; the caller contributes the maze it already
+     owns *)
+  let maze_key = Domain.DLS.new_key (fun () -> Maze.create grid) in
+  Domain.DLS.set maze_key maze;
+  let parallel =
+    match pool with
+    | Some pool when Exec.domains pool > 1 -> Some pool
+    | Some _ | None -> None
+  in
   let design = Grid.design grid in
   let space = Grid.space grid in
   let n = Array.length specs in
@@ -312,9 +327,11 @@ let run ?(cost = Cost.default) ?rules ?budget ?pool ?frozen ?initial grid
         (Seq.filter (fun net -> routes.(net) = None) (Array.to_seq order))
     else order
   in
-  (match pool with
-  | Some pool when Exec.domains pool > 1 && Array.length order > 1 ->
-    initial_route_parallel ?budget ~cost pool grid maze specs order
+  (match parallel with
+  | Some pool when Array.length order > 1 ->
+    route_batches_parallel ?budget ~cost ~pfac:0.0 pool grid maze_key specs
+      order
+      ~prepare:(fun _ -> ())
       ~apply:(fun net r ->
         incr total_reroutes;
         Obs.Metrics.incr m_reroutes;
@@ -360,7 +377,27 @@ let run ?(cost = Cost.default) ?rules ?budget ?pool ?frozen ?initial grid
       List.sort_uniq Int.compare
         (overused_nets ~is_frozen grid routes @ !blamed)
     in
-    List.iter (fun net -> route_net ~pfac net) victims;
+    (match parallel with
+    | Some pool when List.compare_length_with victims 1 > 0 ->
+      (* colored rip-up: each disjoint-influence batch of the round's
+         victim list retracts, reroutes and recommits concurrently *)
+      route_batches_parallel ?budget ~cost ~pfac pool grid maze_key specs
+        (Array.of_list victims)
+        ~prepare:(fun net ->
+          (match routes.(net) with
+          | Some r ->
+            retract_route grid r;
+            routes.(net) <- None
+          | None -> ());
+          incr total_reroutes;
+          Obs.Metrics.incr m_reroutes)
+        ~apply:(fun net r ->
+          match r with
+          | Some r ->
+            apply_route grid r;
+            routes.(net) <- Some r
+          | None -> ())
+    | Some _ | None -> List.iter (fun net -> route_net ~pfac net) victims);
     blamed := List.filter (fun net -> not (is_frozen net)) (drc_victims ());
     continue_ :=
       Grid.congested_nodes grid > 0 || unfrozen_unrouted () || !blamed <> []

@@ -50,13 +50,15 @@ val run :
     conflicting are dropped as usual — the result stays short-free,
     just with more unrouted nets).
 
-    [pool] (when its domain count exceeds 1) parallelizes stage 1:
-    consecutive nets of the routing order whose inflated search
-    windows are pairwise disjoint — and therefore cannot influence one
-    another at [pfac = 0] — are routed concurrently and committed in
-    order, producing the exact sequential stage-1 routing.  Rip-up
-    (stage 2) negotiates through shared congestion state and stays
-    sequential. *)
+    [pool] (when its domain count exceeds 1) parallelizes both stages
+    by net dependency coloring: consecutive nets of the order being
+    processed (stage 1's routing order, or a rip-up round's victim
+    list) whose inflated influence regions are pairwise disjoint — and
+    therefore cannot read each other's metal, occupancy or history —
+    are routed concurrently and committed in order, producing the
+    exact sequential routing.  The between-round work (history sweep,
+    DRC probe, victim selection) negotiates through shared congestion
+    state and stays sequential. *)
 
 val apply_route : Rgrid.Grid.t -> Rgrid.Route.t -> unit
 (** Record a route's node usage and via pressure. *)

@@ -67,8 +67,10 @@ type t = {
 }
 
 let create config =
+  (* the process-wide persistent pool: broker restarts (and the soak
+     harness's create/shutdown cycles) reuse the same worker domains *)
   let pool =
-    if config.jobs > 1 then Some (Exec.pool ~domains:config.jobs) else None
+    if config.jobs > 1 then Some (Exec.shared ~domains:config.jobs) else None
   in
   { config; sessions = Hashtbl.create 8; pool; global_queued = 0 }
 
@@ -556,5 +558,5 @@ let shutdown t =
         do_checkpoint s;
         Wal.close s.wal;
         Hashtbl.remove t.sessions name)
-    (session_names t);
-  Option.iter Exec.shutdown t.pool
+    (session_names t)
+(* the shared pool stays up — it belongs to the process, not the broker *)

@@ -17,7 +17,18 @@ let circuits =
     { id = "top"; nets = 22201; um_width = 57; um_height = 56; seed = 106L };
   ]
 
-let find id = List.find (fun c -> c.id = id) circuits
+(* Synthetic scale tier an order of magnitude past the suite: 10x the
+   nets of [top] on a proportionally grown die.  Deliberately NOT in
+   [circuits] — tests and experiments that sweep the whole suite must
+   not pick up a 222k-net design by accident; callers opt in via
+   [find "mega"] (or [mega] directly) and should pair it with
+   [Pin_access.optimize ~stream:true] so panel problems are built as
+   solved rather than held resident. *)
+let mega =
+  { id = "mega"; nets = 222010; um_width = 180; um_height = 177; seed = 777L }
+
+let find id =
+  if id = mega.id then mega else List.find (fun c -> c.id = id) circuits
 
 let grids_per_um = 10
 

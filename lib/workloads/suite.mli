@@ -14,8 +14,18 @@ type circuit = {
 }
 
 val circuits : circuit list
+(** The six Table-2 circuits only — {!mega} is deliberately excluded
+    so suite-wide sweeps never pick it up by accident. *)
+
+val mega : circuit
+(** A synthetic scale tier at 10x [top] (222,010 nets, 180x177 um).
+    Opt-in via [find "mega"] or directly; pair with
+    [Pin_access.optimize ~stream:true] so panel problems are built as
+    they are solved instead of held resident. *)
+
 val find : string -> circuit
-(** @raise Not_found for unknown ids. *)
+(** Resolves the six suite ids plus ["mega"].
+    @raise Not_found for unknown ids. *)
 
 val design : ?scale:float -> circuit -> Netlist.Design.t
 

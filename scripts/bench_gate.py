@@ -11,10 +11,19 @@ A metric fails the gate when it moves in the *worse* direction (lower
 routability, more vias, more wirelength) by more than the relative
 tolerance.  Improvements are reported as notes.
 
+With --require-speedup the gate additionally validates the scheduler
+telemetry on the parallel[] and mega[] rows (steal counts, queue-depth
+histogram, alloc/node) and -- only when the run's available_domains is
+greater than 1 -- asserts that the parallel PAO wall clock beats (or at
+worst matches, within --wall-rtol) the sequential wall clock on every
+row.  On a single-core runner the wall assertion is vacuous and is
+reported as skipped rather than silently passing.
+
 Usage:
     scripts/bench_gate.py [--current BENCH.json]
                           [--baseline bench/BASELINE.json]
                           [--rtol 0.01]
+                          [--require-speedup] [--wall-rtol 0.05]
 
 Exit codes: 0 gate passes, 1 regression or malformed input.
 """
@@ -96,6 +105,87 @@ def check_libcheck(doc, failures, *, required):
     return len(rows)
 
 
+# Scheduler telemetry shared by parallel[] and mega[] rows: the
+# work-stealing pool reports how a job was actually scheduled.  The
+# values are machine-dependent, so the gate checks shape and sanity,
+# not magnitudes -- except the wall-clock comparison below.
+def _nonneg(v):
+    return isinstance(v, (int, float)) and v >= 0
+
+
+def _depth_hist(v):
+    return isinstance(v, list) and len(v) == 16 and all(_nonneg(b) for b in v)
+
+
+SCHED_FIELDS = {
+    "jobs": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "chunks": _nonneg,
+    "steals": _nonneg,
+    "steal_misses": _nonneg,
+    "queue_depth": _depth_hist,
+}
+
+PARALLEL_FIELDS = dict(
+    SCHED_FIELDS,
+    identical=lambda v: v is True,
+    pao_seq_wall=_nonneg,
+    pao_par_wall=_nonneg,
+    alloc_per_node=_nonneg,
+)
+
+MEGA_FIELDS = dict(
+    SCHED_FIELDS,
+    identical=lambda v: v is True,
+    pao_seq_wall=_nonneg,
+    pao_par_wall=_nonneg,
+    nets=lambda v: isinstance(v, (int, float)) and v >= 1,
+    panels=lambda v: isinstance(v, (int, float)) and v >= 1,
+)
+
+
+def check_speedup(doc, failures, notes, *, wall_rtol):
+    multicore = doc.get("available_domains", 0) > 1
+    if not multicore:
+        notes.append(
+            "speedup: available_domains <= 1, wall-clock assertion skipped "
+            "(telemetry shape still validated)"
+        )
+    checked = 0
+    for key, fields in (("parallel", PARALLEL_FIELDS), ("mega", MEGA_FIELDS)):
+        rows = doc.get(key)
+        if not rows:
+            failures.append(f"{key}: no rows in BENCH.json (experiment not run?)")
+            continue
+        if not isinstance(rows, list):
+            failures.append(f"{key}: not a list")
+            continue
+        for i, row in enumerate(rows):
+            tag = f"{key}[{i}]"
+            if not isinstance(row, dict):
+                failures.append(f"{tag}: not an object")
+                continue
+            tag = f"{key}[{i}] ({row.get('id', '?')})"
+            for field, ok in fields.items():
+                if field not in row:
+                    failures.append(f"{tag}: missing field {field}")
+                elif not ok(row[field]):
+                    failures.append(f"{tag}: bad {field}: {row[field]!r}")
+            seq, par = row.get("pao_seq_wall"), row.get("pao_par_wall")
+            if not (_nonneg(seq) and _nonneg(par)):
+                continue
+            ratio = par / max(seq, 1e-9)
+            line = f"{tag}: pao par/seq wall = {par:.3f}/{seq:.3f} ({ratio:.2f}x)"
+            if multicore and par > seq * (1.0 + wall_rtol):
+                failures.append(
+                    f"{line} -- parallel slower than sequential "
+                    f"beyond --wall-rtol {wall_rtol}"
+                )
+            else:
+                notes.append(line)
+                checked += 1
+    return checked
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", default="BENCH.json")
@@ -111,6 +201,19 @@ def main():
         action="store_true",
         help="fail when BENCH.json has no libcheck[] rows",
     )
+    ap.add_argument(
+        "--require-speedup",
+        action="store_true",
+        help="validate parallel[]/mega[] scheduler telemetry and, on a "
+        "multi-domain runner, fail when parallel PAO wall exceeds "
+        "sequential",
+    )
+    ap.add_argument(
+        "--wall-rtol",
+        type=float,
+        default=0.05,
+        help="slack on the par-vs-seq wall comparison (default 5%%)",
+    )
     args = ap.parse_args()
 
     cur_doc = load(args.current)
@@ -121,6 +224,12 @@ def main():
     n_libcheck = check_libcheck(cur_doc, failures, required=args.require_libcheck)
     if n_libcheck:
         notes.append(f"libcheck: {n_libcheck} row(s) validated")
+    if args.require_speedup:
+        n_speedup = check_speedup(
+            cur_doc, failures, notes, wall_rtol=args.wall_rtol
+        )
+        if n_speedup:
+            notes.append(f"speedup: {n_speedup} row(s) validated")
     for cid, base_flows in sorted(base.items()):
         if cid not in cur:
             failures.append(f"{cid}: circuit missing from {args.current}")
