@@ -210,6 +210,29 @@ type libcheck_row = {
 
 let libcheck_rows : libcheck_row list ref = ref []
 
+(* Per-design rows recorded by the [tpl] experiment: the color-
+   constrained pin access ladder on dense stress layouts — coloring
+   outcome of the routed layout, the -j2 bit-identity flag (coloring
+   included), and the no-leak flag (a TPL run must not perturb a
+   following TPL-off run). *)
+type tpl_row = {
+  tp_id : string;
+  tp_colors : int;
+  tp_nets : int;
+  tp_features : int;  (** M2 features of the routed layout *)
+  tp_solid : int;
+  tp_stitched : int;
+  tp_uncolored : int;
+  tp_identical : bool;  (** -j2 PAO run bit-identical, coloring included *)
+  tp_off_identical : bool;
+      (** a TPL-off run after the TPL runs equals the one before them *)
+  tp_pao_wall : float;
+  tp_flow_wall : float;
+  tp_summary : Eval.summary;
+}
+
+let tpl_rows : tpl_row list ref = ref []
+
 let write_telemetry ~ran =
   let open Obs.Json in
   let summary_json (s : Eval.summary) =
@@ -327,6 +350,26 @@ let write_telemetry ~ran =
           ])
       !libcheck_rows
   in
+  let tpl =
+    List.rev_map
+      (fun r ->
+        Obj
+          [
+            ("id", Str r.tp_id);
+            ("colors", num_int r.tp_colors);
+            ("nets", num_int r.tp_nets);
+            ("features", num_int r.tp_features);
+            ("solid", num_int r.tp_solid);
+            ("stitched", num_int r.tp_stitched);
+            ("uncolored", num_int r.tp_uncolored);
+            ("identical", Bool r.tp_identical);
+            ("off_identical", Bool r.tp_off_identical);
+            ("pao_wall", Num r.tp_pao_wall);
+            ("flow_wall", Num r.tp_flow_wall);
+            ("flow", summary_json r.tp_summary);
+          ])
+      !tpl_rows
+  in
   let json =
     Obj
       [
@@ -341,6 +384,7 @@ let write_telemetry ~ran =
         ("eco", List eco);
         ("serve", List serve);
         ("libcheck", List libcheck);
+        ("tpl", List tpl);
         ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
       ]
   in
@@ -1192,6 +1236,124 @@ let libcheck_exp () =
   pf "budget slices up front and merges in input order, so -j never@.";
   pf "changes a single report byte.@."
 
+(* --------------------------------------------------------------- *)
+(* tpl — color-constrained pin access on dense stress layouts        *)
+(* --------------------------------------------------------------- *)
+
+(* Triple-patterning mode on the [tpl_stress] workloads: dense short
+   nets whose access intervals crowd into the same track windows, so
+   same-color spacing actually constrains selection.  Recorded per
+   design: the routed layout's coloring outcome (solid / stitched /
+   uncolored features), bit-identity of the -j2 TPL run (coloring
+   included), and the no-leak flag — a TPL-off run after the TPL runs
+   must still be bit-identical to one before them, which is the zero-
+   drift promise the bench gate holds TPL-off rows to. *)
+let tpl_exp () =
+  let colors = 3 in
+  section
+    (Printf.sprintf "tpl — %d-color TPL-aware pin access and routing" colors);
+  pf "(dense stress layouts; uncolored counts the honest residual,@.";
+  pf " identical and off-identical must both read yes)@.@.";
+  let deck = Drc.Tpl.make ~colors () in
+  let pa_tpl =
+    {
+      PA.default_config with
+      PA.gen =
+        {
+          PA.default_config.PA.gen with
+          Pinaccess.Interval_gen.tpl = Some (Drc.Tpl.params deck);
+        };
+    }
+  in
+  let size n = max 8 (int_of_float (float_of_int n *. scale)) in
+  let cases =
+    [
+      Workloads.Generator.tpl_stress_params ~rows:2 ~nets:(size 120) ~width:48
+        ~seed:5L ();
+      Workloads.Generator.tpl_stress_params ~rows:3 ~nets:(size 260) ~width:72
+        ~seed:6L ();
+    ]
+  in
+  let rows =
+    List.map
+      (fun params ->
+        let design = Workloads.Generator.generate params in
+        let id = params.Workloads.Generator.name in
+        let nets = Array.length (Netlist.Design.nets design) in
+        let before = PA.optimize ~kind:PA.Lr design in
+        let seq, pao_wall =
+          wall (fun () -> PA.optimize ~config:pa_tpl ~kind:PA.Lr design)
+        in
+        let par = PA.optimize ~config:pa_tpl ~kind:PA.Lr ~j:jobs design in
+        let identical =
+          seq.PA.objective = par.PA.objective
+          && seq.PA.assignments = par.PA.assignments
+          && seq.PA.tpl = par.PA.tpl
+        in
+        let flow, flow_wall =
+          wall (fun () ->
+              Router.Cpr.run
+                ~config:{ Router.Cpr.default_config with Router.Cpr.tpl = Some deck }
+                design)
+        in
+        let stats =
+          match flow.Router.Flow.tpl_stats with
+          | Some s -> s
+          | None -> failwith "tpl flow recorded no TPL stats"
+        in
+        (* the no-leak check: TPL runs must leave no trace in a
+           following TPL-off solve *)
+        let after = PA.optimize ~kind:PA.Lr design in
+        let off_identical =
+          before.PA.objective = after.PA.objective
+          && before.PA.assignments = after.PA.assignments
+          && before.PA.reports = after.PA.reports
+        in
+        let s = Eval.of_flow ~name:("tpl-" ^ id) flow in
+        tpl_rows :=
+          {
+            tp_id = id;
+            tp_colors = colors;
+            tp_nets = nets;
+            tp_features = stats.Drc.Tpl.features;
+            tp_solid = stats.Drc.Tpl.solid;
+            tp_stitched = stats.Drc.Tpl.stitched;
+            tp_uncolored = stats.Drc.Tpl.uncolored;
+            tp_identical = identical;
+            tp_off_identical = off_identical;
+            tp_pao_wall = pao_wall;
+            tp_flow_wall = flow_wall;
+            tp_summary = s;
+          }
+          :: !tpl_rows;
+        pf "  %s done@." id;
+        [
+          id;
+          string_of_int nets;
+          string_of_int stats.Drc.Tpl.features;
+          Printf.sprintf "%d/%d/%d" stats.Drc.Tpl.solid stats.Drc.Tpl.stitched
+            stats.Drc.Tpl.uncolored;
+          (if identical then "yes" else "NO");
+          (if off_identical then "yes" else "NO");
+          Report.fixed 2 pao_wall;
+          Report.fixed 2 flow_wall;
+          Printf.sprintf "%.2f/%d/%d" s.Eval.routability s.Eval.via_count
+            s.Eval.wirelength;
+        ])
+      cases
+  in
+  pf "@.%s@."
+    (Report.table
+       ~header:
+         [
+           "design"; "nets"; "feat"; "solid/stitch/uncol";
+           Printf.sprintf "-j%d ident" jobs; "off ident"; "PAO(s)"; "flow(s)";
+           "R/V/WL";
+         ]
+       rows);
+  pf "@.Expected shape: both identity columns all-yes; stitches appear@.";
+  pf "under density and uncolored stays a small honest residual.@."
+
 let experiments =
   [
     ("table2", table2);
@@ -1206,6 +1368,7 @@ let experiments =
     ("eco", eco_exp);
     ("serve", serve_exp);
     ("libcheck", libcheck_exp);
+    ("tpl", tpl_exp);
     ("kernels", kernels);
   ]
 

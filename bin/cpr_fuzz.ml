@@ -14,7 +14,7 @@
 open Cmdliner
 
 let run_campaign iterations seed tolerance max_nets no_ilp no_routing
-    no_parallel no_eco shrink_rounds out replay deltas quiet =
+    no_parallel no_eco shrink_rounds tpl out replay deltas quiet =
   let config =
     {
       Audit.Fuzz.default_config with
@@ -27,6 +27,7 @@ let run_campaign iterations seed tolerance max_nets no_ilp no_routing
       parallel = not no_parallel;
       eco = not no_eco;
       shrink_rounds;
+      tpl;
     }
   in
   match (replay, deltas) with
@@ -93,11 +94,11 @@ let run_campaign iterations seed tolerance max_nets no_ilp no_routing
       1)
 
 let run_campaign iterations seed tolerance max_nets no_ilp no_routing
-    no_parallel no_eco shrink_rounds out replay deltas quiet =
+    no_parallel no_eco shrink_rounds tpl out replay deltas quiet =
   match
     Pinaccess.Cpr_error.protect (fun () ->
         run_campaign iterations seed tolerance max_nets no_ilp no_routing
-          no_parallel no_eco shrink_rounds out replay deltas quiet)
+          no_parallel no_eco shrink_rounds tpl out replay deltas quiet)
   with
   | Ok n -> Ok n
   | Error e -> Error (`Msg (Pinaccess.Cpr_error.to_string e))
@@ -160,6 +161,25 @@ let shrink_rounds =
     & info [ "shrink-rounds" ]
         ~doc:"Candidate evaluations allowed while shrinking a failure.")
 
+let tpl =
+  let colors =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k >= 2 -> Ok k
+      | Some k -> Error (`Msg (Printf.sprintf "need at least 2 colors, got %d" k))
+      | None -> Error (`Msg (Printf.sprintf "not an integer: %S" s))
+    in
+    Arg.conv ~docv:"K" (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value & opt (some colors) None
+    & info [ "tpl" ]
+        ~doc:
+          "Also rerun every case under a $(docv)-coloring TPL deck: the \
+           coloring must certify against the geometry, the -j 2 rerun must \
+           be bit-identical coloring included, and the TPL-aware CPR flow \
+           must pass its audit replay.")
+
 let out =
   Arg.(
     value & opt string "fuzz-repro.design"
@@ -205,7 +225,7 @@ let cmd =
     Term.(
       term_result
         (const run_campaign $ iterations $ seed $ tolerance $ max_nets $ no_ilp
-       $ no_routing $ no_parallel $ no_eco $ shrink_rounds $ out $ replay
+       $ no_routing $ no_parallel $ no_eco $ shrink_rounds $ tpl $ out $ replay
        $ deltas $ quiet))
 
 (* shared exit-code convention with cpr_main/cpr_serve: 0 ok, 1 a

@@ -39,10 +39,11 @@ let violation_breakdown violations =
     violations;
   Hashtbl.fold (fun k c acc -> Printf.sprintf "%s=%d %s" k c acc) table ""
 
-let run_flow router pao_kind budget jobs parallel_init design =
+let run_flow router pao_kind budget jobs parallel_init tpl design =
   let budget =
     Option.map (fun seconds -> Pinaccess.Budget.start ~seconds ()) budget
   in
+  let tpl = Option.map (fun colors -> Drc.Tpl.make ~colors ()) tpl in
   match router with
   | R_cpr ->
     let config =
@@ -54,6 +55,7 @@ let run_flow router pao_kind budget jobs parallel_init design =
           | `Ilp -> Pinaccess.Pin_access.Ilp);
         jobs;
         parallel_init;
+        tpl;
       }
     in
     (* without an explicit --budget, keep the historical 30 s cap on
@@ -64,8 +66,12 @@ let run_flow router pao_kind budget jobs parallel_init design =
       | _ -> budget
     in
     Router.Cpr.run ~config ?budget ?pao_budget design
-  | R_ncr -> Router.Baseline_ncr.run ?budget design
-  | R_seq -> Router.Sequential.run ?budget design
+  | R_ncr ->
+    let config = { Router.Baseline_ncr.default_config with Router.Baseline_ncr.tpl } in
+    Router.Baseline_ncr.run ~config ?budget design
+  | R_seq ->
+    let config = { Router.Sequential.default_config with Router.Sequential.tpl } in
+    Router.Sequential.run ~config ?budget design
 
 (* Incremental (ECO) mode: cold-start the engine on the design, replay
    the delta stream batch by batch, and report what each step reused
@@ -194,7 +200,7 @@ let run_check_library pao budget jobs seed lib_cells report report_md verbose
   if weak > 0 || uncertified <> [] then 1 else 0
 
 let main circuit scale nets width height seed router pao budget jobs
-    parallel_init verbose load repair save svg trace metrics_out stats eco
+    parallel_init tpl verbose load repair save svg trace metrics_out stats eco
     check_library lib_cells report report_md =
   if check_library then
     run_check_library pao budget jobs seed lib_cells report report_md verbose
@@ -224,7 +230,7 @@ let main circuit scale nets width height seed router pao budget jobs
         Option.map Obs.Trace.jsonl metrics_oc;
       ]
   in
-  let run () = run_flow router pao budget jobs parallel_init design in
+  let run () = run_flow router pao budget jobs parallel_init tpl design in
   let flow =
     match sinks with
     | [] -> run ()
@@ -254,6 +260,9 @@ let main circuit scale nets width height seed router pao budget jobs
     s.Metrics.Eval.initial_congestion;
   Format.printf "DRC violations: %d (%s)@." s.Metrics.Eval.violations
     (violation_breakdown flow.Router.Flow.violations);
+  Option.iter
+    (fun st -> Format.printf "TPL    : %s@." (Drc.Tpl.stats_to_string st))
+    flow.Router.Flow.tpl_stats;
   if Router.Flow.degraded flow then
     Format.printf
       "DEGRADED: %d panel(s) fell back below the requested pin access solver \
@@ -300,8 +309,14 @@ let main circuit scale nets width height seed router pao budget jobs
       flow.Router.Flow.violations
   end;
   (* the shared exit-code convention: 1 when the layout has DRC
-     violations, mirroring --check-library's 1 on a weak pin *)
-  if s.Metrics.Eval.violations > 0 then 1 else 0
+     violations — an uncolorable TPL feature is a violation too —
+     mirroring --check-library's 1 on a weak pin *)
+  let tpl_dirty =
+    match flow.Router.Flow.tpl_stats with
+    | Some st -> not (Drc.Tpl.clean st)
+    | None -> false
+  in
+  if s.Metrics.Eval.violations > 0 || tpl_dirty then 1 else 0
   end
   end
 
@@ -309,13 +324,13 @@ let main circuit scale nets width height seed router pao budget jobs
    infeasible panels surface as clean cmdliner errors, never raw
    OCaml exception traces. *)
 let main circuit scale nets width height seed router pao budget jobs
-    parallel_init verbose load repair save svg trace metrics_out stats eco
+    parallel_init tpl verbose load repair save svg trace metrics_out stats eco
     check_library lib_cells report report_md =
   match
     Pinaccess.Cpr_error.protect (fun () ->
         main circuit scale nets width height seed router pao budget jobs
-          parallel_init verbose load repair save svg trace metrics_out stats eco
-          check_library lib_cells report report_md)
+          parallel_init tpl verbose load repair save svg trace metrics_out stats
+          eco check_library lib_cells report report_md)
   with
   | Ok n -> Ok n
   | Error e -> Error (`Msg (Pinaccess.Cpr_error.to_string e))
@@ -450,6 +465,23 @@ let parallel_init =
   in
   Arg.(value & flag & info [ "parallel-init" ] ~doc)
 
+let tpl =
+  let doc =
+    "Enable the triple-patterning rule deck with $(docv) mask colors \
+     (usually 3). Pin access prices same-color conflicts alongside access \
+     conflicts, the router charges stitch costs and rips up uncolorable \
+     nets, and the final layout's coloring is re-checked; an uncolorable \
+     feature in the final layout exits 1 like any DRC violation."
+  in
+  let parse s =
+    match int_of_string_opt s with
+    | Some k when k >= 2 -> Ok k
+    | Some k -> Error (`Msg (Printf.sprintf "need at least 2 colors, got %d" k))
+    | None -> Error (`Msg (Printf.sprintf "not an integer: %S" s))
+  in
+  let colors_conv = Arg.conv ~docv:"K" (parse, Format.pp_print_int) in
+  Arg.(value & opt (some colors_conv) None & info [ "tpl" ] ~docv:"K" ~doc)
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-panel and DRC details.")
 
@@ -556,9 +588,9 @@ let cmd =
     Term.(
       term_result
         (const main $ circuit $ scale $ nets $ width $ height $ seed $ router
-        $ pao $ budget $ jobs $ parallel_init $ verbose $ load $ repair $ save
-        $ svg $ trace $ metrics_out $ stats $ eco $ check_library $ lib_cells
-        $ report $ report_md))
+        $ pao $ budget $ jobs $ parallel_init $ tpl $ verbose $ load $ repair
+        $ save $ svg $ trace $ metrics_out $ stats $ eco $ check_library
+        $ lib_cells $ report $ report_md))
 
 (* 0 = ok, 1 = violation/weak pin, 2 = usage or I/O error: cmdliner's
    own error exits (123/124/125) all collapse onto 2. *)

@@ -20,6 +20,9 @@ type reason =
     }
   | Objective_mismatch of { reported : float; recomputed : float }
   | Dual_bound_violated of { reported : float; bound : float }
+  | Tpl_features_mismatch of { claimed : int; derived : int }
+  | Tpl_illegal_coloring of { detail : string }
+  | Tpl_count_mismatch of { field : string; claimed : int; actual : int }
 
 let reason_to_string = function
   | Duplicate_pin pin -> Printf.sprintf "pin %d assigned more than once" pin
@@ -40,6 +43,16 @@ let reason_to_string = function
   | Dual_bound_violated { reported; bound } ->
     Printf.sprintf "dual bound violated: reported %.6f above bound %.6f"
       reported bound
+  | Tpl_features_mismatch { claimed; derived } ->
+    Printf.sprintf
+      "TPL feature set mismatch: coloring claims %d features, assignment \
+       derives %d"
+      claimed derived
+  | Tpl_illegal_coloring { detail } ->
+    Printf.sprintf "TPL coloring illegal: %s" detail
+  | Tpl_count_mismatch { field; claimed; actual } ->
+    Printf.sprintf "TPL %s count mismatch: claimed %d, actual %d" field
+      claimed actual
 
 type t = {
   problem : Problem.t;
@@ -256,6 +269,76 @@ let upper_bound (problem : Problem.t) =
            0.0 candidates)
     0.0 problem.Problem.pin_candidates
 
+(* TPL claims are re-derived from geometry: the feature list must be
+   exactly what the assignment's distinct intervals canonicalize to,
+   every claimed color must be legal under the deck (range, stitch
+   geometry, no same-color clash), and the stitch/residual counts must
+   match the assignment array.  An [Uncolored] feature is *not* a
+   fault by itself — it is the honest residual the flow reports like
+   [degraded] — but lying about it is. *)
+let examine_tpl (c : Pinaccess.Pin_access.tpl_coloring) ~assignment =
+  let module CG = Solver.Color_graph in
+  let faults = ref [] in
+  let fault r = faults := r :: !faults in
+  let derived =
+    let table = Hashtbl.create 64 in
+    List.iter
+      (fun (_, (iv : AI.t)) ->
+        Hashtbl.replace table
+          (iv.AI.track, I.lo iv.AI.span, I.hi iv.AI.span, iv.AI.net)
+          ())
+      assignment;
+    Hashtbl.fold (fun key () acc -> key :: acc) table []
+    |> List.sort compare |> Array.of_list
+  in
+  if derived <> c.Pinaccess.Pin_access.features then
+    fault
+      (Tpl_features_mismatch
+         {
+           claimed = Array.length c.Pinaccess.Pin_access.features;
+           derived = Array.length derived;
+         })
+  else begin
+    let feats =
+      Array.map
+        (fun (track, lo, hi, _net) -> CG.feature ~track ~lo ~hi)
+        derived
+    in
+    (match
+       CG.verify c.Pinaccess.Pin_access.tpl_params feats
+         c.Pinaccess.Pin_access.colors
+     with
+    | Ok () -> ()
+    | Error v ->
+      fault (Tpl_illegal_coloring { detail = CG.violation_to_string v }));
+    let count p = Array.fold_left (fun k a -> if p a then k + 1 else k) 0 in
+    let stitched =
+      count (function CG.Stitched _ -> true | _ -> false)
+        c.Pinaccess.Pin_access.colors
+    in
+    let uncolored =
+      count (function CG.Uncolored -> true | _ -> false)
+        c.Pinaccess.Pin_access.colors
+    in
+    if stitched <> c.Pinaccess.Pin_access.tpl_stitches then
+      fault
+        (Tpl_count_mismatch
+           {
+             field = "stitch";
+             claimed = c.Pinaccess.Pin_access.tpl_stitches;
+             actual = stitched;
+           });
+    if uncolored <> c.Pinaccess.Pin_access.tpl_residual then
+      fault
+        (Tpl_count_mismatch
+           {
+             field = "residual";
+             claimed = c.Pinaccess.Pin_access.tpl_residual;
+             actual = uncolored;
+           })
+  end;
+  List.rev !faults
+
 let certify_pin_access ?(tolerance = 1e-6)
     ?(weighting = Pinaccess.Objective.default) ?window
     (pao : Pinaccess.Pin_access.t) =
@@ -263,10 +346,15 @@ let certify_pin_access ?(tolerance = 1e-6)
   let expected =
     Array.map (fun (p : Pin.t) -> p.Pin.id) (Design.pins design)
   in
-  match
+  let base =
     examine ~tolerance ~weighting ~window ~design ~expected
       ~assignment:pao.Pinaccess.Pin_access.assignments
       ~reported:pao.Pinaccess.Pin_access.objective ~dual_bound:None
-  with
-  | [] -> Ok ()
-  | r :: _ -> Error r
+  in
+  let tpl =
+    match pao.Pinaccess.Pin_access.tpl with
+    | None -> []
+    | Some c ->
+      examine_tpl c ~assignment:pao.Pinaccess.Pin_access.assignments
+  in
+  match base @ tpl with [] -> Ok () | r :: _ -> Error r

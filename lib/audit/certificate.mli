@@ -54,6 +54,17 @@ type reason =
           different nets overlap on a track *)
   | Objective_mismatch of { reported : float; recomputed : float }
   | Dual_bound_violated of { reported : float; bound : float }
+  | Tpl_features_mismatch of { claimed : int; derived : int }
+      (** the claimed TPL feature list is not what the assignment's
+          distinct intervals canonicalize to *)
+  | Tpl_illegal_coloring of { detail : string }
+      (** a claimed color is out of range, uses an illegal stitch, or
+          two pieces of the same color violate same-color spacing —
+          re-derived from geometry by {!Solver.Color_graph.verify} *)
+  | Tpl_count_mismatch of { field : string; claimed : int; actual : int }
+      (** the reported stitch or residual count disagrees with the
+          assignment array ([Uncolored] features themselves are an
+          honest residual, not a fault — lying about them is) *)
 
 val reason_to_string : reason -> string
 
@@ -102,4 +113,9 @@ val certify_pin_access :
     bounding box grown by [±window] around the assigned pin, exactly
     the generation bound (the library checker's mode).  Intervals are
     compared by physical identity (net, track, span) since per-panel
-    interval ids are not globally unique. *)
+    interval ids are not globally unique.
+
+    When the result carries a TPL coloring ([pao.tpl = Some _]), its
+    claims are re-derived too: the feature list must match the
+    assignment, every color must be legal under the deck, and the
+    stitch/residual counts must be truthful (the [Tpl_*] reasons). *)

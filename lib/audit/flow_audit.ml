@@ -4,6 +4,7 @@ type issue =
   | Short of { detail : string }
   | Violation_miscount of { kind : string; recorded : int; replayed : int }
   | Clean_mismatch of { net : Netlist.Net.id; recorded : bool }
+  | Tpl_miscount of { field : string; recorded : int; replayed : int }
   | Electrical of Router.Verify.issue
 
 let issue_to_string = function
@@ -14,6 +15,9 @@ let issue_to_string = function
   | Clean_mismatch { net; recorded } ->
     Printf.sprintf "net %d: flow marked it %s, replay disagrees" net
       (if recorded then "clean" else "dirty")
+  | Tpl_miscount { field; recorded; replayed } ->
+    Printf.sprintf "TPL %s: flow reported %d, replay found %d" field recorded
+      replayed
   | Electrical i -> "electrical: " ^ Router.Verify.issue_to_string i
 
 let kinds = [ Drc.Check.Line_end_gap; Drc.Check.Cut_alignment; Drc.Check.Via_spacing ]
@@ -47,8 +51,36 @@ let run (flow : Flow.t) =
                  replayed = found;
                }))
       kinds;
+    (* 2b. replay the TPL deck the flow recorded: the re-colored metal
+       must reproduce the recorded stitch/uncolored counts, and its
+       blame joins the clean re-derivation below *)
+    let tpl_blamed =
+      match flow.Flow.tpl with
+      | None -> []
+      | Some deck ->
+        let stats = Drc.Tpl.check deck layout in
+        (match flow.Flow.tpl_stats with
+        | None ->
+          issue
+            (Tpl_miscount
+               {
+                 field = "stats";
+                 recorded = 0;
+                 replayed = stats.Drc.Tpl.features;
+               })
+        | Some recorded ->
+          let cmp field r p =
+            if r <> p then issue (Tpl_miscount { field; recorded = r; replayed = p })
+          in
+          cmp "feature" recorded.Drc.Tpl.features stats.Drc.Tpl.features;
+          cmp "stitch" recorded.Drc.Tpl.stitched stats.Drc.Tpl.stitched;
+          cmp "uncolored" recorded.Drc.Tpl.uncolored stats.Drc.Tpl.uncolored);
+        Drc.Tpl.blamed_nets stats
+    in
     (* 3. re-derive the clean verdicts: connected and not blamed *)
-    let blamed = Drc.Check.blamed_nets replayed in
+    let blamed =
+      List.sort_uniq Int.compare (Drc.Check.blamed_nets replayed @ tpl_blamed)
+    in
     Array.iteri
       (fun net recorded ->
         let rederived =

@@ -9,8 +9,10 @@
     - the full DRC deck ({!Drc.Check.run}) is re-run on the re-extracted
       layout under the rules the flow recorded, and the per-kind
       violation counts must match what the flow reported;
+    - when the flow recorded a TPL deck, the metal is re-colored under
+      it and the recorded stats must reproduce;
     - the [clean] flag of every net is re-derived (connected and not
-      blamed by the replayed DRC) and must match;
+      blamed by the replayed DRC or TPL coloring) and must match;
     - every clean net must be electrically sound: one connected
       component reaching every pin ({!Router.Verify.check_flow}), so
       the routability the paper reports counts only truly routed nets.
@@ -28,6 +30,10 @@ type issue =
   | Clean_mismatch of { net : Netlist.Net.id; recorded : bool }
       (** the flow's [clean] flag for the net disagrees with the
           re-derived verdict ([recorded] is the flow's claim) *)
+  | Tpl_miscount of { field : string; recorded : int; replayed : int }
+      (** the flow ran color-constrained and its recorded TPL stats
+          (feature/stitch/uncolored counts) disagree with re-coloring
+          the re-extracted metal under the recorded deck *)
   | Electrical of Router.Verify.issue
       (** a net counted as routed is not electrically connected *)
 

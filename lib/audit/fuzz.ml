@@ -20,6 +20,7 @@ type config = {
   eco : bool;
   eco_steps : int;
   eco_edits : int;
+  tpl : int option;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     eco = true;
     eco_steps = 3;
     eco_edits = 2;
+    tpl = None;
   }
 
 type failure = {
@@ -179,6 +181,53 @@ let check_design config design =
       invariant "eco-differential" (fun () ->
           Eco_audit.check ~tolerance:config.tolerance design
             (eco_stream config design))
+  in
+  let* () =
+    match config.tpl with
+    | None -> Ok ()
+    | Some colors ->
+      (* the TPL campaign: rerun the whole ladder under a color deck and
+         hold it to the same certificates, now including the coloring *)
+      let deck = Drc.Tpl.make ~colors () in
+      let pa_config =
+        {
+          PA.default_config with
+          PA.gen =
+            {
+              PA.default_config.PA.gen with
+              Pinaccess.Interval_gen.tpl = Some (Drc.Tpl.params deck);
+            };
+        }
+      in
+      let* tpl_lr =
+        invariant "tpl-lr" (fun () ->
+            let r = PA.optimize ~config:pa_config ~kind:PA.Lr design in
+            PA.validate r;
+            let* () =
+              of_cert (Certificate.certify_pin_access ~tolerance:config.tolerance r)
+            in
+            match r.PA.tpl with
+            | None -> Error "no coloring attached despite a TPL deck"
+            | Some _ -> Ok r)
+      in
+      let* () =
+        if not config.parallel then Ok ()
+        else
+          invariant "tpl-parallel-determinism" (fun () ->
+              let par = PA.optimize ~config:pa_config ~kind:PA.Lr ~j:2 design in
+              if par.PA.assignments <> tpl_lr.PA.assignments then
+                Error "assignments diverged under TPL"
+              else if par.PA.tpl <> tpl_lr.PA.tpl then
+                Error "colorings diverged under TPL"
+              else Ok ())
+      in
+      if not config.routing then Ok ()
+      else
+        invariant "tpl-flow" (fun () ->
+            let rc = { Router.Cpr.default_config with Router.Cpr.tpl = Some deck } in
+            match Flow_audit.run (Router.Cpr.run ~config:rc design) with
+            | [] -> Ok ()
+            | i :: _ -> Error (Flow_audit.issue_to_string i))
   in
   Ok ()
 

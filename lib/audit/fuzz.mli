@@ -41,11 +41,19 @@ type config = {
   eco : bool;  (** run the ECO incremental-vs-scratch differential *)
   eco_steps : int;  (** batches per ECO stream *)
   eco_edits : int;  (** edits per batch *)
+  tpl : int option;
+      (** when [Some k], additionally rerun each case under a
+          [k]-coloring TPL deck ({!Drc.Tpl.make}): the LR result must
+          carry a certified coloring
+          ({!Certificate.certify_pin_access}'s [Tpl_*] checks), the
+          [~j:2] run must be bit-identical coloring included, and the
+          TPL-aware CPR flow must certify clean under
+          {!Flow_audit.run}'s TPL replay *)
 }
 
 val default_config : config
 (** 200 iterations, seed [0xC0FFEE], tolerance [1e-6], every invariant
-    enabled. *)
+    enabled; [tpl = None] (the TPL campaign is opt-in). *)
 
 type failure = {
   case : int;  (** 1-based index of the failing case *)

@@ -1,6 +1,11 @@
 module I = Geometry.Interval
 
-type clique = { track : int; members : int array; common : Geometry.Interval.t }
+type clique = {
+  track : int;
+  cap : int;
+  members : int array;
+  common : Geometry.Interval.t;
+}
 
 (* Sweep one track's intervals (sorted by left edge).  A maximal clique
    of an interval graph is the active set at the smallest right edge of
@@ -53,7 +58,7 @@ let sweep_track ~clearance ~track intervals =
             min_int !active
         in
         cliques :=
-          { track; members; common = I.make ~lo ~hi:x } :: !cliques;
+          { track; cap = 1; members; common = I.make ~lo ~hi:x } :: !cliques;
         fresh := false
       end)
     ends;
@@ -87,6 +92,41 @@ let cliques_of_track ?(clearance = 0) intervals ~track =
     |> List.filter (fun (iv : Access_interval.t) -> iv.track = track)
   in
   Array.of_list (sweep_track ~clearance ~track on_track)
+
+(* Color cliques: maximal sets of intervals that pairwise conflict
+   under the TPL color relation (tracks within the window, x-spans
+   within the same-color gap), with more than [colors] members.  Each
+   gets capacity [colors]: the solver tiers price selecting more than
+   [k] of them exactly as they price access conflicts, so a TPL-aware
+   selection spreads contended intervals before the coloring pass even
+   runs.  [Solver.Color_graph.cliques] does the band sweep; here the
+   indices are mapped back onto interval ids and the clique record. *)
+let detect_color ~(params : Solver.Color_graph.params) intervals =
+  Array.iteri
+    (fun i (iv : Access_interval.t) ->
+      if iv.id <> i then invalid_arg "Conflict.detect_color: ids must be dense")
+    intervals;
+  let feats =
+    Array.map
+      (fun (iv : Access_interval.t) ->
+        Solver.Color_graph.feature ~track:iv.track ~lo:(I.lo iv.span)
+          ~hi:(I.hi iv.span))
+      intervals
+  in
+  Solver.Color_graph.cliques params feats
+  |> List.map (fun (members, lo, hi) ->
+         let track =
+           Array.fold_left
+             (fun acc id -> min acc intervals.(id).Access_interval.track)
+             max_int members
+         in
+         {
+           track;
+           cap = params.Solver.Color_graph.colors;
+           members;
+           common = I.make ~lo ~hi;
+         })
+  |> Array.of_list
 
 let count_pairwise_conflicts intervals =
   let count = ref 0 in

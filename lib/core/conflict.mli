@@ -8,10 +8,18 @@
 
 type clique = {
   track : int;
+      (** access cliques: the shared track; color cliques: the lowest
+          member track (the band root) *)
+  cap : int;
+      (** selection capacity: at most [cap] members may be selected.
+          1 for access conflict sets (constraint (1c)); the color
+          count [k] for TPL color cliques, where up to [k] mutually
+          conflicting features still admit a legal coloring. *)
   members : int array;  (** interval ids, ascending *)
   common : Geometry.Interval.t;
-      (** common intersection; its length is the paper's [L_m] used in
-          the subgradient step size *)
+      (** common intersection (of the gap-inflated spans for color
+          cliques); its length is the paper's [L_m] used in the
+          subgradient step size *)
 }
 
 val detect : ?clearance:int -> Access_interval.t array -> clique array
@@ -28,6 +36,16 @@ val detect : ?clearance:int -> Access_interval.t array -> clique array
     onto the same track at adjacent columns; callers fall back to
     [clearance = 0] (ILP) or leave the residual conflict to the
     router's DRC accounting (LR). *)
+
+val detect_color :
+  params:Solver.Color_graph.params -> Access_interval.t array -> clique array
+(** TPL color cliques: maximal sets of intervals that pairwise
+    conflict under the color relation of [params] (tracks within
+    [track_window], x-spans within [same_color_gap]) with more than
+    [colors] members, each carrying [cap = colors].  Appended to the
+    access cliques by {!Problem.of_intervals} when the TPL deck is on,
+    so every solver tier prices color contention alongside access
+    conflicts.  Input intervals must carry dense ids. *)
 
 val cliques_of_track :
   ?clearance:int -> Access_interval.t array -> track:int -> clique array

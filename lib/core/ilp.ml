@@ -19,7 +19,9 @@ let to_milp (problem : Problem.t) =
     @ Array.to_list
         (Array.map
            (fun (clique : Conflict.clique) ->
-             Solver.Milp.At_most_one (Array.to_list clique.Conflict.members))
+             let members = Array.to_list clique.Conflict.members in
+             if clique.Conflict.cap = 1 then Solver.Milp.At_most_one members
+             else Solver.Milp.At_most (clique.Conflict.cap, members))
            problem.Problem.cliques)
   in
   {
@@ -77,7 +79,11 @@ let lp_relaxation_bound (problem : Problem.t) =
         | Solver.Milp.Choose_one vars ->
           Solver.Lp.constr (List.map (fun v -> (v, 1.0)) vars) Solver.Lp.Eq 1.0
         | Solver.Milp.At_most_one vars ->
-          Solver.Lp.constr (List.map (fun v -> (v, 1.0)) vars) Solver.Lp.Le 1.0)
+          Solver.Lp.constr (List.map (fun v -> (v, 1.0)) vars) Solver.Lp.Le 1.0
+        | Solver.Milp.At_most (cap, vars) ->
+          Solver.Lp.constr
+            (List.map (fun v -> (v, 1.0)) vars)
+            Solver.Lp.Le (float_of_int cap))
       milp.Solver.Milp.rows
   in
   let lp =

@@ -8,6 +8,7 @@ type config = {
   max_per_pin : int;
   clearance : int;
   min_window : int option;
+  tpl : Solver.Color_graph.params option;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     max_per_pin = 64;
     clearance = 2;
     min_window = None;
+    tpl = None;
   }
 
 exception Pin_unreachable of Netlist.Pin.id

@@ -32,6 +32,16 @@ type config = {
           degenerate bounding box, so without a window its only
           candidate is the pin column itself.  [None] (default)
           reproduces the paper's net-bbox clipping exactly. *)
+  tpl : Solver.Color_graph.params option;
+      (** Triple-patterning mode: when [Some params],
+          {!Problem.of_intervals} appends the color cliques of
+          {!Conflict.detect_color} to the access cliques (so every
+          solver tier prices color contention) and
+          {!Pin_access.optimize} runs the deterministic global
+          coloring pass over the selected intervals.  [None]
+          (default) is bit-identical to the pre-TPL pipeline.  The
+          field rides inside every [Problem.config], so ECO cache keys
+          and audit certificates pick the deck up automatically. *)
 }
 
 val default_config : config

@@ -156,11 +156,12 @@ let solve ?(config = default_config) ?budget ?warm_start (problem : Problem.t)
             (fun acc id -> if chosen.(id) then acc + 1 else acc)
             0 clique.Conflict.members
         in
-        let g = float_of_int (cnt - 1) in
-        if cnt > 1 then incr vio;
+        let cap = clique.Conflict.cap in
+        let g = float_of_int (cnt - cap) in
+        if cnt > cap then incr vio;
         let update =
-          if config.full_subgradient then cnt > 1 || lambda.(m) > 0.0
-          else cnt > 1
+          if config.full_subgradient then cnt > cap || lambda.(m) > 0.0
+          else cnt > cap
         in
         if update then begin
           let s = step !k clique in
@@ -178,7 +179,13 @@ let solve ?(config = default_config) ?budget ?warm_start (problem : Problem.t)
     let relaxed =
       let sel = ref 0.0 in
       Array.iteri (fun id c -> if c then sel := !sel +. gains.(id)) chosen;
-      Array.fold_left ( +. ) !sel lambda
+      (* sum of lambda_m * cap_m; cap = 1 keeps the original sum *)
+      let acc = ref !sel in
+      Array.iteri
+        (fun m lam ->
+          acc := !acc +. (lam *. float_of_int cliques.(m).Conflict.cap))
+        lambda;
+      !acc
     in
     Obs.Metrics.observe m_violations (float_of_int !vio);
     history :=

@@ -27,6 +27,14 @@ type panel_report = {
   degraded : bool;
 }
 
+type tpl_coloring = {
+  tpl_params : Solver.Color_graph.params;
+  features : (int * int * int * int) array;
+  colors : Solver.Color_graph.assignment array;
+  tpl_stitches : int;
+  tpl_residual : int;
+}
+
 type t = {
   design : Netlist.Design.t;
   kind : solver_kind;
@@ -35,6 +43,7 @@ type t = {
   reports : panel_report list;
   degraded : bool;
   elapsed : float;
+  tpl : tpl_coloring option;
 }
 
 let solver_kind_to_string = function Ilp -> "ILP" | Lr -> "LR"
@@ -90,7 +99,7 @@ let ilp_tier config ~budget (problem : Problem.t) =
          impossible (adjacent same-track pins); fall back to the
          paper's original conflict relation for this instance *)
       let relaxed =
-        { problem.Problem.config with Interval_gen.clearance = 0 }
+        { problem.Problem.config with Interval_gen.clearance = 0; tpl = None }
       in
       let problem0 =
         Problem.of_intervals relaxed problem.Problem.design
@@ -244,6 +253,42 @@ let solve_parallel config ~budget ~j kind live =
     results;
   (!acc_a, !acc_o, !acc_r)
 
+(* Global TPL coloring pass: one deterministic greedy coloring over the
+   distinct selected intervals of the whole design, run after the panel
+   merge.  Being global, it sees cross-panel color conflicts no
+   per-panel solver can, and its input — features canonically sorted by
+   (track, lo, hi, net) — does not depend on panel solve order, so
+   [~j:n] colorings are bit-identical to [~j:1]. *)
+let color_assignments params assignments =
+  let module I = Geometry.Interval in
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun ((_ : Netlist.Pin.id), (iv : Access_interval.t)) ->
+      Hashtbl.replace table (iv.track, I.lo iv.span, I.hi iv.span, iv.net) ())
+    assignments;
+  let features =
+    Hashtbl.fold (fun key () acc -> key :: acc) table []
+    |> List.sort compare |> Array.of_list
+  in
+  let feats =
+    Array.map
+      (fun (track, lo, hi, _net) -> Solver.Color_graph.feature ~track ~lo ~hi)
+      features
+  in
+  let c = Solver.Color_graph.color params feats in
+  {
+    tpl_params = params;
+    features;
+    colors = c.Solver.Color_graph.assignment;
+    tpl_stitches = c.Solver.Color_graph.stitches;
+    tpl_residual = c.Solver.Color_graph.residual;
+  }
+
+let tpl_of config assignments =
+  Option.map
+    (fun params -> color_assignments params assignments)
+    config.gen.Interval_gen.tpl
+
 let run ?(config = default_config) ?budget ?(j = 1) ~kind design problems =
   Obs.Trace.with_span "pao.optimize" @@ fun () ->
   let start = Unix_time.now () in
@@ -255,14 +300,16 @@ let run ?(config = default_config) ?budget ?(j = 1) ~kind design problems =
     else solve_parallel config ~budget ~j kind live
   in
   let reports = List.rev reports in
+  let assignments = List.rev assignments in
   {
     design;
     kind;
-    assignments = List.rev assignments;
+    assignments;
     objective;
     reports;
     degraded = List.exists (fun (r : panel_report) -> r.degraded) reports;
     elapsed = Unix_time.now () -. start;
+    tpl = tpl_of config assignments;
   }
 
 let build_panel config design ~panel =
@@ -361,14 +408,16 @@ let optimize ?(config = default_config) ?budget ?j ?(stream = false) ~kind
       else solve_parallel_streamed config ~budget ~j kind design ~num_panels
     in
     let reports = List.rev reports in
+    let assignments = List.rev assignments in
     {
       design;
       kind;
-      assignments = List.rev assignments;
+      assignments;
       objective;
       reports;
       degraded = List.exists (fun (r : panel_report) -> r.degraded) reports;
       elapsed = Unix_time.now () -. start;
+      tpl = tpl_of config assignments;
     }
   end
 

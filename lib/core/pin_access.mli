@@ -43,6 +43,22 @@ type panel_report = {
           completion — a lower tier answered or the budget cut in *)
 }
 
+type tpl_coloring = {
+  tpl_params : Solver.Color_graph.params;  (** the deck that was on *)
+  features : (int * int * int * int) array;
+      (** distinct selected intervals as [(track, lo, hi, net)],
+          canonically sorted — the coloring's input, independent of
+          panel solve order (so independent of [j]) *)
+  colors : Solver.Color_graph.assignment array;
+      (** one assignment per feature, same indexing *)
+  tpl_stitches : int;  (** features colored via a stitch *)
+  tpl_residual : int;
+      (** features left [Uncolored] — an honest residual, reported like
+          [degraded] rather than hidden *)
+}
+(** Result of the global TPL coloring pass run after the panel merge
+    when the [tpl] deck of {!Interval_gen.config} is on. *)
+
 type t = {
   design : Netlist.Design.t;
   kind : solver_kind;  (** the *requested* solver *)
@@ -52,6 +68,8 @@ type t = {
   reports : panel_report list;
   degraded : bool;  (** any panel degraded *)
   elapsed : float;  (** wall-clock seconds *)
+  tpl : tpl_coloring option;
+      (** [Some] iff the TPL deck was on in [config.gen.tpl] *)
 }
 
 val optimize :
@@ -124,6 +142,17 @@ val solve_panel :
     [multipliers] is the LR tier's final vector ([[||]] when another
     tier served the panel).  The single-panel entry point of the
     incremental engine ([Eco.Engine]). *)
+
+val color_assignments :
+  Solver.Color_graph.params ->
+  (Netlist.Pin.id * Access_interval.t) list ->
+  tpl_coloring
+(** The global TPL coloring pass on a merged assignment list: dedupe to
+    distinct [(track, lo, hi, net)] features, canonically sort, run the
+    deterministic greedy coloring of {!Solver.Color_graph.color}.
+    Exactly what {!optimize} runs when the deck is on; exported so
+    incremental callers ({!Eco.Engine}) recolor their merged
+    assignments in lockstep with the from-scratch path. *)
 
 val panel_budget : Budget.t -> panels_left:int -> Budget.t
 (** The per-panel slice [optimize]'s sequential walk hands each

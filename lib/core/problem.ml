@@ -37,7 +37,13 @@ let of_intervals config design intervals =
     Array.map (fun ids -> Array.of_list (List.sort Int.compare ids)) candidates
   in
   let cliques =
-    Conflict.detect ~clearance:config.Interval_gen.clearance intervals
+    let access =
+      Conflict.detect ~clearance:config.Interval_gen.clearance intervals
+    in
+    match config.Interval_gen.tpl with
+    | None -> access
+    | Some params ->
+      Array.append access (Conflict.detect_color ~params intervals)
   in
   let profits =
     Array.map (Objective.profit config.Interval_gen.weighting) intervals

@@ -6,8 +6,11 @@ let remove_conflicts ?gains (sol : Solution.t) =
   let gains = Option.value ~default:problem.Problem.profits gains in
   let assignment = Array.copy sol.Solution.assignment in
   let shrinks = ref 0 in
-  (* count how many currently-selected intervals a candidate would
-     conflict with (through any shared clique) *)
+  (* how much selecting [candidate] would overflow its cliques: for
+     each clique through the candidate, the members beyond capacity
+     once the candidate joins the already-selected ones.  With every
+     cap at 1 this is exactly the old "selected members sharing a
+     clique" count. *)
   let conflict_count candidate ~slot =
     let selected = Hashtbl.create 8 in
     Array.iteri
@@ -16,11 +19,15 @@ let remove_conflicts ?gains (sol : Solution.t) =
     List.fold_left
       (fun acc m ->
         let clique = problem.Problem.cliques.(m) in
-        Array.fold_left
-          (fun acc member ->
-            if member <> candidate && Hashtbl.mem selected member then acc + 1
-            else acc)
-          acc clique.Conflict.members)
+        let others =
+          Array.fold_left
+            (fun acc member ->
+              if member <> candidate && Hashtbl.mem selected member then
+                acc + 1
+              else acc)
+            0 clique.Conflict.members
+        in
+        acc + max 0 (others + 1 - clique.Conflict.cap))
       0
       (Problem.cliques_of_interval problem candidate)
   in
@@ -66,25 +73,29 @@ let remove_conflicts ?gains (sol : Solution.t) =
           |> List.filter (fun id -> Hashtbl.mem live id)
           |> List.sort_uniq Int.compare
         in
-        if List.length selected > 1 then begin
+        if List.length selected > clique.Conflict.cap then begin
           let is_min id =
             Access_interval.is_minimum problem.Problem.intervals.(id)
           in
           let minimums = List.filter is_min selected in
-          (* minimum intervals cannot shrink, so one of them is the
-             member kept when present; otherwise keep the highest-gain
-             member *)
+          (* up to [cap] members stay selected: minimum intervals
+             cannot shrink so they claim keep slots first; remaining
+             slots go to the highest-gain members (stable sort keeps
+             the earliest id on gain ties, matching the cap = 1
+             fold) *)
           let keep =
-            match minimums with
-            | id :: _ -> id
-            | [] ->
-              List.fold_left
-                (fun best id -> if gains.(id) > gains.(best) then id else best)
-                (List.hd selected) selected
+            let others =
+              List.filter (fun id -> not (is_min id)) selected
+              |> List.stable_sort (fun a b ->
+                     Float.compare gains.(b) gains.(a))
+            in
+            List.filteri
+              (fun i _ -> i < clique.Conflict.cap)
+              (minimums @ others)
           in
           List.iter
             (fun id ->
-              if id <> keep && not (is_min id) then
+              if (not (List.mem id keep)) && not (is_min id) then
                 List.iter
                   (fun pid ->
                     let slot = Problem.slot_of_pin problem pid in
@@ -109,7 +120,7 @@ let remove_conflicts ?gains (sol : Solution.t) =
           Array.to_list clique.Conflict.members
           |> List.filter (fun id -> Array.exists (fun a -> a = id) assignment)
         in
-        if List.length selected_members > 1 then
+        if List.length selected_members > clique.Conflict.cap then
           List.iter
             (fun id ->
               List.iter

@@ -56,7 +56,7 @@ let violated_cliques t =
              (fun acc id -> if c.(id) then acc + 1 else acc)
              0 clique.Conflict.members
          in
-         k > 1)
+         k > clique.Conflict.cap)
 
 let num_violations t = List.length (violated_cliques t)
 let is_conflict_free t = num_violations t = 0

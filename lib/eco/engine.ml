@@ -225,15 +225,23 @@ let solve_pao_stage ~cache ~(config : config) ~prev_key ?budget ?pool design
     end
   done;
   let reports = List.rev !reports in
+  let assignments = List.rev !assignments in
   let pao =
     {
       PA.design;
       kind = config.kind;
-      assignments = List.rev !assignments;
+      assignments;
       objective = !objective;
       reports;
       degraded = List.exists (fun (r : PA.panel_report) -> r.PA.degraded) reports;
       elapsed = Pinaccess.Unix_time.now () -. started;
+      (* same global recoloring the from-scratch path runs; the merged
+         assignment list is panel-ordered either way, and the pass
+         canonicalizes its input, so incremental == from-scratch *)
+      tpl =
+        Option.map
+          (fun params -> PA.color_assignments params assignments)
+          config.pao.PA.gen.Pinaccess.Interval_gen.tpl;
     }
   in
   PA.validate pao;
@@ -245,6 +253,11 @@ let cpr_config (config : config) =
     pao = config.pao;
     cost = config.cost;
     rules = config.rules;
+    (* the PA config is the deck's single source of truth in ECO (it is
+       what panel-cache keys digest); the router deck derives from it *)
+    tpl =
+      Option.map Drc.Tpl.of_params
+        config.pao.PA.gen.Pinaccess.Interval_gen.tpl;
     jobs = 1;
     parallel_init = false;
   }

@@ -17,7 +17,7 @@ type entry = {
   proven_optimal : bool;
   served_by : PA.tier;
   degraded : bool;
-  multipliers : (int * int * int * float) array;
+  multipliers : (int * int * int * int * float) array;
 }
 
 (* shared across every cache instance: the registry is global, and a
@@ -146,7 +146,7 @@ let key ~(config : PA.config) ~kind design ~panel =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let gen = config.PA.gen in
-  add "gen:%s,%s,%d,%d,%s;"
+  add "gen:%s,%s,%d,%d,%s,%s;"
     (Pinaccess.Objective.weighting_to_string gen.Pinaccess.Interval_gen.weighting)
     (match gen.Pinaccess.Interval_gen.m2_bbox_margin with
     | None -> "full-bbox"
@@ -154,7 +154,12 @@ let key ~(config : PA.config) ~kind design ~panel =
     gen.Pinaccess.Interval_gen.max_per_pin gen.Pinaccess.Interval_gen.clearance
     (match gen.Pinaccess.Interval_gen.min_window with
     | None -> "no-window"
-    | Some w -> string_of_int w);
+    | Some w -> string_of_int w)
+    (* the TPL deck changes the clique set (color cliques fold into the
+       pricing), so distinct decks must miss each other's entries *)
+    (match gen.Pinaccess.Interval_gen.tpl with
+    | None -> "no-tpl"
+    | Some p -> Solver.Color_graph.params_to_string p);
   let lr = config.PA.lr in
   add "kind:%s;lr:%d,%h,%s,%b,%s,%b;"
     (PA.solver_kind_to_string kind)
@@ -236,6 +241,7 @@ let entry_of_solution ~(problem : Problem.t) ~assignments
       Array.mapi
         (fun m (c : Conflict.clique) ->
           ( c.Conflict.track,
+            c.Conflict.cap,
             I.lo c.Conflict.common,
             I.hi c.Conflict.common,
             multipliers.(m) ))
@@ -308,13 +314,15 @@ let materialize entry design ~panel =
 let warm_start_for entry (problem : Problem.t) =
   let by_sig = Hashtbl.create 64 in
   Array.iter
-    (fun (track, lo, hi, lambda) -> Hashtbl.replace by_sig (track, lo, hi) lambda)
+    (fun (track, cap, lo, hi, lambda) ->
+      Hashtbl.replace by_sig (track, cap, lo, hi) lambda)
     entry.multipliers;
   Array.map
     (fun (c : Conflict.clique) ->
       Option.value ~default:0.0
         (Hashtbl.find_opt by_sig
            ( c.Conflict.track,
+             c.Conflict.cap,
              I.lo c.Conflict.common,
              I.hi c.Conflict.common )))
     problem.Problem.cliques

@@ -12,10 +12,13 @@
 
     An entry stores the selected interval per pin (in canonical pin
     order), the panel report numbers, and the final Lagrange
-    multipliers keyed by clique signature [(track, common_lo,
+    multipliers keyed by clique signature [(track, cap, common_lo,
     common_hi)] — served directly on a hit, used to warm-start
     {!Pinaccess.Lagrangian.solve} on a near-miss (the panel changed,
-    but many cliques survive under their signature). *)
+    but many cliques survive under their signature).  The TPL deck is
+    part of the key (it changes the clique set), and [cap] in the
+    signature keeps an access clique from donating its multiplier to a
+    same-geometry color clique. *)
 
 type slot = { track : int; span : Geometry.Interval.t; minimum : bool }
 (** The interval selected for one pin, by physical identity. *)
@@ -29,9 +32,10 @@ type entry = {
   proven_optimal : bool;
   served_by : Pinaccess.Pin_access.tier;
   degraded : bool;
-  multipliers : (int * int * int * float) array;
-      (** final LR multipliers as [(track, common_lo, common_hi, λ)];
-          empty when another tier served the panel *)
+  multipliers : (int * int * int * int * float) array;
+      (** final LR multipliers as
+          [(track, cap, common_lo, common_hi, λ)]; empty when another
+          tier served the panel *)
 }
 
 type t

@@ -3,7 +3,13 @@
     directly over its shape, and other nets' pins are blockages.  This
     isolates the contribution of the PAO stage (Table 2, Fig. 7(b)). *)
 
-type config = { cost : Rgrid.Cost.t; rules : Drc.Rules.t }
+type config = {
+  cost : Rgrid.Cost.t;
+  rules : Drc.Rules.t;
+  tpl : Drc.Tpl.t option;
+      (** TPL deck for the negotiation probe and the final coloring
+          verdict (see {!Cpr.config}) *)
+}
 
 val default_config : config
 

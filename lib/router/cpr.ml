@@ -3,6 +3,7 @@ type config = {
   pao : Pinaccess.Pin_access.config;
   cost : Rgrid.Cost.t;
   rules : Drc.Rules.t;
+  tpl : Drc.Tpl.t option;
   jobs : int;
   parallel_init : bool;
 }
@@ -13,9 +14,27 @@ let default_config =
     pao = Pinaccess.Pin_access.default_config;
     cost = Rgrid.Cost.default;
     rules = Drc.Rules.default;
+    tpl = None;
     jobs = 1;
     parallel_init = false;
   }
+
+(* One source of truth for the deck: [config.tpl] also switches the
+   PAO stage's color pricing on (unless the caller already set
+   [gen.tpl] explicitly). *)
+let pao_config config =
+  match config.tpl with
+  | None -> config.pao
+  | Some deck ->
+    let gen = config.pao.Pinaccess.Pin_access.gen in
+    (match gen.Pinaccess.Interval_gen.tpl with
+    | Some _ -> config.pao
+    | None ->
+      {
+        config.pao with
+        Pinaccess.Pin_access.gen =
+          { gen with Pinaccess.Interval_gen.tpl = Some (Drc.Tpl.params deck) };
+      })
 
 let run_with_pao ?(config = default_config) ?budget design pao =
   Obs.Trace.with_span "cpr.route" @@ fun () ->
@@ -23,8 +42,8 @@ let run_with_pao ?(config = default_config) ?budget design pao =
   let grid = Rgrid.Grid.create design in
   let specs = Spec_builder.build grid ~pao:(Some pao) in
   let negotiate ?pool () =
-    Negotiation.run ~cost:config.cost ~rules:config.rules ?budget ?pool grid
-      specs
+    Negotiation.run ~cost:config.cost ~rules:config.rules ?tpl:config.tpl
+      ?budget ?pool grid specs
   in
   let result =
     if config.parallel_init && config.jobs > 1 then
@@ -34,11 +53,12 @@ let run_with_pao ?(config = default_config) ?budget design pao =
     else negotiate ()
   in
   let drc_reroutes =
-    Negotiation.drc_ripup ~cost:config.cost ?budget ~rules:config.rules grid
+    Negotiation.drc_ripup ~cost:config.cost ?budget ?tpl:config.tpl
+      ~rules:config.rules grid
       ~spec_of:(fun net -> Some specs.(net))
       ~routes:result.Negotiation.routes ~rounds:2
   in
-  Flow.finish ~rules:config.rules ~grid ~pao:(Some pao)
+  Flow.finish ~rules:config.rules ?tpl:config.tpl ~grid ~pao:(Some pao)
     ~initial_congestion:result.Negotiation.initial_congestion
     ~ripup_iterations:result.Negotiation.ripup_iterations
     ~total_reroutes:(result.Negotiation.total_reroutes + drc_reroutes)
@@ -48,7 +68,7 @@ let run ?(config = default_config) ?budget ?pao_budget design =
   Obs.Trace.with_span "cpr.run" @@ fun () ->
   let pao_budget = match pao_budget with Some _ as b -> b | None -> budget in
   let pao =
-    Pinaccess.Pin_access.optimize ~config:config.pao ?budget:pao_budget
-      ~j:config.jobs ~kind:config.pao_kind design
+    Pinaccess.Pin_access.optimize ~config:(pao_config config)
+      ?budget:pao_budget ~j:config.jobs ~kind:config.pao_kind design
   in
   run_with_pao ~config ?budget design pao

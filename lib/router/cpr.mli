@@ -10,6 +10,11 @@ type config = {
   pao : Pinaccess.Pin_access.config;
   cost : Rgrid.Cost.t;
   rules : Drc.Rules.t;
+  tpl : Drc.Tpl.t option;
+      (** the triple-patterning deck: [Some] switches on color pricing
+          in the PAO stage (via [gen.tpl], unless already set), the
+          TPL probe of the negotiation rip-up, and the final coloring
+          verdict of {!Flow.finish} *)
   jobs : int;
       (** domains for the parallel stages ([-j] on the CLI); 1 =
           fully sequential.  Panels of the PAO stage fan out over

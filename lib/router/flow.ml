@@ -14,6 +14,8 @@ type t = {
   violations : Drc.Check.violation list;
   extension : Drc.Line_end.stats;
   rules : Drc.Rules.t;
+  tpl : Drc.Tpl.t option;
+  tpl_stats : Drc.Tpl.stats option;
   pao : Pinaccess.Pin_access.t option;
   reused_routes : int;
   elapsed : float;
@@ -29,7 +31,7 @@ let fill_nodes space (fill : Drc.Line_end.fill) =
         Node.pack space ~layer:Layer.M3 ~x:fill.Drc.Line_end.track ~y:pos
       | Layer.M1 -> assert false)
 
-let finish ?(rules = Drc.Rules.default) ?(reused = 0) ~grid ~pao
+let finish ?(rules = Drc.Rules.default) ?tpl ?(reused = 0) ~grid ~pao
     ~initial_congestion ~ripup_iterations ~total_reroutes ~started routes =
   let design = Grid.design grid in
   let space = Grid.space grid in
@@ -70,7 +72,20 @@ let finish ?(rules = Drc.Rules.default) ?(reused = 0) ~grid ~pao
       end)
     fills;
   let violations = Drc.Check.run rules layout in
-  let blamed = Drc.Check.blamed_nets violations in
+  (* the final verdict colors the *extended* metal: re-extract so the
+     line-end fills pushed in above are part of the decomposition *)
+  let tpl_stats =
+    Option.map
+      (fun deck -> Drc.Tpl.check deck (Drc.Extract.of_routes design routes))
+      tpl
+  in
+  let blamed =
+    List.sort_uniq Int.compare
+      (Drc.Check.blamed_nets violations
+      @ (match tpl_stats with
+        | None -> []
+        | Some stats -> Drc.Tpl.blamed_nets stats))
+  in
   let clean =
     Array.mapi
       (fun net route -> Option.is_some route && not (List.mem net blamed))
@@ -86,6 +101,8 @@ let finish ?(rules = Drc.Rules.default) ?(reused = 0) ~grid ~pao
     violations;
     extension;
     rules;
+    tpl;
+    tpl_stats;
     pao;
     reused_routes = reused;
     elapsed = Pinaccess.Unix_time.now () -. started;

@@ -17,6 +17,12 @@ type t = {
   rules : Drc.Rules.t;
       (** the rule deck the DRC verdicts were computed under, recorded
           so an external audit can replay the exact same checks *)
+  tpl : Drc.Tpl.t option;
+      (** the TPL deck (when the flow ran color-constrained), recorded
+          for the same replayability reason as [rules] *)
+  tpl_stats : Drc.Tpl.stats option;
+      (** the final coloring verdict over the extended metal; its
+          blamed nets were folded into [clean] alongside DRC blame *)
   pao : Pinaccess.Pin_access.t option;
   reused_routes : int;
       (** nets whose previous route was frozen and carried over by an
@@ -26,6 +32,7 @@ type t = {
 
 val finish :
   ?rules:Drc.Rules.t ->
+  ?tpl:Drc.Tpl.t ->
   ?reused:int ->
   grid:Rgrid.Grid.t ->
   pao:Pinaccess.Pin_access.t option ->
@@ -36,7 +43,9 @@ val finish :
   Rgrid.Route.t option array ->
   t
 (** Runs extension + DRC over the routes, pushes extension fills back
-    into the routes and the grid, and computes [clean].  [reused]
+    into the routes and the grid, and computes [clean].  With [tpl] the
+    extended metal is also colored and nets with uncolorable features
+    are blamed (counted unrouted) alongside DRC blame.  [reused]
     (default 0) records how many routes an incremental caller froze. *)
 
 val routed_count : t -> int

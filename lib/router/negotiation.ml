@@ -26,8 +26,32 @@ let retract_route grid (route : Rgrid.Route.t) =
     route.Rgrid.Route.nodes;
   List.iter (fun (x, y) -> Grid.remove_via grid ~x ~y) (Rgrid.Route.via_positions ~space route)
 
-let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ?frozen ~rules
-    grid ~spec_of ~routes ~rounds =
+(* TPL probe: color the current metal and, for every uncolorable
+   feature, bump history under its grids — scaled by the deck's stitch
+   cost, so an expensive-to-stitch deck pushes the router away harder —
+   and return the blamed nets, which join the rip-up victims exactly
+   like DRC-blamed ones. *)
+let tpl_victims ?tpl ~scale grid layout =
+  match tpl with
+  | None -> []
+  | Some deck ->
+    let space = Grid.space grid in
+    let stats = Drc.Tpl.check deck layout in
+    let bump = scale *. Drc.Tpl.stitch_cost deck in
+    List.iter
+      (fun (v : Drc.Tpl.violation) ->
+        for x = Geometry.Interval.lo v.Drc.Tpl.span
+            to Geometry.Interval.hi v.Drc.Tpl.span do
+          if Node.in_bounds space ~x ~y:v.Drc.Tpl.track then
+            Grid.add_history_at grid
+              (Node.pack space ~layer:Rgrid.Layer.M2 ~x ~y:v.Drc.Tpl.track)
+              bump
+        done)
+      stats.Drc.Tpl.violations;
+    Drc.Tpl.blamed_nets stats
+
+let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ?frozen ?tpl
+    ~rules grid ~spec_of ~routes ~rounds =
   let design = Grid.design grid in
   let space = Grid.space grid in
   let maze = Maze.create grid in
@@ -69,10 +93,12 @@ let drc_ripup ?(cost = Cost.default) ?(own = false) ?budget ?frozen ~rules
     drop_overused ();
     let layout = Drc.Extract.of_routes design routes in
     let violations = Drc.Check.run rules layout in
+    let tpl_blamed = tpl_victims ?tpl ~scale:4.0 grid layout in
     match
       List.filter
         (fun net -> not (is_frozen net))
-        (Drc.Check.blamed_nets violations)
+        (List.sort_uniq Int.compare
+           (Drc.Check.blamed_nets violations @ tpl_blamed))
     with
     | [] -> continue_ := false
     | blamed ->
@@ -239,8 +265,8 @@ let overused_nets ?(is_frozen = fun _ -> false) grid routes =
     routes;
   List.rev !result
 
-let run ?(cost = Cost.default) ?rules ?budget ?pool ?frozen ?initial grid
-    specs =
+let run ?(cost = Cost.default) ?rules ?tpl ?budget ?pool ?frozen ?initial
+    grid specs =
   let maze = Maze.create grid in
   (* one maze per domain when routing in parallel, reused across
      batches and rounds; the caller contributes the maze it already
@@ -298,25 +324,33 @@ let run ?(cost = Cost.default) ?rules ?budget ?pool ?frozen ?initial grid
      join the rip-up victims (paper Sec. 4: rip-up and reroute also
      serves the manufacturing constraints). *)
   let drc_victims () =
-    match rules with
-    | None -> []
-    | Some rules ->
+    if rules = None && tpl = None then []
+    else begin
       let layout = Drc.Extract.of_routes ~tolerate_shorts:true design routes in
-      let violations = Drc.Check.run rules layout in
-      List.iter
-        (fun (v : Drc.Check.violation) ->
+      let drc_blamed =
+        match rules with
+        | None -> []
+        | Some rules ->
+          let violations = Drc.Check.run rules layout in
           List.iter
-            (fun (x, y) ->
-              if Node.in_bounds space ~x ~y then begin
-                let bump layer =
-                  Grid.add_history_at grid (Node.pack space ~layer ~x ~y) 2.0
-                in
-                bump Rgrid.Layer.M2;
-                bump Rgrid.Layer.M3
-              end)
-            v.Drc.Check.sites)
-        violations;
-      Drc.Check.blamed_nets violations
+            (fun (v : Drc.Check.violation) ->
+              List.iter
+                (fun (x, y) ->
+                  if Node.in_bounds space ~x ~y then begin
+                    let bump layer =
+                      Grid.add_history_at grid (Node.pack space ~layer ~x ~y)
+                        2.0
+                    in
+                    bump Rgrid.Layer.M2;
+                    bump Rgrid.Layer.M3
+                  end)
+                v.Drc.Check.sites)
+            violations;
+          Drc.Check.blamed_nets violations
+      in
+      let tpl_blamed = tpl_victims ?tpl ~scale:2.0 grid layout in
+      List.sort_uniq Int.compare (drc_blamed @ tpl_blamed)
+    end
   in
   (* Stage 1: independent routing (no present-sharing term); nets that
      arrived pre-routed via [initial] keep their metal *)

@@ -20,6 +20,7 @@ type result = {
 val run :
   ?cost:Rgrid.Cost.t ->
   ?rules:Drc.Rules.t ->
+  ?tpl:Drc.Tpl.t ->
   ?budget:Pinaccess.Budget.t ->
   ?pool:Exec.t ->
   ?frozen:bool array ->
@@ -31,6 +32,13 @@ val run :
     for DRC violations, bumps history on the offending grids and adds
     the blamed nets to the victims — the paper's combined congestion +
     manufacturing-constraint rip-up.
+
+    [tpl] extends the same probe with the triple-patterning deck: the
+    current M2 metal is colored each round, history is bumped under
+    uncolorable features (scaled by the deck's stitch cost) and their
+    nets join the victims, so color-locked wires get negotiated apart
+    like any congestion.  Omitted, the engine is bit-identical to the
+    pre-TPL behaviour.
 
     [initial] pre-commits routes before stage 1 (an incremental
     caller's reused metal): their usage and vias are applied up front
@@ -70,6 +78,7 @@ val drc_ripup :
   ?own:bool ->
   ?budget:Pinaccess.Budget.t ->
   ?frozen:bool array ->
+  ?tpl:Drc.Tpl.t ->
   rules:Drc.Rules.t ->
   Rgrid.Grid.t ->
   spec_of:(int -> Net_router.spec option) ->

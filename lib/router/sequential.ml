@@ -6,7 +6,12 @@ module Cost = Rgrid.Cost
 module Pin = Netlist.Pin
 module Design = Netlist.Design
 
-type config = { cost : Rgrid.Cost.t; rules : Drc.Rules.t; strip_cap : int }
+type config = {
+  cost : Rgrid.Cost.t;
+  rules : Drc.Rules.t;
+  tpl : Drc.Tpl.t option;
+  strip_cap : int;
+}
 
 (* The sequential baseline legalizes as it goes: clearance and
    forbidden-via costs are much steeper than the negotiation flows'
@@ -21,6 +26,7 @@ let default_config =
         Rgrid.Cost.forbidden_via_cost = 24.0;
       };
     rules = Drc.Rules.default;
+    tpl = None;
     strip_cap = 2;
   }
 
@@ -187,11 +193,12 @@ let run ?(config = default_config) ?budget design =
      the flow ([12] legalizes during sequential routing) *)
   let drc_reroutes =
     Negotiation.drc_ripup ~cost:(wide hard_cost) ~own:true ?budget
-      ~rules:config.rules grid
+      ?tpl:config.tpl ~rules:config.rules grid
       ~spec_of:(build_spec grid config)
       ~routes ~rounds:3
   in
-  Flow.finish ~rules:config.rules ~grid ~pao:None ~initial_congestion:0
+  Flow.finish ~rules:config.rules ?tpl:config.tpl ~grid ~pao:None
+    ~initial_congestion:0
     ~ripup_iterations:0
     ~total_reroutes:(!reroutes + drc_reroutes)
     ~started routes

@@ -12,6 +12,9 @@
 type config = {
   cost : Rgrid.Cost.t;
   rules : Drc.Rules.t;
+  tpl : Drc.Tpl.t option;
+      (** TPL deck for the legalization rip-up and the final coloring
+          verdict (see {!Cpr.config}) *)
   strip_cap : int;  (** max grids a planned pin strip extends per side *)
 }
 

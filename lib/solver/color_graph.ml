@@ -1,0 +1,285 @@
+type params = {
+  colors : int;
+  track_window : int;
+  same_color_gap : int;
+  stitch_min_piece : int;
+  stitch_cost : float;
+}
+
+let default ~colors =
+  {
+    colors;
+    track_window = 1;
+    same_color_gap = 2;
+    stitch_min_piece = 2;
+    stitch_cost = 1.0;
+  }
+
+let params_to_string p =
+  Printf.sprintf "k=%d w=%d gap=%d piece=%d stitch=%g" p.colors p.track_window
+    p.same_color_gap p.stitch_min_piece p.stitch_cost
+
+type feature = { ftrack : int; flo : int; fhi : int }
+
+let feature ~track ~lo ~hi =
+  if lo > hi then invalid_arg "Color_graph.feature: empty span";
+  { ftrack = track; flo = lo; fhi = hi }
+
+(* Two features are color neighbors (same color would be illegal) when
+   their tracks are within the window and their x-spans come closer
+   than the same-color gap.  Inflating both right edges by [gap] turns
+   the predicate into plain interval overlap, which is what the clique
+   sweep and the coloring pass both exploit. *)
+let conflicts p a b =
+  abs (a.ftrack - b.ftrack) <= p.track_window
+  && a.flo <= b.fhi + p.same_color_gap
+  && b.flo <= a.fhi + p.same_color_gap
+
+(* ----------------------------------------------------------------- *)
+(* Coloring                                                           *)
+(* ----------------------------------------------------------------- *)
+
+type assignment =
+  | Uncolored
+  | Solid of int
+  | Stitched of { at : int; left : int; right : int }
+
+type coloring = {
+  assignment : assignment array;
+  stitches : int;
+  residual : int;
+}
+
+(* colored pieces of feature [j] as [(color, lo, hi)] *)
+let pieces f = function
+  | Uncolored -> []
+  | Solid c -> [ (c, f.flo, f.fhi) ]
+  | Stitched { at; left; right } ->
+    [ (left, f.flo, at); (right, at + 1, f.fhi) ]
+
+(* same-color x-clearance between two pieces known to sit on tracks
+   within the window *)
+let pieces_clash p (c, lo, hi) (c', lo', hi') =
+  c = c' && lo <= hi' + p.same_color_gap && lo' <= hi + p.same_color_gap
+
+(* index features by track so neighbor scans touch only the window *)
+let by_track feats =
+  let table = Hashtbl.create 64 in
+  Array.iteri
+    (fun i f ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt table f.ftrack) in
+      Hashtbl.replace table f.ftrack (i :: cur))
+    feats;
+  (* ascending index per track, so scans are deterministic *)
+  Hashtbl.iter (fun tr l -> Hashtbl.replace table tr (List.rev l)) table;
+  table
+
+let neighbors p table feats i =
+  let f = feats.(i) in
+  let out = ref [] in
+  for tr = f.ftrack - p.track_window to f.ftrack + p.track_window do
+    List.iter
+      (fun j -> if j <> i && conflicts p f feats.(j) then out := j :: !out)
+      (Option.value ~default:[] (Hashtbl.find_opt table tr))
+  done;
+  List.rev !out
+
+let stitch_splits p f =
+  let len = f.fhi - f.flo + 1 in
+  if len < 2 * p.stitch_min_piece then []
+  else
+    List.init
+      (len - (2 * p.stitch_min_piece) + 1)
+      (fun i -> f.flo + p.stitch_min_piece - 1 + i)
+
+(* Deterministic greedy coloring in index order, with a single-stitch
+   fallback: a feature that cannot take any solid color may split once
+   into two pieces of different colors, each at least
+   [stitch_min_piece] long.  Only already-colored earlier features
+   constrain a feature, so the result is legal pairwise by
+   construction; features that admit neither a color nor a stitch stay
+   [Uncolored] and are counted as residual. *)
+let color p feats =
+  if p.colors < 1 then invalid_arg "Color_graph.color: colors must be >= 1";
+  let n = Array.length feats in
+  let assignment = Array.make n Uncolored in
+  let table = by_track feats in
+  let stitches = ref 0 and residual = ref 0 in
+  for i = 0 to n - 1 do
+    let f = feats.(i) in
+    let colored_pieces =
+      List.concat_map
+        (fun j -> pieces feats.(j) assignment.(j))
+        (List.filter (fun j -> j < i) (neighbors p table feats i))
+    in
+    let legal (c, lo, hi) =
+      not (List.exists (fun piece -> pieces_clash p piece (c, lo, hi)) colored_pieces)
+    in
+    let rec first_color c =
+      if c >= p.colors then None
+      else if legal (c, f.flo, f.fhi) then Some c
+      else first_color (c + 1)
+    in
+    match first_color 0 with
+    | Some c -> assignment.(i) <- Solid c
+    | None ->
+      let stitch =
+        List.find_map
+          (fun at ->
+            let rec pair l =
+              if l >= p.colors then None
+              else if not (legal (l, f.flo, at)) then pair (l + 1)
+              else
+                let rec right r =
+                  if r >= p.colors then pair (l + 1)
+                  else if r <> l && legal (r, at + 1, f.fhi) then
+                    Some (Stitched { at; left = l; right = r })
+                  else right (r + 1)
+                in
+                right 0
+            in
+            pair 0)
+          (stitch_splits p f)
+      in
+      (match stitch with
+      | Some a ->
+        assignment.(i) <- a;
+        incr stitches
+      | None -> incr residual)
+  done;
+  { assignment; stitches = !stitches; residual = !residual }
+
+(* ----------------------------------------------------------------- *)
+(* Verification (the audit layer's re-derivation)                     *)
+(* ----------------------------------------------------------------- *)
+
+type violation =
+  | Color_out_of_range of { feature : int; color : int }
+  | Illegal_stitch of { feature : int }
+  | Same_color_clash of { a : int; b : int; color : int }
+
+let violation_to_string = function
+  | Color_out_of_range { feature; color } ->
+    Printf.sprintf "feature %d uses color %d outside [0,k)" feature color
+  | Illegal_stitch { feature } ->
+    Printf.sprintf
+      "feature %d: stitch split outside the span, a piece shorter than the \
+       minimum, or equal piece colors"
+      feature
+  | Same_color_clash { a; b; color } ->
+    Printf.sprintf
+      "features %d and %d carry color %d within the same-color clearance" a b
+      color
+
+let verify p feats assignment =
+  if Array.length assignment <> Array.length feats then
+    invalid_arg "Color_graph.verify: assignment size mismatch";
+  let in_range c = c >= 0 && c < p.colors in
+  let exception Bad of violation in
+  try
+    Array.iteri
+      (fun i a ->
+        match a with
+        | Uncolored -> ()
+        | Solid c -> if not (in_range c) then raise (Bad (Color_out_of_range { feature = i; color = c }))
+        | Stitched { at; left; right } ->
+          if not (in_range left) then
+            raise (Bad (Color_out_of_range { feature = i; color = left }));
+          if not (in_range right) then
+            raise (Bad (Color_out_of_range { feature = i; color = right }));
+          let f = feats.(i) in
+          if
+            left = right
+            || at - f.flo + 1 < p.stitch_min_piece
+            || f.fhi - at < p.stitch_min_piece
+          then raise (Bad (Illegal_stitch { feature = i })))
+      assignment;
+    let table = by_track feats in
+    Array.iteri
+      (fun i f ->
+        List.iter
+          (fun j ->
+            if j > i then
+              List.iter
+                (fun pi ->
+                  List.iter
+                    (fun pj ->
+                      if pieces_clash p pi pj then
+                        let (c, _, _) = pi in
+                        raise (Bad (Same_color_clash { a = i; b = j; color = c })))
+                    (pieces feats.(j) assignment.(j)))
+                (pieces f assignment.(i)))
+          (neighbors p table feats i))
+      feats;
+    Ok ()
+  with Bad v -> Error v
+
+(* ----------------------------------------------------------------- *)
+(* Clique enumeration for the solver tiers                            *)
+(* ----------------------------------------------------------------- *)
+
+(* Maximal pairwise-conflicting sets with more than [colors] members:
+   within a track band of height [track_window + 1] the conflict
+   relation is pure interval overlap (after gap inflation), so a
+   left-to-right sweep emits each maximal clique exactly once.  Only
+   cliques whose lowest track equals the band base are kept — every
+   maximal clique of the full graph fits the band rooted at its lowest
+   track, so this enumerates each exactly once without cross-band
+   duplicates. *)
+let cliques p feats =
+  let table = by_track feats in
+  let tracks =
+    List.sort Int.compare (Hashtbl.fold (fun tr _ acc -> tr :: acc) table [])
+  in
+  let band base =
+    let items = ref [] in
+    for tr = base + p.track_window downto base do
+      List.iter
+        (fun i -> items := i :: !items)
+        (Option.value ~default:[] (Hashtbl.find_opt table tr))
+    done;
+    !items
+  in
+  let eff_hi i = feats.(i).fhi + p.same_color_gap in
+  let sweep base items =
+    let sorted =
+      List.sort
+        (fun a b ->
+          let c = Int.compare feats.(a).flo feats.(b).flo in
+          if c <> 0 then c else Int.compare (eff_hi a) (eff_hi b))
+        items
+    in
+    let ends = List.sort_uniq Int.compare (List.map eff_hi items) in
+    let out = ref [] in
+    let active = ref [] in
+    let pending = ref sorted in
+    let fresh = ref false in
+    List.iter
+      (fun x ->
+        let rec admit () =
+          match !pending with
+          | i :: rest when feats.(i).flo <= x ->
+            pending := rest;
+            if eff_hi i >= x then begin
+              active := i :: !active;
+              fresh := true
+            end;
+            admit ()
+          | _ -> ()
+        in
+        admit ();
+        active := List.filter (fun i -> eff_hi i >= x) !active;
+        if !fresh && List.length !active > p.colors then begin
+          let members = List.sort Int.compare !active in
+          if List.exists (fun i -> feats.(i).ftrack = base) members then begin
+            let lo =
+              List.fold_left (fun acc i -> max acc feats.(i).flo) min_int members
+            in
+            out := (Array.of_list members, lo, x) :: !out
+          end;
+          fresh := false
+        end)
+      ends;
+    List.rev !out
+  in
+  List.concat_map (fun base -> sweep base (band base)) tracks

@@ -1,0 +1,92 @@
+(** Multi-patterning color-conflict graphs (triple patterning and
+    friends; see TRIAD / Mr.TPL in PAPERS.md).
+
+    A {e feature} is a horizontal strip [(track, lo, hi)].  Two
+    features are color neighbors when their tracks are at most
+    [track_window] apart and their x-spans come within
+    [same_color_gap]: printing both on the same mask would violate
+    same-color spacing, so neighbors must take different colors — or
+    one of them {e stitches}, splitting once into two differently
+    colored pieces, each at least [stitch_min_piece] columns long.
+
+    This module is deliberately geometry-library-free (plain ints), so
+    both the rule deck ([Drc.Tpl]) and the solver core can share it
+    without new dependencies.  Everything here is deterministic: the
+    greedy coloring and the clique sweep depend only on the feature
+    array order. *)
+
+type params = {
+  colors : int;  (** [k]; 3 for triple patterning *)
+  track_window : int;
+      (** vertical reach of the color conflict relation, in tracks *)
+  same_color_gap : int;
+      (** minimum empty columns between same-color features within the
+          window *)
+  stitch_min_piece : int;
+      (** minimum length of each piece of a stitched feature *)
+  stitch_cost : float;
+      (** router negotiation cost per stitch; also the history bump
+          weight on TPL-blamed nets *)
+}
+
+val default : colors:int -> params
+(** [track_window = 1], [same_color_gap = 2], [stitch_min_piece = 2],
+    [stitch_cost = 1.0]. *)
+
+val params_to_string : params -> string
+(** Stable, fully determining rendering — safe for cache keys. *)
+
+type feature = private { ftrack : int; flo : int; fhi : int }
+
+val feature : track:int -> lo:int -> hi:int -> feature
+(** @raise Invalid_argument when [lo > hi]. *)
+
+val conflicts : params -> feature -> feature -> bool
+(** The color-neighbor predicate: same color would be illegal. *)
+
+(** {1 Coloring} *)
+
+type assignment =
+  | Uncolored  (** residual: no color and no legal stitch *)
+  | Solid of int
+  | Stitched of { at : int; left : int; right : int }
+      (** [left] colors [\[lo..at\]], [right] colors [\[at+1..hi\]] *)
+
+type coloring = {
+  assignment : assignment array;
+  stitches : int;
+  residual : int;  (** count of [Uncolored] features *)
+}
+
+val color : params -> feature array -> coloring
+(** Deterministic greedy coloring in array order with a single-stitch
+    fallback.  The result is pairwise legal by construction (verified
+    property: [verify] accepts every [color] output).
+    @raise Invalid_argument when [colors < 1]. *)
+
+type violation =
+  | Color_out_of_range of { feature : int; color : int }
+  | Illegal_stitch of { feature : int }
+  | Same_color_clash of { a : int; b : int; color : int }
+
+val verify :
+  params -> feature array -> assignment array -> (unit, violation) result
+(** Independent legality re-derivation for the audit layer: colors in
+    range, stitch geometry legal, and no two same-color pieces of
+    neighboring features within the clearance.  [Uncolored] features
+    are honest residuals and constrain nothing.
+    @raise Invalid_argument on an assignment size mismatch. *)
+
+val violation_to_string : violation -> string
+
+(** {1 Clique enumeration} *)
+
+val cliques : params -> feature array -> (int array * int * int) list
+(** Maximal pairwise-conflicting feature sets with {e more} than
+    [colors] members, as [(member indices ascending, lo, hi)] where
+    [\[lo, hi\]] is the common intersection of the gap-inflated spans
+    (its length plays the role of the paper's [L_m] subgradient step
+    scale).  Sets with at most [colors] members always admit a legal
+    coloring and are omitted.  Emitted in deterministic band-sweep
+    order, each maximal set exactly once (rooted at its lowest
+    track). *)

@@ -1,4 +1,7 @@
-type row = Choose_one of int list | At_most_one of int list
+type row =
+  | Choose_one of int list
+  | At_most_one of int list
+  | At_most of int * int list
 
 type problem = { num_vars : int; profit : float array; rows : row list }
 
@@ -23,16 +26,19 @@ let check p values =
     (fun row ->
       match row with
       | Choose_one vars -> count vars = 1
-      | At_most_one vars -> count vars <= 1)
+      | At_most_one vars -> count vars <= 1
+      | At_most (cap, vars) -> count vars <= cap)
     p.rows
 
+(* conflict rows carry their capacity: [At_most_one] is capacity 1 *)
 let split_rows p =
   let choose = ref [] and conflict = ref [] in
   List.iter
     (fun row ->
       match row with
       | Choose_one vars -> choose := Array.of_list vars :: !choose
-      | At_most_one vars -> conflict := Array.of_list vars :: !conflict)
+      | At_most_one vars -> conflict := (1, Array.of_list vars) :: !conflict
+      | At_most (cap, vars) -> conflict := (cap, Array.of_list vars) :: !conflict)
     p.rows;
   (Array.of_list (List.rev !choose), Array.of_list (List.rev !conflict))
 
@@ -56,7 +62,11 @@ let validate p choose conflict =
       check_row vars;
       Array.iter (fun v -> in_choose.(v) <- in_choose.(v) + 1) vars)
     choose;
-  Array.iter check_row conflict;
+  Array.iter
+    (fun (cap, vars) ->
+      if cap < 1 then invalid_arg "Milp.solve: At_most capacity must be >= 1";
+      check_row vars)
+    conflict;
   Array.iteri
     (fun v k ->
       if k = 0 then
@@ -69,12 +79,15 @@ type undo = U_var of int | U_choose_sat of int | U_choose_free of int | U_confli
 
 let root_lp_bound p choose conflict =
   let objective = Array.to_list (Array.mapi (fun v k -> (v, k)) p.profit) in
-  let row_to_constr rel vars =
-    Lp.constr (Array.to_list (Array.map (fun v -> (v, 1.0)) vars)) rel 1.0
+  let row_to_constr rel rhs vars =
+    Lp.constr (Array.to_list (Array.map (fun v -> (v, 1.0)) vars)) rel rhs
   in
   let constraints =
-    Array.to_list (Array.map (row_to_constr Lp.Eq) choose)
-    @ Array.to_list (Array.map (row_to_constr Lp.Le) conflict)
+    Array.to_list (Array.map (row_to_constr Lp.Eq 1.0) choose)
+    @ Array.to_list
+        (Array.map
+           (fun (cap, vars) -> row_to_constr Lp.Le (float_of_int cap) vars)
+           conflict)
   in
   let lp =
     { Lp.num_vars = p.num_vars; maximize = true; objective; constraints }
@@ -88,8 +101,10 @@ let m_nodes = Obs.Metrics.counter "milp.nodes"
 let branch_and_bound ?(time_limit = infinity) ?(node_limit = max_int)
     ?warm_start ?(root_lp = false) p =
   let n = p.num_vars in
-  let choose, conflict = split_rows p in
-  let in_choose = validate p choose conflict in
+  let choose, conflict_rows = split_rows p in
+  let in_choose = validate p choose conflict_rows in
+  let cf_cap = Array.map fst conflict_rows in
+  let conflict = Array.map snd conflict_rows in
   (* share.(v): per-choose-row profit share used by the decomposable
      bound; summing the best free share over unsatisfied rows bounds the
      best completion. *)
@@ -106,13 +121,14 @@ let branch_and_bound ?(time_limit = infinity) ?(node_limit = max_int)
   let vstate = Array.make n 0 in
   let ch_sat = Array.make ncr false in
   let ch_free = Array.map Array.length choose in
-  let cf_taken = Array.make (Array.length conflict) false in
+  let cf_count = Array.make (Array.length conflict) 0 in
   let cur_profit = ref 0.0 in
   let trail = ref [] in
   let push u = trail := u :: !trail in
-  (* Invariants: ch_sat.(r) / cf_taken.(r) hold iff some variable of the
-     row is 1, hence inside set_one no *other* variable of a newly
-     satisfied row can already be 1. *)
+  (* Invariants: ch_sat.(r) holds iff some variable of the row is 1
+     (hence inside set_one no *other* variable of a newly satisfied
+     choose row can already be 1); cf_count.(r) counts the row's
+     variables currently at 1 and never exceeds cf_cap.(r). *)
   let rec set_zero v =
     match vstate.(v) with
     | -1 -> true
@@ -154,11 +170,17 @@ let branch_and_bound ?(time_limit = infinity) ?(node_limit = max_int)
         var_choose.(v)
       && List.for_all
            (fun r ->
-             if cf_taken.(r) then false
+             if cf_count.(r) >= cf_cap.(r) then false
              else begin
-               cf_taken.(r) <- true;
+               cf_count.(r) <- cf_count.(r) + 1;
                push (U_conflict r);
-               Array.for_all (fun u -> u = v || set_zero u) conflict.(r)
+               (* at capacity: every still-free variable of the row is
+                  forced to 0 (members already at 1 stay) *)
+               if cf_count.(r) = cf_cap.(r) then
+                 Array.for_all
+                   (fun u -> u = v || vstate.(u) = 1 || set_zero u)
+                   conflict.(r)
+               else true
              end)
            var_conflict.(v)
   in
@@ -174,7 +196,7 @@ let branch_and_bound ?(time_limit = infinity) ?(node_limit = max_int)
           vstate.(v) <- 0
         | U_choose_sat r -> ch_sat.(r) <- false
         | U_choose_free r -> ch_free.(r) <- ch_free.(r) + 1
-        | U_conflict r -> cf_taken.(r) <- false)
+        | U_conflict r -> cf_count.(r) <- cf_count.(r) - 1)
     done
   in
   let bound () =
@@ -197,7 +219,7 @@ let branch_and_bound ?(time_limit = infinity) ?(node_limit = max_int)
     incumbent := objective_of p values;
     Array.blit values 0 best_values 0 n
   | Some _ | None -> ());
-  let lp_bound = if root_lp then root_lp_bound p choose conflict else None in
+  let lp_bound = if root_lp then root_lp_bound p choose conflict_rows else None in
   let nodes = ref 0 in
   let limited = ref false in
   let start = Sys.time () in

@@ -5,7 +5,12 @@
     - [Choose_one] rows: exactly one variable of the set is 1
       (constraint (1b), one interval per pin),
     - [At_most_one] rows: at most one variable of the set is 1
-      (constraint (1c), one interval per conflict clique).
+      (constraint (1c), one interval per conflict clique),
+    - [At_most (cap, vars)] rows: at most [cap] variables of the set
+      are 1 — the capacitated generalization used for multi-patterning
+      color cliques, where up to [k] mutually conflicting features can
+      still be legally colored.  [At_most (1, vars)] is equivalent to
+      [At_most_one vars].
 
     Every variable must appear in at least one [Choose_one] row (true
     for pin access intervals, each of which serves at least one pin).
@@ -18,7 +23,10 @@
     solver into an anytime method that reports whether optimality was
     proven. *)
 
-type row = Choose_one of int list | At_most_one of int list
+type row =
+  | Choose_one of int list
+  | At_most_one of int list
+  | At_most of int * int list
 
 type problem = { num_vars : int; profit : float array; rows : row list }
 
@@ -41,7 +49,8 @@ val solve :
   solution
 (** @raise Infeasible when some [Choose_one] row cannot be satisfied.
     @raise Invalid_argument on malformed input (variable out of range,
-    variable in no [Choose_one] row, duplicate variable in a row). *)
+    variable in no [Choose_one] row, duplicate variable in a row,
+    [At_most] capacity below 1). *)
 
 val objective_of : problem -> bool array -> float
 val check : problem -> bool array -> bool

@@ -63,6 +63,25 @@ let random_params ?(max_nets = 24) ~seed () =
     seed;
   }
 
+(* TPL stress preset: pack short 2-pin nets onto a narrow die so the
+   selected access intervals crowd into the same track windows — the
+   regime where same-color spacing, stitches and color cliques actually
+   bind (a sparse die colors trivially with 3 masks). *)
+let tpl_stress_params ?(rows = 2) ~nets ~width ~seed () =
+  {
+    default_params with
+    name = Printf.sprintf "tpl-stress-%Lx" seed;
+    width;
+    height = rows * default_params.row_height;
+    num_nets = nets;
+    degree_weights = [ (2, 1.0) ];
+    locality_rows = 1;
+    locality_cols = max 4 (width / 4);
+    blockage_per_row = 0.5;
+    span_mean = Some 4;
+    seed;
+  }
+
 type site = {
   sx : int;
   srow : int;

@@ -32,6 +32,14 @@ val default_params : params
 val with_size :
   ?params:params -> name:string -> nets:int -> width:int -> height:int -> seed:int64 -> unit -> params
 
+val tpl_stress_params :
+  ?rows:int -> nets:int -> width:int -> seed:int64 -> unit -> params
+(** Dense triple-patterning stress preset: short 2-pin row-local nets
+    packed onto a narrow die ([rows] cell rows, default 2) so selected
+    access intervals crowd into the same track windows — the regime
+    where same-color spacing and stitch handling actually bind.  Used
+    by the [tpl] bench experiment. *)
+
 val random_params : ?max_nets:int -> seed:int64 -> unit -> params
 (** Small randomized parameters for differential fuzzing, derived
     deterministically from [seed]: 1–3 rows, 16–48 columns, a net count

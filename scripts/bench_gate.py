@@ -23,6 +23,7 @@ Usage:
     scripts/bench_gate.py [--current BENCH.json]
                           [--baseline bench/BASELINE.json]
                           [--rtol 0.01]
+                          [--require-libcheck] [--require-tpl]
                           [--require-speedup] [--wall-rtol 0.05]
 
 Exit codes: 0 gate passes, 1 regression or malformed input.
@@ -101,6 +102,59 @@ def check_libcheck(doc, failures, *, required):
             if grades.get("F") != row.get("weak_pins"):
                 failures.append(
                     f"{tag}: weak_pins={row.get('weak_pins')} != F={grades.get('F')}"
+                )
+    return len(rows)
+
+
+# tpl[] row schema: the triple-patterning experiment's rows.  Walls
+# are machine-dependent; the gate checks shape plus the machine-
+# independent invariants: the -j2 TPL run reported bit-identity
+# (coloring included), the TPL runs did not perturb a following
+# TPL-off run, and the coloring outcome partitions the feature count.
+TPL_FIELDS = {
+    "id": lambda v: isinstance(v, str) and v,
+    "colors": lambda v: isinstance(v, (int, float)) and v >= 2,
+    "nets": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "features": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "solid": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "stitched": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "uncolored": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "identical": lambda v: v is True,
+    "off_identical": lambda v: v is True,
+    "pao_wall": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "flow_wall": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "flow": lambda v: isinstance(v, dict),
+}
+
+
+def check_tpl(doc, failures, *, required):
+    rows = doc.get("tpl")
+    if rows is None or rows == []:
+        if required:
+            failures.append("tpl: no rows in BENCH.json (experiment not run?)")
+        return 0
+    if not isinstance(rows, list):
+        failures.append("tpl: not a list")
+        return 0
+    for i, row in enumerate(rows):
+        tag = f"tpl[{i}]"
+        if not isinstance(row, dict):
+            failures.append(f"{tag}: not an object")
+            continue
+        tag = f"tpl[{i}] ({row.get('id', '?')})"
+        for field, ok in TPL_FIELDS.items():
+            if field not in row:
+                failures.append(f"{tag}: missing field {field}")
+            elif not ok(row[field]):
+                failures.append(f"{tag}: bad {field}: {row[field]!r}")
+        parts = [row.get("solid"), row.get("stitched"), row.get("uncolored")]
+        if all(isinstance(p, (int, float)) for p in parts) and isinstance(
+            row.get("features"), (int, float)
+        ):
+            if sum(parts) != row["features"]:
+                failures.append(
+                    f"{tag}: solid+stitched+uncolored = {sum(parts)}, "
+                    f"not features={row['features']}"
                 )
     return len(rows)
 
@@ -202,6 +256,11 @@ def main():
         help="fail when BENCH.json has no libcheck[] rows",
     )
     ap.add_argument(
+        "--require-tpl",
+        action="store_true",
+        help="fail when BENCH.json has no tpl[] rows",
+    )
+    ap.add_argument(
         "--require-speedup",
         action="store_true",
         help="validate parallel[]/mega[] scheduler telemetry and, on a "
@@ -224,6 +283,9 @@ def main():
     n_libcheck = check_libcheck(cur_doc, failures, required=args.require_libcheck)
     if n_libcheck:
         notes.append(f"libcheck: {n_libcheck} row(s) validated")
+    n_tpl = check_tpl(cur_doc, failures, required=args.require_tpl)
+    if n_tpl:
+        notes.append(f"tpl: {n_tpl} row(s) validated")
     if args.require_speedup:
         n_speedup = check_speedup(
             cur_doc, failures, notes, wall_rtol=args.wall_rtol

@@ -298,6 +298,25 @@ let test_key_tracks_rule_deck () =
   check "a clearance change misses" false
     (key design 0 = key ~config:loose design 0)
 
+let test_key_tracks_tpl_deck () =
+  let design = multi_panel () in
+  let with_colors k =
+    {
+      PA.default_config with
+      PA.gen =
+        {
+          Pinaccess.Interval_gen.default_config with
+          tpl = Some (Solver.Color_graph.default ~colors:k);
+        };
+    }
+  in
+  check "turning TPL on misses" false
+    (key design 0 = key ~config:(with_colors 3) design 0);
+  check "a different deck misses" false
+    (key ~config:(with_colors 3) design 0 = key ~config:(with_colors 4) design 0);
+  check "the same deck hits" true
+    (key ~config:(with_colors 3) design 0 = key ~config:(with_colors 3) design 0)
+
 let test_key_is_panel_local () =
   let design = multi_panel () in
   let moved =
@@ -510,6 +529,8 @@ let () =
           Alcotest.test_case "names excluded" `Quick test_key_ignores_net_names;
           Alcotest.test_case "rule deck included" `Quick
             test_key_tracks_rule_deck;
+          Alcotest.test_case "tpl deck included" `Quick
+            test_key_tracks_tpl_deck;
           Alcotest.test_case "panel locality" `Quick test_key_is_panel_local;
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "peek is recency-neutral" `Quick

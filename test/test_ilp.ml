@@ -31,7 +31,7 @@ let test_formulation_shape () =
       (fun row ->
         match row with
         | Solver.Milp.Choose_one _ -> true
-        | Solver.Milp.At_most_one _ -> false)
+        | Solver.Milp.At_most_one _ | Solver.Milp.At_most _ -> false)
       milp.Solver.Milp.rows
   in
   check_int "(1b): one row per pin" (P.num_pins problem) (List.length chooses);

@@ -204,6 +204,80 @@ let prop_unidirectional =
                 (Rgrid.Route.segments ~space r))
           flow.Router.Flow.routes)
 
+(* ------------------------------------------------------------------ *)
+(* TPL (color-constrained) properties                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tpl_config colors =
+  {
+    PA.default_config with
+    PA.gen =
+      {
+        PA.default_config.PA.gen with
+        Pinaccess.Interval_gen.tpl = Some (Solver.Color_graph.default ~colors);
+      };
+  }
+
+(* a TPL run's result still certifies against the audit layer, and the
+   attached coloring re-verifies against the deck from its own raw
+   feature geometry — the audit-legality of satellite (e) *)
+let prop_tpl_coloring_certified =
+  QCheck.Test.make ~name:"TPL coloring certifies and re-verifies" ~count:40
+    arbitrary_design (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let r = PA.optimize ~config:(tpl_config 3) ~kind:PA.Lr d in
+        PA.validate r;
+        (match Audit.certify_pin_access r with
+        | Error _ -> false
+        | Ok () -> (
+          match r.PA.tpl with
+          | None -> false
+          | Some c ->
+            let feats =
+              Array.map
+                (fun (track, lo, hi, _net) ->
+                  Solver.Color_graph.feature ~track ~lo ~hi)
+                c.PA.features
+            in
+            Solver.Color_graph.verify c.PA.tpl_params feats c.PA.colors
+            = Ok ())))
+
+(* parallel panel solves merge into the same global coloring *)
+let prop_tpl_parallel_identical =
+  QCheck.Test.make ~name:"-j2 = -j1 under TPL" ~count:30 arbitrary_design
+    (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let config = tpl_config 3 in
+        let seq = PA.optimize ~config ~kind:PA.Lr ~j:1 d in
+        let par = PA.optimize ~config ~kind:PA.Lr ~j:2 d in
+        seq.PA.assignments = par.PA.assignments
+        && seq.PA.objective = par.PA.objective
+        && seq.PA.tpl = par.PA.tpl)
+
+(* with the deck off, nothing TPL-shaped leaks into the result, and a
+   TPL run in between leaves no hidden state behind *)
+let prop_tpl_off_bit_identical =
+  QCheck.Test.make ~name:"TPL off is bit-identical" ~count:30 arbitrary_design
+    (fun input ->
+      match input with
+      | None -> true
+      | Some spec ->
+        let d = build spec in
+        let before = PA.optimize ~kind:PA.Lr d in
+        let tpl_run = PA.optimize ~config:(tpl_config 3) ~kind:PA.Lr d in
+        ignore tpl_run;
+        let after = PA.optimize ~kind:PA.Lr d in
+        before.PA.tpl = None && after.PA.tpl = None
+        && before.PA.assignments = after.PA.assignments
+        && before.PA.objective = after.PA.objective
+        && before.PA.reports = after.PA.reports)
+
 let () =
   Alcotest.run "properties"
     [
@@ -217,5 +291,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_cpr_flow_sound;
           QCheck_alcotest.to_alcotest prop_determinism;
           QCheck_alcotest.to_alcotest prop_unidirectional;
+        ] );
+      ( "tpl",
+        [
+          QCheck_alcotest.to_alcotest prop_tpl_coloring_certified;
+          QCheck_alcotest.to_alcotest prop_tpl_parallel_identical;
+          QCheck_alcotest.to_alcotest prop_tpl_off_bit_identical;
         ] );
     ]

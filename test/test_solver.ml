@@ -324,6 +324,169 @@ let test_milp_anytime () =
   check "feasible" true (Milp.check p s.Milp.values);
   check "flagged not proven" false s.Milp.stats.Milp.proven_optimal
 
+(* ----- capacity conflict rows (At_most) ----- *)
+
+(* every variable must sit in a Choose_one row, so "take it or not"
+   pairs each profitable candidate with a zero-profit alternative —
+   the same shape a degraded access point takes in Formula (1) *)
+let at_most_problem row =
+  {
+    Milp.num_vars = 8;
+    profit = [| 4.0; 0.0; 3.0; 0.0; 2.0; 0.0; 1.0; 0.0 |];
+    rows =
+      [
+        Milp.Choose_one [ 0; 1 ];
+        Milp.Choose_one [ 2; 3 ];
+        Milp.Choose_one [ 4; 5 ];
+        Milp.Choose_one [ 6; 7 ];
+        row;
+      ];
+  }
+
+let test_milp_at_most () =
+  let p = at_most_problem (Milp.At_most (2, [ 0; 2; 4; 6 ])) in
+  let s = Milp.solve p in
+  check_float "best two fit under cap 2" 7.0 s.Milp.objective;
+  check_float "brute force agrees" (brute_force p) s.Milp.objective;
+  check "values satisfy" true (Milp.check p s.Milp.values)
+
+let test_milp_at_most_cap1_is_at_most_one () =
+  let capped = Milp.solve (at_most_problem (Milp.At_most (1, [ 0; 2; 4; 6 ]))) in
+  let classic =
+    Milp.solve (at_most_problem (Milp.At_most_one [ 0; 2; 4; 6 ]))
+  in
+  check_float "cap 1 equals At_most_one" classic.Milp.objective
+    capped.Milp.objective;
+  check "same selection" true (capped.Milp.values = classic.Milp.values)
+
+let test_milp_at_most_with_choose_one () =
+  (* three pins must each pick a candidate; a cap-2 clique over the
+     profitable candidates forces one pin onto its cheap alternative —
+     exactly the shape a color clique adds to Formula (1) *)
+  let p =
+    {
+      Milp.num_vars = 6;
+      profit = [| 5.0; 1.0; 4.0; 1.0; 3.0; 1.0 |];
+      rows =
+        [
+          Milp.Choose_one [ 0; 1 ];
+          Milp.Choose_one [ 2; 3 ];
+          Milp.Choose_one [ 4; 5 ];
+          Milp.At_most (2, [ 0; 2; 4 ]);
+        ];
+    }
+  in
+  let s = Milp.solve p in
+  check_float "brute force agrees" (brute_force p) s.Milp.objective;
+  check_float "one pin degrades" 10.0 s.Milp.objective;
+  check "proven" true s.Milp.stats.Milp.proven_optimal
+
+(* ----- color-conflict graphs ----- *)
+
+module CG = Solver.Color_graph
+
+let feat (track, lo, hi) = CG.feature ~track ~lo ~hi
+
+let test_cg_conflicts () =
+  let p = CG.default ~colors:3 in
+  (* window 1, gap 2: conflict iff fewer than 2 empty columns between *)
+  check "overlapping spans, adjacent tracks" true
+    (CG.conflicts p (feat (0, 0, 5)) (feat (1, 4, 9)));
+  check "one empty column is too close" true
+    (CG.conflicts p (feat (0, 0, 5)) (feat (1, 7, 9)));
+  check "two empty columns clear the gap" false
+    (CG.conflicts p (feat (0, 0, 5)) (feat (1, 8, 9)));
+  check "outside the track window" false
+    (CG.conflicts p (feat (0, 0, 5)) (feat (2, 4, 9)))
+
+let test_cg_color_three_in_window () =
+  let p = CG.default ~colors:3 in
+  (* three mutually conflicting features: three solid colors suffice *)
+  let feats = Array.map feat [| (0, 0, 5); (1, 0, 5); (1, 3, 8) |] in
+  let c = CG.color p feats in
+  check "no stitches needed" true (c.CG.stitches = 0);
+  check "no residual" true (c.CG.residual = 0);
+  check "verifies" true
+    (CG.verify p feats c.CG.assignment = Ok ());
+  let distinct =
+    Array.to_list c.CG.assignment
+    |> List.filter_map (function CG.Solid c -> Some c | _ -> None)
+    |> List.sort_uniq Int.compare
+  in
+  check "pairwise conflicting trio uses three colors" true
+    (List.length distinct = 3)
+
+let test_cg_stitch_fallback () =
+  (* two colors: the long track-1 feature sees a color-0 blocker on its
+     left (track 0) and a color-1 blocker on its right (track 2), so no
+     solid color fits but one stitch does.  The track-3 feature only
+     exists to push the track-2 one onto color 1. *)
+  let p = CG.default ~colors:2 in
+  let feats =
+    Array.map feat [| (0, 0, 3); (3, 10, 13); (2, 10, 13); (1, 0, 13) |]
+  in
+  let c = CG.color p feats in
+  check "stitched once" true (c.CG.stitches = 1);
+  check "no residual" true (c.CG.residual = 0);
+  check "verifies" true (CG.verify p feats c.CG.assignment = Ok ());
+  (match c.CG.assignment.(3) with
+  | CG.Stitched { left; right; _ } ->
+    check "piece colors differ" true (left <> right)
+  | _ -> Alcotest.fail "long feature did not stitch")
+
+let test_cg_verify_rejects () =
+  let p = CG.default ~colors:3 in
+  let feats = Array.map feat [| (0, 0, 5); (1, 4, 9) |] in
+  check "same color on neighbors rejected" true
+    (match CG.verify p feats [| CG.Solid 0; CG.Solid 0 |] with
+    | Error (CG.Same_color_clash _) -> true
+    | _ -> false);
+  check "out-of-range color rejected" true
+    (match CG.verify p feats [| CG.Solid 3; CG.Solid 0 |] with
+    | Error (CG.Color_out_of_range _) -> true
+    | _ -> false);
+  check "uncolored constrains nothing" true
+    (CG.verify p feats [| CG.Uncolored; CG.Solid 0 |] = Ok ())
+
+let test_cg_cliques () =
+  let p = CG.default ~colors:3 in
+  (* four mutually conflicting features: one clique past capacity *)
+  let feats =
+    Array.map feat [| (0, 0, 5); (0, 1, 6); (1, 0, 5); (1, 2, 7) |]
+  in
+  (match CG.cliques p feats with
+  | [ (members, _, _) ] ->
+    check "all four members" true (Array.to_list members = [ 0; 1; 2; 3 ])
+  | other ->
+    Alcotest.failf "expected one clique, got %d" (List.length other));
+  (* three mutual conflicts fit in three colors: no clique emitted *)
+  let feats3 = Array.map feat [| (0, 0, 5); (1, 0, 5); (1, 3, 8) |] in
+  check "within capacity emits nothing" true (CG.cliques p feats3 = [])
+
+(* qcheck: every greedy coloring verifies, on arbitrary feature sets *)
+let cg_features_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 14 in
+    let* raw =
+      list_repeat n
+        (let* track = int_range 0 4 in
+         let* lo = int_range 0 24 in
+         let* len = int_range 1 8 in
+         return (track, lo, lo + len))
+    in
+    return (Array.of_list (List.map feat raw)))
+
+let prop_cg_color_always_verifies =
+  QCheck.Test.make ~name:"greedy coloring always verifies" ~count:300
+    (QCheck.make ~print:(fun _ -> "<features>") cg_features_gen)
+    (fun feats ->
+      List.for_all
+        (fun colors ->
+          let p = CG.default ~colors in
+          let c = CG.color p feats in
+          CG.verify p feats c.CG.assignment = Ok ())
+        [ 2; 3; 4 ])
+
 let () =
   Alcotest.run "solver"
     [
@@ -347,5 +510,20 @@ let () =
           Alcotest.test_case "anytime" `Quick test_milp_anytime;
           QCheck_alcotest.to_alcotest prop_milp_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_lp_bounds_milp;
+          Alcotest.test_case "at-most capacity" `Quick test_milp_at_most;
+          Alcotest.test_case "at-most cap 1 = at-most-one" `Quick
+            test_milp_at_most_cap1_is_at_most_one;
+          Alcotest.test_case "at-most vs choose-one" `Quick
+            test_milp_at_most_with_choose_one;
+        ] );
+      ( "color-graph",
+        [
+          Alcotest.test_case "conflict predicate" `Quick test_cg_conflicts;
+          Alcotest.test_case "three colors in window" `Quick
+            test_cg_color_three_in_window;
+          Alcotest.test_case "stitch fallback" `Quick test_cg_stitch_fallback;
+          Alcotest.test_case "verify rejects" `Quick test_cg_verify_rejects;
+          Alcotest.test_case "clique sweep" `Quick test_cg_cliques;
+          QCheck_alcotest.to_alcotest prop_cg_color_always_verifies;
         ] );
     ]
