@@ -21,6 +21,7 @@ type config = {
   eco_steps : int;
   eco_edits : int;
   tpl : int option;
+  tune : bool;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     eco_steps = 3;
     eco_edits = 2;
     tpl = None;
+    tune = false;
   }
 
 type failure = {
@@ -47,6 +49,7 @@ type failure = {
   shrunk_reason : string;
   design : Netlist.Design.t;
   deltas : Eco.Delta.t list list;
+  trace : (int * string) list;
   shrink_steps : int;
 }
 
@@ -229,7 +232,105 @@ let check_design config design =
             | [] -> Ok ()
             | i :: _ -> Error (Flow_audit.issue_to_string i))
   in
+  let* () =
+    if not config.tune then Ok ()
+    else begin
+      (* The tune campaign: a bandit-tuned solve must be exactly as
+         auditable as the untuned one — certified, sandwiched under
+         the solver-independent upper bound, bit-identical across -j,
+         and reproducible from its recorded policy trace.  The seed
+         derives from the design text (like the ECO stream's), so every
+         shrink candidate re-tunes deterministically. *)
+      let tseed = Eco_audit.stream_seed design in
+      let fresh () = Tune.Tuner.create ~seed:tseed (Tune.Tuner.Bandit tseed) in
+      let t1 = fresh () in
+      let* tuned =
+        invariant "tune-certified" (fun () ->
+            let r =
+              PA.optimize ?tune:(Tune.Tuner.pa_hook t1) ~kind:PA.Lr design
+            in
+            PA.validate r;
+            let* () =
+              of_cert
+                (Certificate.certify_pin_access ~tolerance:config.tolerance r)
+            in
+            Ok r)
+      in
+      let* () =
+        invariant "tune-sandwich" (fun () ->
+            let gen = PA.default_config.PA.gen in
+            let ub = ref 0.0 in
+            for panel = 0 to Design.num_panels design - 1 do
+              let problem = Problem.build_panel gen design ~panel in
+              if Problem.num_pins problem > 0 then
+                ub := !ub +. Certificate.upper_bound problem
+            done;
+            if
+              tuned.PA.objective
+              > !ub +. scale config.tolerance tuned.PA.objective !ub
+            then
+              Error
+                (Printf.sprintf
+                   "tuned objective %.6f above certified upper bound %.6f"
+                   tuned.PA.objective !ub)
+            else if
+              lr.PA.objective
+              > !ub +. scale config.tolerance lr.PA.objective !ub
+            then
+              Error
+                (Printf.sprintf
+                   "untuned objective %.6f above certified upper bound %.6f"
+                   lr.PA.objective !ub)
+            else Ok ())
+      in
+      let* () =
+        if not config.parallel then Ok ()
+        else
+          invariant "tune-determinism" (fun () ->
+              let t2 = fresh () in
+              let par =
+                PA.optimize ?tune:(Tune.Tuner.pa_hook t2) ~kind:PA.Lr ~j:2
+                  design
+              in
+              if par.PA.assignments <> tuned.PA.assignments then
+                Error "tuned assignments diverged between -j1 and -j2"
+              else if Tune.Tuner.trace t2 <> Tune.Tuner.trace t1 then
+                Error "policy traces diverged between -j1 and -j2"
+              else Ok ())
+      in
+      invariant "tune-replay" (fun () ->
+          let r =
+            PA.optimize
+              ~tune:(Tune.Tuner.replay_hook (Tune.Tuner.trace t1))
+              ~kind:PA.Lr design
+          in
+          if r.PA.assignments <> tuned.PA.assignments then
+            Error "trace replay did not reproduce the tuned assignments"
+          else Ok ())
+    end
+  in
   Ok ()
+
+(* The policy trace of a design's (deterministic) bandit-tuned solve:
+   what gets saved next to a tune-campaign repro. *)
+let tune_trace design =
+  let tseed = Eco_audit.stream_seed design in
+  let t = Tune.Tuner.create ~seed:tseed (Tune.Tuner.Bandit tseed) in
+  (try
+     ignore
+       (PA.optimize ?tune:(Tune.Tuner.pa_hook t) ~kind:PA.Lr design : PA.t)
+   with _ -> ());
+  Tune.Tuner.trace t
+
+let replay_with_trace config design assignments =
+  invariant "tune-trace-replay" (fun () ->
+      let r =
+        PA.optimize
+          ~tune:(Tune.Tuner.replay_hook assignments)
+          ~kind:PA.Lr design
+      in
+      PA.validate r;
+      of_cert (Certificate.certify_pin_access ~tolerance:config.tolerance r))
 
 (* ----------------------------------------------------------------- *)
 (* Shrinking                                                          *)
@@ -349,6 +450,13 @@ let run ?(progress = fun _ -> ()) config =
                 ~rounds:config.shrink_rounds shrunk (eco_stream config shrunk)
             else ([], 0)
           in
+          (* a tune-campaign failure ships its policy trace so the
+             repro replays under exactly the policies the bandit chose *)
+          let trace =
+            if config.tune && String.starts_with ~prefix:"tune" shrunk_reason
+            then tune_trace shrunk
+            else []
+          in
           {
             cases = case;
             skipped;
@@ -361,6 +469,7 @@ let run ?(progress = fun _ -> ()) config =
                   shrunk_reason;
                   design = shrunk;
                   deltas;
+                  trace;
                   shrink_steps = shrink_steps + delta_steps;
                 };
           })

@@ -4,6 +4,8 @@ type config = {
   constant_step : float option;
   full_subgradient : bool;
   plateau_exit : int option;
+  stall_halving : bool;
+  warm_scale : float;
 }
 
 let default_config =
@@ -13,6 +15,8 @@ let default_config =
     constant_step = None;
     full_subgradient = true;
     plateau_exit = Some 50;
+    stall_halving = false;
+    warm_scale = 1.0;
   }
 
 (* metered in lockstep with [Budget.spend]: one LR iteration is one
@@ -117,16 +121,28 @@ let solve ?(config = default_config) ?budget ?warm_start (problem : Problem.t)
   let min_vio = ref max_int in
   let history = ref [] in
   let iterations = ref 0 in
+  let k = ref 0 in
+  let since_best = ref 0 in
+  (* step-schedule policies (lib/tune): with the default config the
+     factors below are exactly 1.0, so the computed step is bit-equal
+     to the paper's [L_m / k^alpha] *)
+  let warm_factor = if warm_start = None then 1.0 else config.warm_scale in
   let step k (clique : Conflict.clique) =
     let common_len =
       float_of_int (Geometry.Interval.length clique.Conflict.common)
     in
-    match config.constant_step with
-    | Some t -> t *. common_len
-    | None -> common_len /. Float.pow (float_of_int k) config.alpha
+    let base =
+      match config.constant_step with
+      | Some t -> t *. common_len
+      | None -> common_len /. Float.pow (float_of_int k) config.alpha
+    in
+    let halved =
+      if config.stall_halving && !since_best >= 10 then
+        base *. Float.pow 0.5 (float_of_int (!since_best / 10))
+      else base
+    in
+    warm_factor *. halved
   in
-  let k = ref 0 in
-  let since_best = ref 0 in
   let stalled () =
     match config.plateau_exit with
     | Some limit -> !since_best >= limit

@@ -253,6 +253,87 @@ let solve_parallel config ~budget ~j kind live =
     results;
   (!acc_a, !acc_o, !acc_r)
 
+type tune_hook = {
+  tune_select : panel:int -> Problem.t -> config -> config * string;
+  tune_observe :
+    panel:int ->
+    policy:string ->
+    objective:float ->
+    delta:Obs.Metrics.snapshot ->
+    unit;
+}
+
+(* Tuned fan-out (lib/tune): panels are processed in fixed-size waves.
+   Within a wave, policies are selected panel-ascending before any
+   solve runs; the wave then solves on the pool (or inline), and its
+   per-panel metric deltas are observed back panel-ascending.  A
+   panel's policy can therefore depend on the rewards of every earlier
+   wave but never on an in-flight solve — and since the wave size is a
+   constant and every merge walks ascending panel order, the policy
+   trace and the output bytes are independent of [j]. *)
+let tune_wave = 8
+
+let solve_tuned config ~budget ~j ~tune kind live =
+  let tasks = Array.of_list live in
+  let n = Array.length tasks in
+  let trace_on = Obs.Trace.enabled () in
+  let pool = if j > 1 then Some (Exec.shared ~domains:j) else None in
+  let acc_a = ref [] and acc_o = ref 0.0 and acc_r = ref [] in
+  let start = ref 0 in
+  while !start < n do
+    let len = min tune_wave (n - !start) in
+    let left = n - !start in
+    (* equal isolated slices over the remaining live panels — the
+       solve_parallel discipline, re-sliced at each wave boundary *)
+    let slice () =
+      if Budget.is_unlimited budget then Budget.isolated budget ()
+      else
+        let seconds =
+          Option.map
+            (fun s -> s /. float_of_int left)
+            (Budget.remaining_seconds budget)
+        in
+        let work_units =
+          Option.map (fun w -> max 1 (w / left)) (Budget.remaining_work budget)
+        in
+        Budget.isolated budget ?seconds ?work_units ()
+    in
+    let slices = Array.init len (fun _ -> slice ()) in
+    let wave = Array.sub tasks !start len in
+    let chosen =
+      Array.map
+        (fun (panel, problem) -> tune.tune_select ~panel problem config)
+        wave
+    in
+    let solve i (panel, problem) =
+      let cfg, _ = chosen.(i) in
+      let task () = solve_problem cfg ~budget:slices.(i) kind ~panel problem in
+      Obs.Metrics.buffered (fun () ->
+          if trace_on then Obs.Trace.buffered task else (task (), []))
+    in
+    let results =
+      match pool with
+      | Some pool when len > 1 -> Exec.mapi pool solve wave
+      | _ -> Array.mapi solve wave
+    in
+    Array.iteri
+      (fun i (((a, o, r, _), events), mbuf) ->
+        let before = Obs.Metrics.snapshot () in
+        Obs.Metrics.flush mbuf;
+        Obs.Trace.replay events;
+        let after = Obs.Metrics.snapshot () in
+        Budget.spend budget (Budget.work_spent slices.(i));
+        let panel, _ = wave.(i) in
+        tune.tune_observe ~panel ~policy:(snd chosen.(i)) ~objective:o
+          ~delta:(Obs.Metrics.diff ~before ~after);
+        acc_a := List.rev_append a !acc_a;
+        acc_o := !acc_o +. o;
+        acc_r := r :: !acc_r)
+      results;
+    start := !start + len
+  done;
+  (!acc_a, !acc_o, !acc_r)
+
 (* Global TPL coloring pass: one deterministic greedy coloring over the
    distinct selected intervals of the whole design, run after the panel
    merge.  Being global, it sees cross-panel color conflicts no
@@ -289,15 +370,20 @@ let tpl_of config assignments =
     (fun params -> color_assignments params assignments)
     config.gen.Interval_gen.tpl
 
-let run ?(config = default_config) ?budget ?(j = 1) ~kind design problems =
+let run ?(config = default_config) ?budget ?(j = 1) ?tune ~kind design
+    problems =
   Obs.Trace.with_span "pao.optimize" @@ fun () ->
   let start = Unix_time.now () in
   let budget = Budget.of_option budget in
   let live = List.filter (fun (_, p) -> Problem.num_pins p > 0) problems in
   let assignments, objective, reports =
-    if j <= 1 || List.length live <= 1 then
-      solve_sequential config ~budget kind problems
-    else solve_parallel config ~budget ~j kind live
+    match tune with
+    | Some hook when live <> [] ->
+      solve_tuned config ~budget ~j ~tune:hook kind live
+    | _ ->
+      if j <= 1 || List.length live <= 1 then
+        solve_sequential config ~budget kind problems
+      else solve_parallel config ~budget ~j kind live
   in
   let reports = List.rev reports in
   let assignments = List.rev assignments in
@@ -388,14 +474,14 @@ let solve_parallel_streamed config ~budget ~j kind design ~num_panels =
     results;
   (!acc_a, !acc_o, !acc_r)
 
-let optimize ?(config = default_config) ?budget ?j ?(stream = false) ~kind
-    design =
-  if not stream then
+let optimize ?(config = default_config) ?budget ?j ?(stream = false) ?tune
+    ~kind design =
+  if (not stream) || tune <> None then
     let problems =
       List.init (Netlist.Design.num_panels design) (fun panel ->
           (panel, build_panel config design ~panel))
     in
-    run ~config ?budget ?j ~kind design problems
+    run ~config ?budget ?j ?tune ~kind design problems
   else begin
     Obs.Trace.with_span "pao.optimize" @@ fun () ->
     let start = Unix_time.now () in

@@ -72,11 +72,36 @@ type t = {
       (** [Some] iff the TPL deck was on in [config.gen.tpl] *)
 }
 
+type tune_hook = {
+  tune_select : panel:int -> Problem.t -> config -> config * string;
+      (** per-panel policy choice: given the built problem and the
+          run's base config, return the config this panel solves under
+          plus the canonical policy id for the trace.  Called in
+          ascending panel order within each scheduling wave. *)
+  tune_observe :
+    panel:int ->
+    policy:string ->
+    objective:float ->
+    delta:Obs.Metrics.snapshot ->
+    unit;
+      (** reward feedback: the panel's solved objective and its private
+          metrics window ({!Obs.Metrics.diff} over exactly the solve,
+          e.g. [lr.iterations]).  Called in ascending panel order after
+          the panel's wave completes. *)
+}
+(** The adaptive-scheduling hook ([lib/tune]): a policy selector plus a
+    reward observer, threaded through {!optimize}'s per-panel walk.
+    Panels are processed in fixed-size waves — selections of one wave
+    see the observations of every earlier wave but never an in-flight
+    solve — so the policy trace and the output are deterministic and
+    independent of [j]. *)
+
 val optimize :
   ?config:config ->
   ?budget:Budget.t ->
   ?j:int ->
   ?stream:bool ->
+  ?tune:tune_hook ->
   kind:solver_kind ->
   Netlist.Design.t ->
   t
@@ -105,6 +130,14 @@ val optimize :
     finite budget the per-panel slice denominator is the total panel
     count rather than the live (pin-bearing) count, since liveness is
     only discovered as panels are built.
+
+    [tune] (default absent) threads a {!tune_hook} through the
+    per-panel walk: panels run in fixed-size waves, each panel solving
+    under the config its selector returned, with per-panel metric
+    windows observed back in panel order.  Absent, the walk is the
+    untouched (bit-identical) default path; [tune] forces the resident
+    path even when [stream] is set and re-slices the budget at wave
+    boundaries, so pair it with [stream]/finite budgets knowingly.
     @raise Cpr_error.Error ([Infeasible_panel]) when a pin has no
     access interval at all (blocked primary track) — no tier can serve
     such a design. *)

@@ -8,10 +8,19 @@ module AI = Pinaccess.Access_interval
 module Grid = Rgrid.Grid
 module Route = Rgrid.Route
 
+type warm_policy = Warm_always | Warm_never | Warm_signature of float
+
+let warm_policy_to_string = function
+  | Warm_always -> "warm-always"
+  | Warm_never -> "warm-never"
+  | Warm_signature t -> Printf.sprintf "warm-sig:%g" t
+
 type config = {
   pao : PA.config;
   kind : PA.solver_kind;
   warm_start : bool;
+  warm_policy : warm_policy option;
+  policy : string option;
   routing : bool;
   cost : Rgrid.Cost.t;
   rules : Drc.Rules.t;
@@ -23,6 +32,8 @@ let default_config =
     pao = PA.default_config;
     kind = PA.Lr;
     warm_start = true;
+    warm_policy = None;
+    policy = None;
     routing = false;
     cost = Rgrid.Cost.default;
     rules = Drc.Rules.default;
@@ -98,7 +109,8 @@ let solve_pao_stage ~cache ~(config : config) ~prev_key ?budget ?pool design
   for panel = 0 to num_panels - 1 do
     if Design.pins_of_panel design panel <> [] then begin
       let key =
-        Panel_cache.key ~config:config.pao ~kind:config.kind design ~panel
+        Panel_cache.key ?policy:config.policy ~config:config.pao
+          ~kind:config.kind design ~panel
       in
       keys.(panel) <- key;
       if Hashtbl.mem in_flight key then Hashtbl.replace dup_keys panel key
@@ -110,13 +122,33 @@ let solve_pao_stage ~cache ~(config : config) ~prev_key ?budget ?pool design
         | None ->
           stats.solved <- stats.solved + 1;
           let problem = PA.build_panel config.pao design ~panel in
+          (* multiplier-reuse policy (lib/tune): the legacy bool is the
+             always/never axis; [Warm_signature] additionally requires
+             enough clique signatures to survive the edit for the seed
+             to be worth anything.  [warm_policy = None] is the
+             pre-policy gate, bit-identical. *)
+          let reuse_allowed =
+            match config.warm_policy with
+            | Some Warm_never -> false
+            | Some (Warm_always | Warm_signature _) -> true
+            | None -> config.warm_start
+          in
           let warm =
-            if not config.warm_start then None
+            if not reuse_allowed then None
             else
               match Option.bind (prev_key panel) (Panel_cache.peek cache) with
               | Some prev when Array.length prev.Panel_cache.multipliers > 0 ->
-                stats.warm <- stats.warm + 1;
-                Some (Panel_cache.warm_start_for prev problem)
+                let gated =
+                  match config.warm_policy with
+                  | Some (Warm_signature threshold) ->
+                    Panel_cache.signature_overlap prev problem >= threshold
+                  | _ -> true
+                in
+                if gated then begin
+                  stats.warm <- stats.warm + 1;
+                  Some (Panel_cache.warm_start_for prev problem)
+                end
+                else None
               | _ -> None
           in
           Hashtbl.replace in_flight key ();
@@ -260,6 +292,8 @@ let cpr_config (config : config) =
         config.pao.PA.gen.Pinaccess.Interval_gen.tpl;
     jobs = 1;
     parallel_init = false;
+    order = Router.Negotiation.Hp;
+    tune = None;
   }
 
 (* Incremental routing: freeze every route the edit provably did not

@@ -23,10 +23,32 @@
     warm starting it is certified equivalent, not bit-equal — LR may
     stop at a different conflict-free optimum. *)
 
+type warm_policy =
+  | Warm_always  (** reuse cached multipliers whenever a previous entry has any *)
+  | Warm_never  (** always cold-start (bit-identical to from-scratch) *)
+  | Warm_signature of float
+      (** reuse only when at least this fraction of the new problem's
+          clique signatures carry a cached multiplier
+          ({!Panel_cache.signature_overlap}) — a heavily-edited panel
+          cold-starts rather than chase a stale optimum *)
+(** ECO multiplier-reuse policies ([lib/tune]). *)
+
+val warm_policy_to_string : warm_policy -> string
+(** Canonical policy id, e.g. ["warm-sig:0.5"]. *)
+
 type config = {
   pao : Pinaccess.Pin_access.config;
   kind : Pinaccess.Pin_access.solver_kind;
   warm_start : bool;  (** warm-start dirty panels (default [true]) *)
+  warm_policy : warm_policy option;
+      (** refine the [warm_start] bool (which it overrides when
+          [Some]): the always/never/signature-gated axis of [lib/tune];
+          [None] (default) is the pre-policy gate, bit-identical *)
+  policy : string option;
+      (** canonical id of the active scheduling policy, digested into
+          every {!Panel_cache.key} so panels solved under a stale
+          policy never replay; [None] (default) leaves keys
+          byte-identical to the pre-policy engine *)
   routing : bool;
       (** maintain a routed {!Router.Flow.t} incrementally (default
           [false]: pin access only) *)

@@ -142,9 +142,13 @@ let canonical_pins design ~panel =
    panel-local net indices (names excluded on purpose), full net
    bounding boxes (interval generation clips to them), and the M2
    blockage spans on the panel's tracks. *)
-let key ~(config : PA.config) ~kind design ~panel =
+let key ?policy ~(config : PA.config) ~kind design ~panel =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* a non-default scheduling policy (lib/tune) changes how the panel
+     is solved, so its canonical id joins the digest; [None] adds
+     nothing, keeping every pre-policy key byte-identical *)
+  (match policy with None -> () | Some p -> add "pol:%s;" p);
   let gen = config.PA.gen in
   add "gen:%s,%s,%d,%d,%s,%s;"
     (Pinaccess.Objective.weighting_to_string gen.Pinaccess.Interval_gen.weighting)
@@ -310,6 +314,31 @@ let materialize entry design ~panel =
     }
   in
   (assignments, report)
+
+let signature_overlap entry (problem : Problem.t) =
+  let cliques = problem.Problem.cliques in
+  if Array.length cliques = 0 then 1.0
+  else begin
+    let by_sig = Hashtbl.create 64 in
+    Array.iter
+      (fun (track, cap, lo, hi, _lambda) ->
+        Hashtbl.replace by_sig (track, cap, lo, hi) ())
+      entry.multipliers;
+    let matched =
+      Array.fold_left
+        (fun acc (c : Conflict.clique) ->
+          if
+            Hashtbl.mem by_sig
+              ( c.Conflict.track,
+                c.Conflict.cap,
+                I.lo c.Conflict.common,
+                I.hi c.Conflict.common )
+          then acc + 1
+          else acc)
+        0 cliques
+    in
+    float_of_int matched /. float_of_int (Array.length cliques)
+  end
 
 let warm_start_for entry (problem : Problem.t) =
   let by_sig = Hashtbl.create 64 in

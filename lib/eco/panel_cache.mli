@@ -48,12 +48,18 @@ val create : ?max_entries:int -> unit -> t
     registry as [eco.panel_cache.hits]/[.misses]/[.evictions]. *)
 
 val key :
+  ?policy:string ->
   config:Pinaccess.Pin_access.config ->
   kind:Pinaccess.Pin_access.solver_kind ->
   Netlist.Design.t ->
   panel:int ->
   string
-(** Content digest of the panel's assignment problem. *)
+(** Content digest of the panel's assignment problem.  [policy] is the
+    canonical id of a non-default scheduling policy ([lib/tune]) the
+    panel solves under; it joins the digest, so panels solved under a
+    stale policy never replay for a different one.  Omitted (the
+    untuned engine), the digest is byte-identical to the pre-policy
+    key. *)
 
 val find : t -> string -> entry option
 (** Bumps the hit/miss counters. *)
@@ -100,6 +106,13 @@ val materialize :
     the same [(track, span)] share one interval, as the deduplicating
     generator would have produced) with fresh per-panel ids, and the
     panel report under the new panel index. *)
+
+val signature_overlap : entry -> Pinaccess.Problem.t -> float
+(** Fraction of the problem's cliques whose signature [(track, cap,
+    common_lo, common_hi)] carries a multiplier in the entry — how much
+    of a warm start {!warm_start_for} could actually seed.  [1.0] for a
+    clique-free problem (a trivial warm start loses nothing).  The
+    gating measure of {!Engine}'s signature-gated warm-start policy. *)
 
 val warm_start_for : entry -> Pinaccess.Problem.t -> float array
 (** Align the entry's multipliers with a (possibly different) problem's

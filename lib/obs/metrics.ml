@@ -182,6 +182,50 @@ let snapshot () =
   in
   { counters = cs; histograms = hs }
 
+(* Window delta between two snapshots of the same registry.  Counter
+   deltas subtract; histogram count/sum subtract and the mean is
+   recomputed over the window.  min/max are epoch extremes (they only
+   widen), so a window cannot recover its own extremes — the diff
+   reports the [after] values, honest as bounds on the window. *)
+let diff ~before ~after =
+  let assoc name entries = List.assoc_opt name entries in
+  let cs =
+    List.filter_map
+      (fun (name, v) ->
+        let prev = Option.value ~default:0 (assoc name before.counters) in
+        if v - prev = 0 then None else Some (name, v - prev))
+      after.counters
+  in
+  let hs =
+    List.filter_map
+      (fun (name, (s : histogram_stats)) ->
+        let prev =
+          Option.value
+            ~default:
+              { count = 0; sum = 0.0; min = infinity; max = neg_infinity;
+                mean = nan }
+            (assoc name before.histograms)
+        in
+        let count = s.count - prev.count in
+        if count = 0 then None
+        else
+          let sum = s.sum -. prev.sum in
+          Some
+            ( name,
+              {
+                count;
+                sum;
+                min = s.min;
+                max = s.max;
+                mean = sum /. float_of_int count;
+              } ))
+      after.histograms
+  in
+  { counters = cs; histograms = hs }
+
+let counter_delta snap name =
+  Option.value ~default:0 (List.assoc_opt name snap.counters)
+
 let percentile h p =
   match h.reservoir with
   | None -> nan

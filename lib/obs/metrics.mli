@@ -96,6 +96,21 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Zero-valued counters and empty histograms are omitted. *)
 
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** The window delta between two snapshots of the same registry, taken
+    without any reset or mutation in between: counter deltas subtract
+    per name, histogram [count]/[sum] subtract and [mean] is recomputed
+    over the window.  Registry [min]/[max] are epoch extremes (they
+    only ever widen), so a window's own extremes are unrecoverable —
+    the diff carries the [after] values, which bound the window's.
+    Entries whose count did not move are omitted, like {!snapshot}
+    omits zeros.  The tuner's reward tap ([lib/tune]), also usable for
+    per-request telemetry in the service layer. *)
+
+val counter_delta : snapshot -> string -> int
+(** [counter_delta snap name] is the named counter's value in [snap]
+    (0 when omitted) — convenience for reading {!diff} windows. *)
+
 val reset : unit -> unit
 (** Zero every registered metric in place (registrations survive, so
     cached handles stay valid) — used between bench experiments and

@@ -17,6 +17,32 @@ type result = {
   total_reroutes : int;
 }
 
+type order =
+  | Hp
+      (** the default: stage 1 routes by ascending bbox half-perimeter
+          (shortest nets have the least freedom), rip-up victims keep
+          ascending net-id order — bit-identical to the pre-policy
+          engine *)
+  | Area  (** ascending bbox area, both stages *)
+  | Congestion
+      (** most-contested first: descending count of other net bboxes
+          overlapping the net's x-span (computed once, O(n log n)),
+          ties by the default's keys *)
+  | History
+      (** stage 1 routes largest half-perimeter first; rip-up victims
+          by descending blame count (how often the net has been a
+          victim this run) — the most-renegotiated nets pick first *)
+(** Net ordering policies for both negotiation stages ([lib/tune]).
+    Every policy is a deterministic function of the specs and the
+    run's own blame history, so any order stays bit-reproducible
+    across [pool] sizes (batches replay the given order exactly). *)
+
+val order_to_string : order -> string
+
+val routing_order : ?order:order -> Net_router.spec array -> int array
+(** The stage-1 net order under a policy (default [Hp]); exposed for
+    tests. *)
+
 val run :
   ?cost:Rgrid.Cost.t ->
   ?rules:Drc.Rules.t ->
@@ -25,6 +51,7 @@ val run :
   ?pool:Exec.t ->
   ?frozen:bool array ->
   ?initial:Rgrid.Route.t option array ->
+  ?order:order ->
   Rgrid.Grid.t ->
   Net_router.spec array ->
   result

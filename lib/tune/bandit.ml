@@ -1,0 +1,174 @@
+(* splitmix64 (same generator family as Workloads.Rng, reimplemented
+   locally to keep lib/tune off the benchmark-synthesis library) *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type bucket = {
+  explore_order : int array;  (* seeded permutation for initial pulls *)
+  pull_count : int array;  (* resolved pulls per arm *)
+  pending : int array;  (* selected, reward not yet observed *)
+  reward_sum : float array;
+}
+
+type t = {
+  arm_names : string array;
+  explore : float;
+  seed : int64;
+  table : (string, bucket) Hashtbl.t;
+  mutable total_pulls : int;
+  picked : int array;  (* selection histogram, across buckets *)
+}
+
+let create ?(explore = 1.0) ~arms ~seed () =
+  if Array.length arms = 0 then invalid_arg "Bandit.create: no arms";
+  {
+    arm_names = Array.copy arms;
+    explore;
+    seed;
+    table = Hashtbl.create 8;
+    total_pulls = 0;
+    picked = Array.make (Array.length arms) 0;
+  }
+
+let arms t = Array.copy t.arm_names
+
+(* deterministic per-bucket seed: the bucket name folded into the
+   bandit seed byte by byte (FNV-style), then one splitmix scramble *)
+let bucket_seed t name =
+  let h = ref t.seed in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001B3L)
+    name;
+  splitmix h
+
+let bucket_of t name =
+  match Hashtbl.find_opt t.table name with
+  | Some b -> b
+  | None ->
+    let n = Array.length t.arm_names in
+    let order = Array.init n (fun i -> i) in
+    (* Fisher–Yates driven by the bucket's private splitmix stream *)
+    let state = ref (bucket_seed t name) in
+    for i = n - 1 downto 1 do
+      let r = Int64.to_int (Int64.rem (splitmix state) (Int64.of_int (i + 1))) in
+      let j = if r < 0 then r + i + 1 else r in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    let b =
+      {
+        explore_order = order;
+        pull_count = Array.make n 0;
+        pending = Array.make n 0;
+        reward_sum = Array.make n 0.0;
+      }
+    in
+    Hashtbl.replace t.table name b;
+    b
+
+let select t ~bucket =
+  let b = bucket_of t bucket in
+  let n = Array.length t.arm_names in
+  let tried i = b.pull_count.(i) + b.pending.(i) > 0 in
+  let arm =
+    match
+      Array.find_opt (fun i -> not (tried i)) b.explore_order
+    with
+    | Some i -> i
+    | None ->
+      (* UCB1: mean + explore * sqrt(2 ln N / n_i).  Pending pulls
+         count in N and n_i — an in-flight wave shrinks the bonus of
+         the arm it already picked — but the mean is over RESOLVED
+         pulls only: treating a pending pull as reward 0 would crater
+         the chosen arm's mean and degenerate into round-robin inside
+         every wave.  An arm with only pending pulls reads a neutral
+         mean until its first reward lands. *)
+      let total =
+        Array.fold_left (fun acc c -> acc + c) 0 b.pull_count
+        + Array.fold_left (fun acc c -> acc + c) 0 b.pending
+      in
+      let best = ref 0 and best_score = ref neg_infinity in
+      for i = 0 to n - 1 do
+        let ni = b.pull_count.(i) + b.pending.(i) in
+        let mean =
+          if b.pull_count.(i) = 0 then 0.5
+          else b.reward_sum.(i) /. float_of_int b.pull_count.(i)
+        in
+        let bonus =
+          t.explore
+          *. sqrt (2.0 *. log (float_of_int total) /. float_of_int ni)
+        in
+        let score = mean +. bonus in
+        if score > !best_score then begin
+          best := i;
+          best_score := score
+        end
+      done;
+      !best
+  in
+  b.pending.(arm) <- b.pending.(arm) + 1;
+  t.total_pulls <- t.total_pulls + 1;
+  t.picked.(arm) <- t.picked.(arm) + 1;
+  arm
+
+let observe t ~bucket ~arm ~reward =
+  let b = bucket_of t bucket in
+  if b.pending.(arm) > 0 then b.pending.(arm) <- b.pending.(arm) - 1;
+  b.pull_count.(arm) <- b.pull_count.(arm) + 1;
+  b.reward_sum.(arm) <- b.reward_sum.(arm) +. reward
+
+let pulls t = t.total_pulls
+
+let buckets t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
+  |> List.sort String.compare
+
+type arm_stats = { arm : string; arm_pulls : int; mean_reward : float }
+
+let bucket_stats t ~bucket =
+  match Hashtbl.find_opt t.table bucket with
+  | None -> []
+  | Some b ->
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           {
+             arm = name;
+             arm_pulls = b.pull_count.(i);
+             mean_reward =
+               (if b.pull_count.(i) = 0 then nan
+                else b.reward_sum.(i) /. float_of_int b.pull_count.(i));
+           })
+         t.arm_names)
+
+let histogram t =
+  Array.to_list (Array.mapi (fun i name -> (name, t.picked.(i))) t.arm_names)
+
+let regret_proxy t =
+  Hashtbl.fold
+    (fun _ b acc ->
+      let best = ref 0.0 and total = ref 0.0 and count = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            let mean = b.reward_sum.(i) /. float_of_int c in
+            if mean > !best then best := mean;
+            total := !total +. b.reward_sum.(i);
+            count := !count + c
+          end)
+        b.pull_count;
+      acc +. ((!best *. float_of_int !count) -. !total))
+    t.table 0.0

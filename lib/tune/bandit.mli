@@ -1,0 +1,51 @@
+(** Seeded UCB1 over a fixed arm set, bucketed by feature signature.
+
+    Determinism is the whole design: selection is a pure function of
+    the seed and the (bucket, reward) history fed in so far — no
+    clocks, no global RNG — so a run that replays the same panels in
+    the same order reproduces the same policy trace, whatever [-j] is.
+    The seed only permutes each bucket's initial exploration order
+    (which arm gets tried first while all are untried); after that,
+    classic UCB1 takes over with lowest-index tie-breaking.
+
+    Waves of selections can happen before their rewards arrive (the
+    {!Pinaccess.Pin_access.tune_hook} wave discipline): a selection
+    registers a pending pull, so an untried arm is not handed to every
+    panel of the first wave, and the UCB confidence term sees
+    in-flight pulls; the exploitation mean, however, is over resolved
+    pulls only (a pending pull is not a zero reward), with a neutral
+    0.5 read for an arm whose pulls are all still in flight.  Rewards
+    should be normalized to [0, 1] by the caller. *)
+
+type t
+
+val create : ?explore:float -> arms:string array -> seed:int64 -> unit -> t
+(** [explore] (default 1.0) scales the UCB confidence term.
+    @raise Invalid_argument when [arms] is empty. *)
+
+val arms : t -> string array
+
+val select : t -> bucket:string -> int
+(** Arm index for the bucket's next pull (registered as pending). *)
+
+val observe : t -> bucket:string -> arm:int -> reward:float -> unit
+(** Resolve one pending pull of [arm] with its reward. *)
+
+val pulls : t -> int
+(** Total selections made, across buckets. *)
+
+val buckets : t -> string list
+(** Buckets seen so far, sorted. *)
+
+type arm_stats = { arm : string; arm_pulls : int; mean_reward : float }
+
+val bucket_stats : t -> bucket:string -> arm_stats list
+(** Per-arm statistics of one bucket, arm order. *)
+
+val histogram : t -> (string * int) list
+(** Times each arm was selected, across buckets, arm order. *)
+
+val regret_proxy : t -> float
+(** Empirical regret proxy: over the resolved pulls of each bucket,
+    [best-arm mean × pulls − total reward], summed.  A bandit that
+    locked onto each bucket's best arm quickly scores near 0. *)

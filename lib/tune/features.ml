@@ -1,0 +1,94 @@
+module I = Geometry.Interval
+module Design = Netlist.Design
+module Pin = Netlist.Pin
+module Problem = Pinaccess.Problem
+module Conflict = Pinaccess.Conflict
+
+type t = {
+  pins : int;
+  tracks : int;
+  pin_density : float;
+  cliques : int;
+  max_clique_depth : int;
+  color_clique_frac : float;
+  blockage_coverage : float;
+  max_fan_in : int;
+  profit_ub : float;
+}
+
+let of_problem ~panel (problem : Problem.t) =
+  let design = problem.Problem.design in
+  let width = Design.width design in
+  let track_iv = Design.panel_tracks design panel in
+  let tracks = I.length track_iv in
+  let pins = Problem.num_pins problem in
+  let cliques = problem.Problem.cliques in
+  let num_cliques = Array.length cliques in
+  let max_depth = ref 0 in
+  let colored = ref 0 in
+  Array.iter
+    (fun (c : Conflict.clique) ->
+      max_depth := max !max_depth (Array.length c.Conflict.members);
+      if c.Conflict.cap > 1 then incr colored)
+    cliques;
+  let blocked = ref 0 in
+  for track = I.lo track_iv to I.hi track_iv do
+    List.iter
+      (fun span -> blocked := !blocked + I.length span)
+      (Design.m2_blockages_on_track design track)
+  done;
+  let fan = Hashtbl.create 16 in
+  let max_fan_in = ref 0 in
+  List.iter
+    (fun (p : Pin.t) ->
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt fan p.Pin.net) in
+      Hashtbl.replace fan p.Pin.net n;
+      max_fan_in := max !max_fan_in n)
+    (Design.pins_of_panel design panel);
+  let area = float_of_int (max 1 (tracks * width)) in
+  (* conflict-free relaxation: every pin takes its most profitable
+     candidate — an upper bound on the panel's objective, used to
+     normalize solved objectives into a panel-size-free quality read *)
+  let profit_ub = ref 0.0 in
+  Array.iter
+    (fun candidates ->
+      let best = ref 0.0 in
+      Array.iter
+        (fun iv ->
+          let p = problem.Problem.profits.(iv) in
+          if p > !best then best := p)
+        candidates;
+      profit_ub := !profit_ub +. !best)
+    problem.Problem.pin_candidates;
+  {
+    pins;
+    tracks;
+    pin_density = float_of_int pins /. float_of_int (max 1 tracks);
+    cliques = num_cliques;
+    max_clique_depth = !max_depth;
+    color_clique_frac =
+      (if num_cliques = 0 then 0.0
+       else float_of_int !colored /. float_of_int num_cliques);
+    blockage_coverage = float_of_int !blocked /. area;
+    max_fan_in = !max_fan_in;
+    profit_ub = !profit_ub;
+  }
+
+let signature f =
+  let density =
+    if f.pin_density <= 1.5 then "lo"
+    else if f.pin_density <= 3.0 then "mid"
+    else "hi"
+  in
+  let depth = if f.max_clique_depth <= 3 then "shallow" else "deep" in
+  let blockage = if f.blockage_coverage < 0.05 then "clear" else "blocked" in
+  Printf.sprintf "d:%s;k:%s;b:%s%s" density depth blockage
+    (if f.color_clique_frac > 0.0 then ";tpl" else "")
+
+let to_string f =
+  Printf.sprintf
+    "pins=%d tracks=%d density=%.2f cliques=%d depth=%d color=%.2f \
+     blockage=%.3f fan=%d ub=%.1f sig=%s"
+    f.pins f.tracks f.pin_density f.cliques f.max_clique_depth
+    f.color_clique_frac f.blockage_coverage f.max_fan_in f.profit_ub
+    (signature f)

@@ -1,0 +1,38 @@
+(** Cheap per-panel feature vector, computed from the already-built
+    assignment problem — no extra geometry passes.  The features drive
+    the bandit's bucketing ({!signature}): panels that look alike
+    should share what the tuner learned. *)
+
+type t = {
+  pins : int;
+  tracks : int;  (** routing tracks of the panel *)
+  pin_density : float;  (** pins per track *)
+  cliques : int;
+  max_clique_depth : int;  (** largest conflict-set member count; 0 if none *)
+  color_clique_frac : float;
+      (** fraction of cliques with [cap > 1] (TPL color cliques) *)
+  blockage_coverage : float;
+      (** fraction of the panel's track-grid area covered by M2
+          blockage spans *)
+  max_fan_in : int;  (** most pins any single net has in the panel *)
+  profit_ub : float;
+      (** conflict-free relaxation of the panel objective: the sum of
+          each pin's best candidate profit.  An upper bound on any
+          solve's objective, so [objective /. profit_ub] is a
+          panel-size-free quality fraction — the bandit's reward
+          normalizer *)
+}
+
+val of_problem : panel:int -> Pinaccess.Problem.t -> t
+(** Everything is read off the problem and its design; cost is linear
+    in the panel's pins, cliques and blockage spans. *)
+
+val signature : t -> string
+(** Coarse deterministic bucket id, e.g. ["d:mid;k:deep;b:clear;tpl"].
+    Quantizes pin density (lo/mid/hi at 1.5 and 3 pins per track),
+    clique depth (shallow/deep at 3) and blockage coverage
+    (clear/blocked at 5%), and flags color-clique presence — a handful
+    of buckets, so every bucket sees enough panels to learn from. *)
+
+val to_string : t -> string
+(** Human-readable one-liner for traces and debugging. *)

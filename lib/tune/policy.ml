@@ -1,0 +1,73 @@
+module PA = Pinaccess.Pin_access
+
+type lr_step = Lr_k95 | Lr_k70 | Lr_halve | Lr_warm | Lr_patience
+type order = Ord_hp | Ord_area | Ord_congestion | Ord_history
+type warm = Warm_always | Warm_never | Warm_sig
+type t = Lr_step of lr_step | Order of order | Warm of warm
+
+let lr_id = function
+  | Lr_k95 -> "lr-k95"
+  | Lr_k70 -> "lr-k70"
+  | Lr_halve -> "lr-halve"
+  | Lr_warm -> "lr-warm"
+  | Lr_patience -> "lr-patience"
+
+let id = function
+  | Lr_step s -> lr_id s
+  | Order Ord_hp -> "ord-hp"
+  | Order Ord_area -> "ord-area"
+  | Order Ord_congestion -> "ord-congestion"
+  | Order Ord_history -> "ord-history"
+  | Warm Warm_always -> "warm-always"
+  | Warm Warm_never -> "warm-never"
+  | Warm Warm_sig -> "warm-sig"
+
+let all =
+  [
+    Lr_step Lr_k95;
+    Lr_step Lr_k70;
+    Lr_step Lr_halve;
+    Lr_step Lr_warm;
+    Lr_step Lr_patience;
+    Order Ord_hp;
+    Order Ord_area;
+    Order Ord_congestion;
+    Order Ord_history;
+    Warm Warm_always;
+    Warm Warm_never;
+    Warm Warm_sig;
+  ]
+
+let of_id s = List.find_opt (fun p -> id p = s) all
+
+let is_baseline = function
+  | Lr_step Lr_k95 | Order Ord_hp | Warm Warm_always -> true
+  | _ -> false
+
+(* Lr_warm is not an arm: cold solves make it a baseline clone that
+   would only dilute the bandit's exploration budget *)
+let lr_arms = [| Lr_k95; Lr_k70; Lr_halve; Lr_patience |]
+
+let apply_lr step (config : PA.config) =
+  let lr = config.PA.lr in
+  match step with
+  | Lr_k95 -> config
+  | Lr_k70 -> { config with PA.lr = { lr with Pinaccess.Lagrangian.alpha = 0.70 } }
+  | Lr_halve ->
+    { config with PA.lr = { lr with Pinaccess.Lagrangian.stall_halving = true } }
+  | Lr_warm ->
+    { config with PA.lr = { lr with Pinaccess.Lagrangian.warm_scale = 0.5 } }
+  | Lr_patience ->
+    { config with
+      PA.lr = { lr with Pinaccess.Lagrangian.plateau_exit = Some 40 } }
+
+let order_of = function
+  | Ord_hp -> Router.Negotiation.Hp
+  | Ord_area -> Router.Negotiation.Area
+  | Ord_congestion -> Router.Negotiation.Congestion
+  | Ord_history -> Router.Negotiation.History
+
+let warm_of = function
+  | Warm_always -> Eco.Engine.Warm_always
+  | Warm_never -> Eco.Engine.Warm_never
+  | Warm_sig -> Eco.Engine.Warm_signature 0.5

@@ -1,0 +1,83 @@
+(** The reified policy set: every scheduling heuristic the solver used
+    to hard-code, as a first-class value with a canonical id.
+
+    Three axes, matching where the fixed heuristics lived:
+
+    - LR step schedules ({!lr_step}) — how {!Pinaccess.Lagrangian}
+      moves its multipliers ([t_k = L_m / k^0.95] and variants);
+    - rip-up net orderings ({!order}) — which net
+      {!Router.Negotiation} routes next in either stage;
+    - ECO warm-start reuse ({!warm}) — when {!Eco.Engine} seeds a
+      dirty panel from cached multipliers.
+
+    The canonical {!id} is what gets digested into
+    {!Eco.Panel_cache.key} (so stale-policy panels never replay),
+    written into policy traces, and parsed back from [--tune
+    fixed:<id>].  The baseline of each axis reproduces today's
+    behavior bit-for-bit. *)
+
+type lr_step =
+  | Lr_k95  (** the paper's schedule, [t_k = L_m / k^0.95] — baseline *)
+  | Lr_k70  (** faster decay, [t_k = L_m / k^0.7] *)
+  | Lr_halve
+      (** halving-on-stall: the paper's schedule, additionally halved
+          once per 10 best-free iterations
+          ({!Pinaccess.Lagrangian.config.stall_halving}) *)
+  | Lr_warm
+      (** warm-start-scaled: steps multiplied by 0.5 when the solve was
+          seeded from cached multipliers
+          ({!Pinaccess.Lagrangian.config.warm_scale}); identical to the
+          baseline on cold solves *)
+  | Lr_patience
+      (** the paper's schedule with a shortened stall cut: plateau exit
+          after 40 best-free iterations instead of 50
+          ({!Pinaccess.Lagrangian.config.plateau_exit}).  Identical
+          multiplier walk — only the tail is trimmed, so it returns the
+          baseline's solution whenever the last improvement landed
+          early, for up to 10 fewer iterations per plateaued panel *)
+
+type order =
+  | Ord_hp  (** ascending bbox half-perimeter — baseline *)
+  | Ord_area
+  | Ord_congestion
+  | Ord_history
+
+type warm =
+  | Warm_always  (** reuse whenever cached multipliers exist — baseline *)
+  | Warm_never
+  | Warm_sig  (** signature-gated at 0.5 overlap *)
+
+type t = Lr_step of lr_step | Order of order | Warm of warm
+
+val id : t -> string
+(** Canonical id: ["lr-k95"], ["lr-k70"], ["lr-halve"], ["lr-warm"],
+    ["lr-patience"], ["ord-hp"], ["ord-area"], ["ord-congestion"],
+    ["ord-history"], ["warm-always"], ["warm-never"], ["warm-sig"]. *)
+
+val of_id : string -> t option
+(** Inverse of {!id}; [None] on an unknown id. *)
+
+val all : t list
+(** Every policy, each axis's baseline first. *)
+
+val is_baseline : t -> bool
+(** Whether the policy reproduces the pre-policy behavior
+    bit-for-bit.  ([Lr_warm] is not: it diverges on warm-started
+    solves.) *)
+
+val lr_arms : lr_step array
+(** The bandit's arm space over the LR axis, baseline at index 0.
+    [Lr_warm] is deliberately absent: on the cold solves the bandit
+    schedules it is the identity, so as an arm it would only dilute
+    exploration with a baseline clone (it remains available as a fixed
+    policy and on the ECO axis). *)
+
+val lr_id : lr_step -> string
+
+val apply_lr : lr_step -> Pinaccess.Pin_access.config -> Pinaccess.Pin_access.config
+(** Specialize a solver config to the step schedule.  [Lr_k95] is the
+    identity — the baseline arm solves under the caller's config
+    unchanged, whatever it is. *)
+
+val order_of : order -> Router.Negotiation.order
+val warm_of : warm -> Eco.Engine.warm_policy

@@ -19,11 +19,18 @@ worst matches, within --wall-rtol) the sequential wall clock on every
 row.  On a single-core runner the wall assertion is vacuous and is
 reported as skipped rather than silently passing.
 
+With --require-tune the gate validates the tune[] rows from the
+adaptive-scheduling experiment: every row must report off_identical
+(tuning leaves no trace when off) and at least one row must have spent
+no more work units tuned than untuned while keeping the objective
+within --rtol -- the bandit actually paid for itself somewhere.
+
 Usage:
     scripts/bench_gate.py [--current BENCH.json]
                           [--baseline bench/BASELINE.json]
                           [--rtol 0.01]
                           [--require-libcheck] [--require-tpl]
+                          [--require-tune] [--no-quality-diff]
                           [--require-speedup] [--wall-rtol 0.05]
 
 Exit codes: 0 gate passes, 1 regression or malformed input.
@@ -159,6 +166,80 @@ def check_tpl(doc, failures, *, required):
     return len(rows)
 
 
+# tune[] row schema: the adaptive-scheduling experiment's rows.  Walls
+# are machine-dependent; everything else is deterministic (the bandit
+# is seeded and its reward is work units + objective, never wall
+# clock).  The gate checks shape, that tuning left no trace when off
+# (off_identical), and -- the point of the experiment -- that on at
+# least one circuit the bandit spent no more work units than the
+# untuned run while keeping the objective within --rtol of it.
+TUNE_FIELDS = {
+    "id": lambda v: isinstance(v, str) and v,
+    "panels": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "seed": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "untuned_wall": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "tuned_wall": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "untuned_work": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "tuned_work": lambda v: isinstance(v, (int, float)) and v >= 1,
+    "untuned_obj": lambda v: isinstance(v, (int, float)) and v > 0,
+    "tuned_obj": lambda v: isinstance(v, (int, float)) and v > 0,
+    "off_identical": lambda v: v is True,
+    "pulls": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "regret": lambda v: isinstance(v, (int, float)) and v >= 0,
+    "histogram": lambda v: isinstance(v, dict) and v,
+}
+
+
+def check_tune(doc, failures, notes, *, required, rtol):
+    rows = doc.get("tune")
+    if rows is None or rows == []:
+        if required:
+            failures.append("tune: no rows in BENCH.json (experiment not run?)")
+        return 0
+    if not isinstance(rows, list):
+        failures.append("tune: not a list")
+        return 0
+    wins = 0
+    for i, row in enumerate(rows):
+        tag = f"tune[{i}]"
+        if not isinstance(row, dict):
+            failures.append(f"{tag}: not an object")
+            continue
+        tag = f"tune[{i}] ({row.get('id', '?')})"
+        for field, ok in TUNE_FIELDS.items():
+            if field not in row:
+                failures.append(f"{tag}: missing field {field}")
+            elif not ok(row[field]):
+                failures.append(f"{tag}: bad {field}: {row[field]!r}")
+        hist, pulls = row.get("histogram"), row.get("pulls")
+        if isinstance(hist, dict) and isinstance(pulls, (int, float)):
+            if sum(hist.values()) != pulls:
+                failures.append(
+                    f"{tag}: histogram sums to {sum(hist.values())}, "
+                    f"not pulls={pulls}"
+                )
+        uw, tw = row.get("untuned_work"), row.get("tuned_work")
+        uo, to = row.get("untuned_obj"), row.get("tuned_obj")
+        if all(isinstance(v, (int, float)) and v > 0 for v in (uw, tw, uo, to)):
+            ratio = tw / uw
+            dq = (to - uo) / uo
+            line = (
+                f"{tag}: work {tw}/{uw} ({ratio:.3f}x), "
+                f"objective {to:.1f} vs {uo:.1f} ({dq:+.2%})"
+            )
+            if tw <= uw and to >= uo * (1.0 - rtol):
+                wins += 1
+                notes.append(f"{line} -- work saved at equal quality")
+            else:
+                notes.append(line)
+    if required and not wins:
+        failures.append(
+            "tune: no row with tuned_work <= untuned_work at an objective "
+            f"within rtol {rtol} of the untuned run"
+        )
+    return len(rows)
+
+
 # Scheduler telemetry shared by parallel[] and mega[] rows: the
 # work-stealing pool reports how a job was actually scheduled.  The
 # values are machine-dependent, so the gate checks shape and sanity,
@@ -261,6 +342,19 @@ def main():
         help="fail when BENCH.json has no tpl[] rows",
     )
     ap.add_argument(
+        "--require-tune",
+        action="store_true",
+        help="fail when BENCH.json has no tune[] rows, any row's "
+        "off_identical is false, or no row saved work units at an "
+        "objective within --rtol of the untuned run",
+    )
+    ap.add_argument(
+        "--no-quality-diff",
+        action="store_true",
+        help="skip the circuits[] regression diff against the baseline "
+        "(for experiment-subset runs that produce no circuits[] rows)",
+    )
+    ap.add_argument(
         "--require-speedup",
         action="store_true",
         help="validate parallel[]/mega[] scheduler telemetry and, on a "
@@ -276,8 +370,6 @@ def main():
     args = ap.parse_args()
 
     cur_doc = load(args.current)
-    base = by_id(load(args.baseline), args.baseline)
-    cur = by_id(cur_doc, args.current)
 
     failures, notes = [], []
     n_libcheck = check_libcheck(cur_doc, failures, required=args.require_libcheck)
@@ -286,31 +378,42 @@ def main():
     n_tpl = check_tpl(cur_doc, failures, required=args.require_tpl)
     if n_tpl:
         notes.append(f"tpl: {n_tpl} row(s) validated")
+    n_tune = check_tune(
+        cur_doc, failures, notes, required=args.require_tune, rtol=args.rtol
+    )
+    if n_tune:
+        notes.append(f"tune: {n_tune} row(s) validated")
     if args.require_speedup:
         n_speedup = check_speedup(
             cur_doc, failures, notes, wall_rtol=args.wall_rtol
         )
         if n_speedup:
             notes.append(f"speedup: {n_speedup} row(s) validated")
-    for cid, base_flows in sorted(base.items()):
-        if cid not in cur:
-            failures.append(f"{cid}: circuit missing from {args.current}")
-            continue
-        for flow in FLOWS:
-            for metric, better in METRICS.items():
-                b = base_flows[flow][metric]
-                c = cur[cid][flow][metric]
-                if b == c:
-                    continue
-                rel = (c - b) / max(abs(b), 1e-9)
-                tag = f"{cid}.{flow}.{metric}: {b} -> {c} ({rel:+.2%})"
-                if rel * better < -args.rtol:
-                    failures.append(tag)
-                else:
-                    notes.append(tag)
+    base = {}
+    if args.no_quality_diff:
+        notes.append("quality diff vs baseline skipped (--no-quality-diff)")
+    else:
+        base = by_id(load(args.baseline), args.baseline)
+        cur = by_id(cur_doc, args.current)
+        for cid, base_flows in sorted(base.items()):
+            if cid not in cur:
+                failures.append(f"{cid}: circuit missing from {args.current}")
+                continue
+            for flow in FLOWS:
+                for metric, better in METRICS.items():
+                    b = base_flows[flow][metric]
+                    c = cur[cid][flow][metric]
+                    if b == c:
+                        continue
+                    rel = (c - b) / max(abs(b), 1e-9)
+                    tag = f"{cid}.{flow}.{metric}: {b} -> {c} ({rel:+.2%})"
+                    if rel * better < -args.rtol:
+                        failures.append(tag)
+                    else:
+                        notes.append(tag)
 
-    for cid in sorted(set(cur) - set(base)):
-        notes.append(f"{cid}: new circuit, not in baseline")
+        for cid in sorted(set(cur) - set(base)):
+            notes.append(f"{cid}: new circuit, not in baseline")
 
     if notes:
         print("bench gate: drift within tolerance / improvements:")

@@ -130,6 +130,38 @@ let test_snapshot () =
       | Error e -> Alcotest.failf "jsonl line %S: %s" line e)
     lines
 
+let test_diff_window () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.win" in
+  let idle = Obs.Metrics.counter "test.idle" in
+  let h = Obs.Metrics.histogram "test.winh" in
+  Obs.Metrics.add c 5;
+  Obs.Metrics.incr idle;
+  Obs.Metrics.observe h 10.0;
+  let before = Obs.Metrics.snapshot () in
+  Obs.Metrics.add c 3;
+  Obs.Metrics.observe h 2.0;
+  Obs.Metrics.observe h 4.0;
+  let after = Obs.Metrics.snapshot () in
+  let d = Obs.Metrics.diff ~before ~after in
+  (* only what moved inside the window, as window-local deltas *)
+  check "moved counter present" true
+    (List.mem_assoc "test.win" d.Obs.Metrics.counters);
+  check_int "counter delta" 3 (Obs.Metrics.counter_delta d "test.win");
+  check "idle counter omitted" false
+    (List.mem_assoc "test.idle" d.Obs.Metrics.counters);
+  check_int "omitted reads zero" 0 (Obs.Metrics.counter_delta d "test.idle");
+  (match List.assoc_opt "test.winh" d.Obs.Metrics.histograms with
+  | None -> Alcotest.fail "moved histogram omitted from diff"
+  | Some s ->
+    check_int "window count" 2 s.Obs.Metrics.count;
+    check_float "window sum" 6.0 s.sum;
+    check_float "window mean" 3.0 s.mean);
+  (* an empty window diffs to an empty snapshot *)
+  let d0 = Obs.Metrics.diff ~before:after ~after in
+  check "empty window, no counters" true (d0.Obs.Metrics.counters = []);
+  check "empty window, no histograms" true (d0.Obs.Metrics.histograms = [])
+
 (* ------------------------------------------------------------------ *)
 (* File sinks parse back                                              *)
 let test_sampled_percentiles () =
@@ -346,6 +378,7 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "snapshot and jsonl" `Quick test_snapshot;
+          Alcotest.test_case "diff windows" `Quick test_diff_window;
           Alcotest.test_case "sampled percentiles" `Quick
             test_sampled_percentiles;
           Alcotest.test_case "reservoir cap" `Quick test_sampled_reservoir_cap;
